@@ -1,0 +1,85 @@
+"""Ablations of the paper's design choices (beyond its figures).
+
+Three knobs the paper fixes by design, swept here to show *why*:
+
+* **Scoreboard precision** (section 3.4): warp-granular vs exact
+  per-mask vs the paper's dependency matrix, under SBI+SWI.  The
+  matrix should recover most of the exact scoreboard's performance at
+  warp-size-independent cost.
+* **CCT sideband-sorter delay** (section 3.4): how slow can the
+  asynchronous insertion sort be before the heap degrades?  The paper
+  argues even long delays are tolerable because the heap stays small.
+* **Fetch bandwidth**: the dual front-end's appetite for the two
+  fetch-decode units of Figure 1/3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import presets
+from repro.analysis import experiments, report as rpt
+
+WORKLOADS = ("mandelbrot", "eigenvalues", "tmd2")
+
+_RESULTS = {}
+
+
+def _run(tag, workload, config, size):
+    stats = experiments.run_one(workload, config, size, cache=False)
+    _RESULTS.setdefault(tag, {})[workload] = stats
+    return stats
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("kind", ("warp", "mask", "matrix"))
+def test_ablate_scoreboard(benchmark, workload, kind, bench_size):
+    config = presets.sbi_swi(scoreboard_kind=kind)
+    stats = benchmark.pedantic(
+        _run, args=("scoreboard:" + kind, workload, config, bench_size),
+        rounds=1, iterations=1,
+    )
+    assert stats.cycles > 0
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("delay", (0, 2, 8, 32))
+def test_ablate_cct_delay(benchmark, workload, delay, bench_size):
+    config = presets.sbi(cct_insert_delay=delay)
+    stats = benchmark.pedantic(
+        _run, args=("cct_delay:%d" % delay, workload, config, bench_size),
+        rounds=1, iterations=1,
+    )
+    assert stats.cycles > 0
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("width", (1, 2, 4))
+def test_ablate_fetch_width(benchmark, workload, width, bench_size):
+    config = presets.sbi_swi(fetch_width=width)
+    stats = benchmark.pedantic(
+        _run, args=("fetch:%d" % width, workload, config, bench_size),
+        rounds=1, iterations=1,
+    )
+    assert stats.cycles > 0
+
+
+def test_ablation_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    groups = {
+        "scoreboard precision (SBI+SWI)": ["scoreboard:warp", "scoreboard:mask", "scoreboard:matrix"],
+        "CCT sideband delay (SBI)": ["cct_delay:0", "cct_delay:2", "cct_delay:8", "cct_delay:32"],
+        "fetch width (SBI+SWI)": ["fetch:1", "fetch:2", "fetch:4"],
+    }
+    for title, tags in groups.items():
+        rows = []
+        for workload in WORKLOADS:
+            row = [workload]
+            for tag in tags:
+                stats = _RESULTS.get(tag, {}).get(workload)
+                row.append(stats.ipc if stats else None)
+            rows.append(row)
+        report.add(
+            "Ablation: %s (IPC)" % title,
+            rpt.format_table(["workload"] + [t.split(":")[1] for t in tags], rows),
+        )

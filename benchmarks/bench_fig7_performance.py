@@ -1,0 +1,88 @@
+"""Figure 7 — IPC of Baseline / SBI / SWI / SBI+SWI / Warp64.
+
+Regenerates both panels of the paper's headline figure: thread
+instructions per cycle for every workload under the five
+configurations, plus the suite geometric means (TMD excluded from
+means, as in the paper).  Paper reference points: SBI+SWI +40%
+(irregular) / +23% (regular) over baseline; SBI alone +41%/+15%;
+SWI alone +33%/+25%; peak IPC 64 baseline vs 104 interweaving.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import experiments, report as rpt
+from repro.workloads.suite import IRREGULAR, MEAN_EXCLUDED, REGULAR
+
+CONFIG_ORDER = ("baseline", "sbi", "swi", "sbi_swi", "warp64")
+
+_RESULTS = {}
+
+
+def _run(workload: str, config_name: str, size: str):
+    configs = experiments.figure7_configs()
+    stats = experiments.run_one(workload, configs[config_name], size)
+    _RESULTS.setdefault(workload, {})[config_name] = stats
+    return stats
+
+
+@pytest.mark.parametrize("workload", REGULAR)
+@pytest.mark.parametrize("config_name", CONFIG_ORDER)
+def test_fig7_regular(benchmark, workload, config_name, bench_size):
+    stats = benchmark.pedantic(
+        _run, args=(workload, config_name, bench_size), rounds=1, iterations=1
+    )
+    assert stats.cycles > 0
+    assert stats.ipc <= stats.cycles and stats.ipc <= 104.0 + 1e-9
+
+
+@pytest.mark.parametrize("workload", IRREGULAR)
+@pytest.mark.parametrize("config_name", CONFIG_ORDER)
+def test_fig7_irregular(benchmark, workload, config_name, bench_size):
+    stats = benchmark.pedantic(
+        _run, args=(workload, config_name, bench_size), rounds=1, iterations=1
+    )
+    assert stats.cycles > 0
+    peak = 64.0 if config_name in ("baseline", "warp64") else 104.0
+    assert stats.ipc <= peak + 1e-9
+
+
+def test_fig7_report(benchmark, report):
+    """Aggregate both panels and check the paper-shape invariants."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for panel, names in (("7a regular", REGULAR), ("7b irregular", IRREGULAR)):
+        rows = []
+        present = [w for w in names if w in _RESULTS]
+        for w in present:
+            rows.append(
+                [w] + [_RESULTS[w][c].ipc for c in CONFIG_ORDER if c in _RESULTS[w]]
+            )
+        included = [w for w in present if w not in MEAN_EXCLUDED]
+        mean_row = ["gmean"]
+        for c in CONFIG_ORDER:
+            mean_row.append(rpt.gmean([_RESULTS[w][c].ipc for w in included]))
+        rows.append(mean_row)
+        report.add(
+            "Figure %s: IPC" % panel,
+            rpt.format_table(["workload"] + list(CONFIG_ORDER), rows),
+        )
+        ipc = {w: {c: _RESULTS[w][c].ipc for c in CONFIG_ORDER} for w in present}
+        report.add(
+            "Figure %s: speedup vs baseline" % panel,
+            rpt.speedup_table(
+                ipc,
+                "baseline",
+                [c for c in CONFIG_ORDER if c != "baseline"],
+                present,
+                excluded=MEAN_EXCLUDED,
+            ),
+        )
+    # Shape checks (soft versions of the paper's headline claims).
+    for names in (REGULAR, IRREGULAR):
+        included = [w for w in names if w in _RESULTS and w not in MEAN_EXCLUDED]
+        if not included:
+            continue
+        base = rpt.gmean([_RESULTS[w]["baseline"].ipc for w in included])
+        combo = rpt.gmean([_RESULTS[w]["sbi_swi"].ipc for w in included])
+        assert combo > base, "SBI+SWI must beat the baseline on suite gmean"

@@ -1,0 +1,53 @@
+"""Shared fixtures for the table/figure benchmarks.
+
+Every bench module contributes formatted report sections; at session
+end the collected report is printed and written to
+``benchmarks/results/report.txt`` so the paper-shape tables survive
+the pytest-benchmark output.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class Report:
+    def __init__(self) -> None:
+        self.sections: List[str] = []
+
+    def add(self, title: str, body: str) -> None:
+        text = "\n== %s ==\n%s\n" % (title, body)
+        self.sections.append(text)
+        print(text)
+
+    def flush(self) -> None:
+        if not self.sections:
+            return
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, "report.txt")
+        with open(path, "w") as f:
+            f.write("\n".join(self.sections))
+        print("\n[benchmark report written to %s]" % path)
+
+
+_REPORT = Report()
+
+
+@pytest.fixture(scope="session")
+def report() -> Report:
+    return _REPORT
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _REPORT.flush()
+
+
+@pytest.fixture(scope="session")
+def bench_size() -> str:
+    """Workload size for figure sweeps (override with REPRO_BENCH_SIZE)."""
+    return os.environ.get("REPRO_BENCH_SIZE", "bench")

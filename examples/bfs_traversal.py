@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""BFS on a skewed random graph — an end-to-end workload walkthrough.
+
+Builds the paper's BFS workload (CSR subgraph per CTA, level loop with
+barriers, data-dependent neighbour loops), runs it under every
+configuration, verifies the distances against a host-side BFS, and
+prints the memory-system picture that explains why BFS is bound by the
+single LSU port rather than by issue slots.
+
+Run:  python examples/bfs_traversal.py
+"""
+
+import numpy as np
+
+from repro import presets, simulate
+from repro.workloads import get_workload
+
+
+def main():
+    print("BFS (Rodinia) on the cycle-level SM\n")
+    for name in ("baseline", "warp64", "sbi", "swi", "sbi_swi"):
+        inst = get_workload("bfs", "tiny")
+        stats = simulate(inst.kernel, inst.memory, presets.by_name(name))
+        inst.numpy_check(inst.memory)  # distances match host BFS
+        print(
+            "%-9s cycles=%6d IPC=%5.2f  L1 hit=%4.1f%%  replays=%5d  "
+            "divergent branches=%d"
+            % (
+                name,
+                stats.cycles,
+                stats.ipc,
+                100 * stats.l1_hit_rate,
+                stats.memory_replays,
+                stats.divergent_branches,
+            )
+        )
+    inst = get_workload("bfs", "tiny")
+    dist = inst.reference_outputs()["dist"]
+    reached = int((dist >= 0).sum())
+    print("\ngraph: %d nodes, %d reached within the level budget" % (len(dist), reached))
+    hist = {}
+    for d in dist[dist >= 0].astype(int):
+        hist[d] = hist.get(d, 0) + 1
+    print("frontier sizes per level:", dict(sorted(hist.items())))
+    print(
+        "\nnote: scattered neighbour loads serialise on the single "
+        "128-byte LSU port,\nso all five front-ends converge to the "
+        "same IPC — the paper recovers BFS\nthrough memory-divergence "
+        "warp splitting, a mechanism this reproduction\nmodels only "
+        "for branches (see DESIGN.md, deliberate simplifications)."
+    )
+
+
+if __name__ == "__main__":
+    main()

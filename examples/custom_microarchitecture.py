@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Design-space exploration with custom SM configurations.
+
+The presets reproduce the paper's Table 2 machines, but every knob is
+open.  This example asks three of the paper's "what if" questions on
+the Mandelbrot workload:
+
+* how much of SBI+SWI survives a *direct-mapped* SWI lookup (Figure 9's
+  punchline: most of it)?
+* what does the CCT sideband sorter's speed cost (section 3.4 argues:
+  almost nothing, the heap is small)?
+* what if the secondary scheduler's extra pipeline stage could be
+  avoided (scheduler latency 2 -> 1)?
+
+Run:  python examples/custom_microarchitecture.py
+"""
+
+from repro import presets, simulate
+from repro.workloads import get_workload
+
+VARIANTS = [
+    ("paper SBI+SWI", presets.sbi_swi()),
+    ("direct-mapped SWI", presets.sbi_swi(ways=1)),
+    ("slow CCT sorter (32c)", presets.sbi_swi(cct_insert_delay=32)),
+    ("1-cycle scheduler", presets.sbi_swi(scheduler_latency=1)),
+    ("no constraints", presets.sbi_swi(constraints=False)),
+    ("exact-mask scoreboard", presets.sbi_swi(scoreboard_kind="mask")),
+]
+
+
+def main():
+    print("design-space exploration on mandelbrot (tiny)\n")
+    base = None
+    for label, config in VARIANTS:
+        inst = get_workload("mandelbrot", "tiny")
+        stats = simulate(inst.kernel, inst.memory, config)
+        inst.numpy_check(inst.memory)
+        if base is None:
+            base = stats.ipc
+        print(
+            "%-24s IPC=%6.2f (%+5.1f%%)  issues p/b/w=%d/%d/%d conflicts=%d"
+            % (
+                label,
+                stats.ipc,
+                100 * (stats.ipc / base - 1),
+                stats.issued_primary,
+                stats.issued_sbi_secondary,
+                stats.issued_swi_secondary,
+                stats.scheduler_conflicts,
+            )
+        )
+    print(
+        "\nevery variant produced the verified result — configuration"
+        "\nchanges timing, never semantics."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Divergence study: how each technique reacts to branch shapes.
+
+Sweeps three canonical control-flow patterns —
+
+* **balanced if/else** (both paths do equal work): SBI's target; the
+  two warp-splits co-issue on disjoint lanes;
+* **if-without-else** (one path empty): SBI has nothing to pair; SWI
+  fills the idle lanes from other warps;
+* **escape-time loop** (per-thread trip counts): both techniques work
+  through run-ahead and cross-warp filling —
+
+across the paper's five configurations, and prints the IPC matrix plus
+SIMD-efficiency (average active threads per issue).
+
+Run:  python examples/divergence_study.py
+"""
+
+import numpy as np
+
+from repro import presets, simulate
+from repro.functional import MemoryImage
+from repro.isa import CmpOp, KernelBuilder
+
+N = 1024
+CONFIGS = ("baseline", "warp64", "sbi", "swi", "sbi_swi")
+
+
+def balanced(work=8):
+    kb = KernelBuilder("balanced")
+    t, p, v, a = kb.regs("t", "p", "v", "a")
+    kb.mov(t, kb.tid)
+    kb.mad(t, kb.ctaid, kb.ntid, t)
+    kb.mov(v, 1.0)
+    kb.and_(p, t, 1)
+    kb.bra("odd", cond=p)
+    for _ in range(work):
+        kb.mad(v, v, 3, 1)
+    kb.bra("join")
+    kb.label("odd")
+    for _ in range(work):
+        kb.mad(v, v, 5, 2)
+    kb.label("join")
+    kb.mul(a, t, 4)
+    kb.st(kb.param(0), v, index=a)
+    kb.exit_()
+    return kb
+
+
+def one_sided(work=8):
+    kb = KernelBuilder("one_sided")
+    t, p, v, a = kb.regs("t", "p", "v", "a")
+    kb.mov(t, kb.tid)
+    kb.mad(t, kb.ctaid, kb.ntid, t)
+    kb.mov(v, 1.0)
+    kb.and_(p, t, 1)
+    kb.bra("skip", cond=p)
+    for _ in range(work):
+        kb.mad(v, v, 3, 1)
+    kb.label("skip")
+    kb.mul(a, t, 4)
+    kb.st(kb.param(0), v, index=a)
+    kb.exit_()
+    return kb
+
+
+def escape_loop(max_trips=16):
+    kb = KernelBuilder("escape")
+    t, p, v, c, a = kb.regs("t", "p", "v", "c", "a")
+    kb.mov(t, kb.tid)
+    kb.mad(t, kb.ctaid, kb.ntid, t)
+    kb.and_(c, t, max_trips - 1)
+    kb.mov(v, 0.0)
+    kb.label("loop")
+    kb.mad(v, v, 3, 1)
+    kb.sub(c, c, 1)
+    kb.setp(p, CmpOp.GE, c, 0)
+    kb.bra("loop", cond=p)
+    kb.mul(a, t, 4)
+    kb.st(kb.param(0), v, index=a)
+    kb.exit_()
+    return kb
+
+
+def run(kb_factory):
+    row = {}
+    for name in CONFIGS:
+        memory = MemoryImage()
+        out = memory.alloc(N * 4)
+        kernel = kb_factory().build(cta_size=256, grid_size=N // 256, params=(out,))
+        stats = simulate(kernel, memory, presets.by_name(name))
+        row[name] = stats
+    return row
+
+
+def main():
+    shapes = (
+        ("balanced if/else", balanced),
+        ("if without else", one_sided),
+        ("escape-time loop", escape_loop),
+    )
+    header = "%-18s" % "shape" + "".join("%12s" % c for c in CONFIGS)
+    print(header)
+    print("-" * len(header))
+    for label, factory in shapes:
+        row = run(factory)
+        print(
+            "%-18s" % label
+            + "".join("%12.2f" % row[c].ipc for c in CONFIGS)
+        )
+        print(
+            "%-18s" % "  (threads/issue)"
+            + "".join("%12.1f" % row[c].avg_active_threads for c in CONFIGS)
+        )
+    print(
+        "\nreading: SBI pays off on the balanced branch, SWI on the"
+        "\none-sided and loop shapes; SBI+SWI keeps both gains."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Quickstart: write a kernel, run it on every SM configuration.
+
+Builds a small divergent kernel with the :class:`KernelBuilder` DSL,
+checks its result against plain numpy, and compares the five
+micro-architectures of the paper (baseline SIMT stack, thread-frontier
+Warp64, SBI, SWI, SBI+SWI).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import presets, simulate
+from repro.functional import MemoryImage
+from repro.isa import CmpOp, KernelBuilder
+
+N = 1024
+
+
+def build_kernel(out_addr):
+    """Per-thread work that diverges on the thread index.
+
+    Even threads run a short multiply chain, odd threads a longer one —
+    the balanced if/else shape Simultaneous Branch Interweaving
+    co-issues (paper Figure 2).
+    """
+    kb = KernelBuilder("quickstart")
+    t, p, v, addr = kb.regs("t", "p", "v", "addr")
+    kb.mov(t, kb.tid)
+    kb.mad(t, kb.ctaid, kb.ntid, t)  # global thread id
+    kb.mov(v, 1.0)
+    kb.and_(p, t, 1)
+    kb.bra("odd", cond=p)
+    for _ in range(8):
+        kb.mad(v, v, 3, 1)  # even path
+    kb.bra("join")
+    kb.label("odd")
+    for _ in range(8):
+        kb.mad(v, v, 5, 2)  # odd path
+    kb.label("join")
+    kb.mul(addr, t, 4)
+    kb.st(kb.param(0), v, index=addr)
+    kb.exit_()
+    return kb.build(cta_size=256, grid_size=N // 256, params=(out_addr,))
+
+
+def expected():
+    v = np.ones(N)
+    for _ in range(8):
+        even = v * 3 + 1
+        odd = v * 5 + 2
+        v = np.where(np.arange(N) % 2 == 0, even, odd)
+    return v
+
+
+def main():
+    print("Simultaneous Branch and Warp Interweaving - quickstart")
+    print("kernel: balanced if/else over %d threads\n" % N)
+    baseline_ipc = None
+    for name in ("baseline", "warp64", "sbi", "swi", "sbi_swi"):
+        memory = MemoryImage()
+        out = memory.alloc(N * 4)
+        kernel = build_kernel(out)
+        stats = simulate(kernel, memory, presets.by_name(name))
+        assert np.array_equal(memory.read_array(out, N), expected()), name
+        if baseline_ipc is None:
+            baseline_ipc = stats.ipc
+        print(
+            "%-9s cycles=%6d  IPC=%6.2f  (%.2fx)  issue slots: "
+            "primary=%d sbi=%d swi=%d"
+            % (
+                name,
+                stats.cycles,
+                stats.ipc,
+                stats.ipc / baseline_ipc,
+                stats.issued_primary,
+                stats.issued_sbi_secondary,
+                stats.issued_swi_secondary,
+            )
+        )
+    print("\nall configurations produced identical results (verified)")
+
+
+if __name__ == "__main__":
+    main()

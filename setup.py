@@ -1,0 +1,5 @@
+"""Setup shim — enables `python setup.py develop` on environments
+without the `wheel` package (pip editable installs need bdist_wheel)."""
+from setuptools import setup
+
+setup()

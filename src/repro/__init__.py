@@ -1,0 +1,34 @@
+"""repro — Simultaneous Branch and Warp Interweaving (ISCA 2012).
+
+A cycle-level reproduction of Brunie, Collange & Diamos,
+"Simultaneous Branch and Warp Interweaving for Sustained GPU
+Performance": a Fermi-like SM timing model with five scheduler
+configurations (baseline, thread-frontier Warp64, SBI, SWI, SBI+SWI),
+a functional SIMT substrate, the paper's 21 workloads, and hardware
+cost models for its storage/area tables.
+
+Quick start::
+
+    from repro import presets, simulate
+    from repro.workloads import get_workload
+
+    wl = get_workload("mandelbrot", size="tiny")
+    stats = simulate(wl.kernel, wl.memory, presets.sbi_swi())
+    print(stats.ipc)
+"""
+
+from repro.core import presets
+from repro.core.simulator import SimulationError, simulate
+from repro.timing.config import SMConfig
+from repro.timing.stats import Stats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SMConfig",
+    "SimulationError",
+    "Stats",
+    "presets",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Analysis and reporting tools: pipeline traces (Figure 2), table
+formatting, and the experiment harness shared by the benchmarks."""
+
+from repro.analysis.pipeline_trace import trace_kernel, render_trace, figure2_example
+from repro.analysis.report import format_table, gmean, speedup_table
+from repro.analysis.experiments import run_suite, suite_ipc_table
+
+__all__ = [
+    "figure2_example",
+    "format_table",
+    "gmean",
+    "render_trace",
+    "run_suite",
+    "speedup_table",
+    "suite_ipc_table",
+    "trace_kernel",
+]

@@ -1,0 +1,100 @@
+"""Experiment harness: runs the paper's sweeps and caches results.
+
+Used by the ``benchmarks/`` tree (one module per table/figure) and by
+``examples``.  Results are cached in-process per (workload, size,
+config-key) so that a pytest-benchmark session reuses simulations
+across reporting fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core import presets
+from repro.core.simulator import simulate
+from repro.timing.config import SMConfig
+from repro.timing.stats import Stats
+from repro.workloads import get_workload
+from repro.workloads.suite import IRREGULAR, MEAN_EXCLUDED, REGULAR
+
+_CACHE: Dict[Tuple, Stats] = {}
+
+
+def config_key(config: SMConfig) -> Tuple:
+    return (
+        config.mode,
+        config.sbi_constraints,
+        config.lane_shuffle,
+        config.swi_ways,
+        config.warp_count,
+        config.warp_width,
+    )
+
+
+def run_one(
+    workload: str,
+    config: SMConfig,
+    size: str = "bench",
+    verify: bool = False,
+    cache: bool = True,
+) -> Stats:
+    """Simulate one (workload, config) cell, with optional caching."""
+    key = (workload, size, config_key(config))
+    if cache and key in _CACHE:
+        return _CACHE[key]
+    inst = get_workload(workload, size)
+    stats = simulate(inst.kernel, inst.memory, config)
+    if verify and inst.numpy_check is not None:
+        inst.numpy_check(inst.memory)
+    if cache:
+        _CACHE[key] = stats
+    return stats
+
+
+def run_suite(
+    configs: Dict[str, SMConfig],
+    workloads: Sequence[str],
+    size: str = "bench",
+) -> Dict[str, Dict[str, Stats]]:
+    """{workload: {config_name: Stats}} over a workload list."""
+    results: Dict[str, Dict[str, Stats]] = {}
+    for name in workloads:
+        results[name] = {
+            cfg_name: run_one(name, cfg, size) for cfg_name, cfg in configs.items()
+        }
+    return results
+
+
+def suite_ipc_table(
+    results: Dict[str, Dict[str, Stats]]
+) -> Dict[str, Dict[str, float]]:
+    return {
+        w: {c: stats.ipc for c, stats in row.items()} for w, row in results.items()
+    }
+
+
+def figure7_configs() -> Dict[str, SMConfig]:
+    return {
+        "baseline": presets.baseline(),
+        "sbi": presets.sbi(),
+        "swi": presets.swi(),
+        "sbi_swi": presets.sbi_swi(),
+        "warp64": presets.warp64(),
+    }
+
+
+def included(workloads: Iterable[str]) -> List[str]:
+    """Workloads that count toward suite means (TMD excluded)."""
+    return [w for w in workloads if w not in MEAN_EXCLUDED]
+
+
+def save_results(path: str, table: Dict[str, Dict[str, float]]) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(table, f, indent=1, sort_keys=True)
+
+
+REGULAR_SUITE = REGULAR
+IRREGULAR_SUITE = IRREGULAR

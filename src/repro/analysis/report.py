@@ -1,0 +1,78 @@
+"""Plain-text table formatting and summary statistics."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's suite-aggregation statistic)."""
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("gmean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table."""
+    cols = len(headers)
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in cells), default=0))
+        for i in range(cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(row[i].ljust(widths[i]) for i in range(cols)))
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.2f" % value
+    return str(value)
+
+
+def speedup_table(
+    ipc: Dict[str, Dict[str, float]],
+    base: str,
+    configs: Sequence[str],
+    workloads: Sequence[str],
+    excluded: Sequence[str] = (),
+    title: str = "",
+) -> str:
+    """Per-workload speedups vs ``base`` plus the gmean row.
+
+    ``excluded`` workloads are shown but left out of the gmean (the
+    paper excludes TMD from its means).
+    """
+    rows: List[List[object]] = []
+    per_config: Dict[str, List[float]] = {c: [] for c in configs}
+    for name in workloads:
+        row: List[object] = [name]
+        for config in configs:
+            s = ipc[name][config] / ipc[name][base]
+            row.append(s)
+            if name not in excluded:
+                per_config[config].append(s)
+        rows.append(row)
+    mean_row: List[object] = ["gmean"]
+    for config in configs:
+        mean_row.append(gmean(per_config[config]) if per_config[config] else None)
+    rows.append(mean_row)
+    headers = ["workload"] + ["%s/%s" % (c, base) for c in configs]
+    return format_table(headers, rows, title)

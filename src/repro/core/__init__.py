@@ -1,0 +1,15 @@
+"""The paper's contribution: SBI/SWI schedulers, the SM pipeline, and
+the public simulation API.
+
+Typical use::
+
+    from repro.core import presets, simulate
+    stats = simulate(kernel, memory, presets.sbi_swi())
+    print(stats.ipc)
+"""
+
+from repro.core import presets
+from repro.core.simulator import simulate, SimulationError
+from repro.core.sm import StreamingMultiprocessor
+
+__all__ = ["StreamingMultiprocessor", "SimulationError", "presets", "simulate"]

@@ -1,0 +1,125 @@
+"""Configuration presets — paper Table 2.
+
+===================  =========  =======  =======  =========
+Parameter            Baseline   SBI      SWI      SBI+SWI
+===================  =========  =======  =======  =========
+Warps x width        32 x 32    16 x 64  16 x 64  16 x 64
+Scheduler latency    1          1        2        2
+Delivery latency     0          1        1        1
+Execution latency    8          8        8        8
+Scoreboard           6/warp     matrix   6/warp   matrix
+Reconvergence        stack      HCT/CCT  frontier HCT/CCT
+===================  =========  =======  =======  =========
+
+``warp64`` is the Figure 7 reference: thread frontiers with 64-wide
+warps and a single conventional scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.timing.config import SMConfig
+
+
+def baseline(**overrides) -> SMConfig:
+    """Fermi-like baseline: 32 x 32 warps, two pools, IPDOM stack."""
+    cfg = dict(
+        mode="baseline",
+        warp_count=32,
+        warp_width=32,
+        scheduler_latency=1,
+        delivery_latency=0,
+        scoreboard_kind="warp",
+        lane_shuffle="identity",
+    )
+    cfg.update(overrides)
+    return SMConfig(**cfg)
+
+
+def warp64(**overrides) -> SMConfig:
+    """Thread-frontier 64-wide reference point (Figure 7)."""
+    cfg = dict(
+        mode="warp64",
+        warp_count=16,
+        warp_width=64,
+        scheduler_latency=1,
+        delivery_latency=0,
+        scoreboard_kind="warp",
+        lane_shuffle="identity",
+    )
+    cfg.update(overrides)
+    return SMConfig(**cfg)
+
+
+def sbi(constraints: bool = True, **overrides) -> SMConfig:
+    """Simultaneous Branch Interweaving."""
+    cfg = dict(
+        mode="sbi",
+        warp_count=16,
+        warp_width=64,
+        scheduler_latency=1,
+        delivery_latency=1,
+        scoreboard_kind="matrix",
+        sbi_constraints=constraints,
+        lane_shuffle="identity",
+    )
+    cfg.update(overrides)
+    return SMConfig(**cfg)
+
+
+def swi(
+    lane_shuffle: str = "xor_rev", ways: Optional[int] = None, **overrides
+) -> SMConfig:
+    """Simultaneous Warp Interweaving (``ways=None`` = fully assoc.)."""
+    cfg = dict(
+        mode="swi",
+        warp_count=16,
+        warp_width=64,
+        scheduler_latency=2,
+        delivery_latency=1,
+        scoreboard_kind="warp",
+        lane_shuffle=lane_shuffle,
+        swi_ways=ways,
+    )
+    cfg.update(overrides)
+    return SMConfig(**cfg)
+
+
+def sbi_swi(
+    constraints: bool = True,
+    lane_shuffle: str = "xor_rev",
+    ways: Optional[int] = None,
+    **overrides,
+) -> SMConfig:
+    """Combined SBI + SWI (the paper's headline configuration)."""
+    cfg = dict(
+        mode="sbi_swi",
+        warp_count=16,
+        warp_width=64,
+        scheduler_latency=2,
+        delivery_latency=1,
+        scoreboard_kind="matrix",
+        sbi_constraints=constraints,
+        lane_shuffle=lane_shuffle,
+        swi_ways=ways,
+    )
+    cfg.update(overrides)
+    return SMConfig(**cfg)
+
+
+#: Figure 7 configuration set, in presentation order.
+FIGURE7_CONFIGS = ("baseline", "sbi", "swi", "sbi_swi", "warp64")
+
+
+def by_name(name: str, **overrides) -> SMConfig:
+    factory = {
+        "baseline": baseline,
+        "warp64": warp64,
+        "sbi": sbi,
+        "swi": swi,
+        "sbi_swi": sbi_swi,
+    }.get(name)
+    if factory is None:
+        raise ValueError("unknown preset %r" % name)
+    return factory(**overrides)

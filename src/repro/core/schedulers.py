@@ -1,0 +1,358 @@
+"""Instruction schedulers for the five configurations.
+
+* :class:`BaselineScheduler` — two warp pools (even/odd ids), each
+  issuing its oldest ready instruction per cycle (paper section 2).
+* :class:`Warp64Scheduler` — single pool, single issue (the "Warp 64"
+  thread-frontier reference of Figure 7).
+* :class:`SBIScheduler` — one warp selected per cycle; its ``CPC1``
+  and ``CPC2`` warp-splits issue simultaneously through the dual
+  front-end.  Enforces the selective synchronization barrier and the
+  one-divergence-per-cycle HCT restriction.
+* :class:`CascadedScheduler` — SWI and SBI+SWI: a primary pick spends
+  one extra pipeline stage (Table 2's 2-cycle scheduler latency)
+  during which the secondary scheduler fills the remaining lanes —
+  from the same warp's ``CPC2`` (SBI+SWI) or from another warp whose
+  lane mask fits (best-fit, pseudo-random tie-break, set-associative
+  candidate window).  Conflicts between the two decoupled pickers are
+  detected a posteriori and the primary copy is discarded, as in the
+  paper (section 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.core.sm import IssueRecord, StreamingMultiprocessor
+from repro.core.warp import TimingWarp
+from repro.timing.divergence import Split
+from repro.timing.fetch import IBufEntry
+from repro.timing.masks import popcount
+
+#: Candidate tuple: (age key, warp, slot, split, entry).
+Candidate = Tuple[Tuple[int, int], TimingWarp, int, Split, IBufEntry]
+
+
+class SchedulerBase:
+    """Shared readiness checks and pseudo-random tie-breaking."""
+
+    def __init__(self, sm: StreamingMultiprocessor) -> None:
+        self.sm = sm
+        self.config = sm.config
+        self._rand_state = sm.config.seed & 0x7FFFFFFF or 1
+
+    def tick(self, now: int) -> int:
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------
+
+    def _rand(self) -> int:
+        self._rand_state = (self._rand_state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self._rand_state
+
+    def _ready_entry(
+        self, warp: TimingWarp, slot: int, split: Split, now: int
+    ) -> Optional[IBufEntry]:
+        """Decoded, fresh, hazard-free instruction for this slot."""
+        if split.parked or split.pending:
+            return None
+        if split.redirect_ready_at > now:
+            return None  # branch still resolving; delivery not redirected yet
+        entry = self.sm.fetch.entry_for(warp.wid, split, now)
+        if entry is None:
+            return None
+        if not warp.scoreboard.can_issue(entry.instr, split.mask, min(slot, 2)):
+            return None
+        return entry
+
+    def _group_free(self, instr: Instruction, split: Split, now: int, co_issue: bool) -> bool:
+        return (
+            self.sm.backend.pick_group(instr.op_class, now, split.lane_mask, co_issue)
+            is not None
+        )
+
+    def _sync_blocked(self, warp: TimingWarp, split: Split, instr: Instruction, now: int) -> bool:
+        """SBI selective synchronization barrier (paper section 3.3).
+
+        The *secondary* warp-split is suspended at a reconvergence
+        marker while ``PCdiv < CPC1 < PCrec``; once ``CPC1`` leaves the
+        divergent region (or reaches the marker and merges), it runs.
+        """
+        if not self.config.sbi_constraints or instr.sync_pcdiv is None:
+            return False
+        hot = warp.model.hot_splits(now)
+        if len(hot) < 2 or hot[1] is not split:
+            return False
+        cpc1 = hot[0].pc
+        if instr.sync_pcdiv < cpc1 < split.pc:
+            self.sm.stats.sync_suspensions += 1
+            return True
+        return False
+
+    def _oldest(self, candidates: List[Candidate]) -> Optional[Candidate]:
+        return min(candidates, default=None, key=lambda c: c[0])
+
+
+class BaselineScheduler(SchedulerBase):
+    """Two independent pools of 32-wide warps, oldest-first."""
+
+    def tick(self, now: int) -> int:
+        issued = 0
+        warps = self.sm.live_warps()
+        for parity in (0, 1):
+            best: Optional[Candidate] = None
+            for warp in warps:
+                if warp.wid % 2 != parity or warp.done:
+                    continue
+                hot = warp.model.hot_splits(now)
+                if not hot:
+                    continue
+                split = hot[0]
+                entry = self._ready_entry(warp, 0, split, now)
+                if entry is None:
+                    continue
+                if not self._group_free(entry.instr, split, now, co_issue=False):
+                    continue
+                key = (entry.fetch_cycle, warp.wid)
+                if best is None or key < best[0]:
+                    best = (key, warp, 0, split, entry)
+            if best is not None:
+                record = self.sm.issue(
+                    best[1], best[2], best[3], best[4], now, "primary", co_issue=False
+                )
+                if record is not None:
+                    issued += 1
+        return issued
+
+
+class Warp64Scheduler(SchedulerBase):
+    """Single pool, one issue per cycle (thread-frontier reference)."""
+
+    def tick(self, now: int) -> int:
+        best: Optional[Candidate] = None
+        for warp in self.sm.live_warps():
+            hot = warp.model.hot_splits(now)
+            if not hot:
+                continue
+            split = hot[0]
+            entry = self._ready_entry(warp, 0, split, now)
+            if entry is None:
+                continue
+            if not self._group_free(entry.instr, split, now, co_issue=False):
+                continue
+            key = (entry.fetch_cycle, warp.wid)
+            if best is None or key < best[0]:
+                best = (key, warp, 0, split, entry)
+        if best is None:
+            return 0
+        record = self.sm.issue(best[1], best[2], best[3], best[4], now, "primary", co_issue=False)
+        return 1 if record is not None else 0
+
+
+class SBIScheduler(SchedulerBase):
+    """Dual front-end on one warp: co-issue CPC1 and CPC2 splits."""
+
+    def tick(self, now: int) -> int:
+        # Select the warp owning the oldest ready instruction in either slot.
+        best: Optional[Candidate] = None
+        for warp in self.sm.live_warps():
+            hot = warp.model.hot_splits(now)
+            for slot, split in enumerate(hot[:2]):
+                entry = self._ready_entry(warp, slot, split, now)
+                if entry is None:
+                    continue
+                if slot == 1 and self._sync_blocked(warp, split, entry.instr, now):
+                    continue
+                if not self._group_free(entry.instr, split, now, co_issue=slot == 1):
+                    continue
+                key = (entry.fetch_cycle, warp.wid)
+                if best is None or key < best[0]:
+                    best = (key, warp, slot, split, entry)
+        if best is None:
+            return 0
+        warp = best[1]
+        issued = 0
+        primary: Optional[IssueRecord] = None
+        hot = warp.model.hot_splits(now)
+        if hot:
+            split = hot[0]
+            entry = self._ready_entry(warp, 0, split, now)
+            if entry is not None:
+                primary = self.sm.issue(warp, 0, split, entry, now, "primary", co_issue=False)
+                if primary is not None:
+                    issued += 1
+        # Secondary front-end: re-read the heap (the primary may have
+        # diverged or merged) and issue CPC2 when legal.
+        hot = warp.model.hot_splits(now)
+        if len(hot) > 1:
+            split = hot[1]
+            entry = self._ready_entry(warp, 1, split, now)
+            if entry is not None and not self._sync_blocked(warp, split, entry.instr, now):
+                one_divergence_ok = not (
+                    entry.instr.is_branch and primary is not None and primary.diverged
+                )
+                if one_divergence_ok:
+                    origin = "sbi"
+                    record = self.sm.issue(warp, 1, split, entry, now, origin, co_issue=True)
+                    if record is not None:
+                        issued += 1
+        return issued
+
+
+class CascadedScheduler(SchedulerBase):
+    """SWI / SBI+SWI two-phase scheduler with conflict detection."""
+
+    def __init__(self, sm: StreamingMultiprocessor) -> None:
+        super().__init__(sm)
+        self.pending: Optional[Tuple[TimingWarp, Split, IBufEntry]] = None
+
+    # -- picks -----------------------------------------------------------
+
+    def _pick_primary(self, now: int) -> Optional[Candidate]:
+        """Oldest ready CPC1 instruction (issues next cycle)."""
+        best: Optional[Candidate] = None
+        for warp in self.sm.live_warps():
+            hot = warp.model.hot_splits(now)
+            if not hot:
+                continue
+            split = hot[0]
+            entry = self._ready_entry(warp, 0, split, now)
+            if entry is None:
+                continue
+            # The group must plausibly be free at the issue stage.
+            group = self.sm.backend.pick_group(
+                entry.instr.op_class, now, split.lane_mask, co_issue=False
+            )
+            if group is None and not any(
+                g.free_at <= now + 1
+                for g in self.sm.backend.candidates(entry.instr.op_class)
+            ):
+                continue
+            key = (entry.fetch_cycle, warp.wid)
+            if best is None or key < best[0]:
+                best = (key, warp, 0, split, entry)
+        return best
+
+    def _candidate_warps(self, primary: Optional[IssueRecord]) -> List[TimingWarp]:
+        """Set-associative lookup window (paper section 4).
+
+        A ``ways``-entry window of warp ids following the primary's,
+        standing in for the banked instruction-buffer sets indexed by
+        the primary warp id's low-order bits.  ``None`` = fully
+        associative (search everything).
+        """
+        live = self.sm.live_warps()
+        if primary is None or self.config.swi_ways is None:
+            return live
+        ways = self.config.swi_ways
+        count = self.config.warp_count
+        window = {(primary.warp.wid + 1 + i) % count for i in range(ways)}
+        return [w for w in live if w.wid in window]
+
+    def _pick_secondary(
+        self, now: int, primary: Optional[IssueRecord]
+    ) -> Optional[Tuple[str, TimingWarp, int, Split, IBufEntry]]:
+        # SBI+SWI: prefer the same warp's CPC2 split.
+        if primary is not None and self.config.uses_sbi:
+            warp = primary.warp
+            hot = warp.model.hot_splits(now)
+            if len(hot) > 1:
+                split = hot[1]
+                entry = self._ready_entry(warp, 1, split, now)
+                if (
+                    entry is not None
+                    and not self._sync_blocked(warp, split, entry.instr, now)
+                    and not (entry.instr.is_branch and primary.diverged)
+                    and self._group_free(entry.instr, split, now, co_issue=True)
+                ):
+                    return ("sbi", warp, 1, split, entry)
+        # SWI: best-fit search over the candidate window.
+        if primary is not None:
+            self.sm.stats.swi_lookups += 1
+        best = None
+        best_key = None
+        for warp in self._candidate_warps(primary):
+            if primary is not None and warp is primary.warp:
+                continue
+            hot = warp.model.hot_splits(now)
+            if not hot:
+                continue
+            split = hot[0]
+            entry = self._ready_entry(warp, 0, split, now)
+            if entry is None:
+                continue
+            if not self._group_free(entry.instr, split, now, co_issue=primary is not None):
+                continue
+            key = (popcount(split.mask), -self._rand())
+            if best_key is None or key > best_key:
+                best_key = key
+                best = ("swi" if primary is not None else "primary", warp, 0, split, entry)
+        return best
+
+    # -- tick --------------------------------------------------------------
+
+    def tick(self, now: int) -> int:
+        issued = 0
+        primary_rec: Optional[IssueRecord] = None
+
+        # Issue stage: the primary picked last cycle issues now.
+        if self.pending is not None:
+            warp, split, entry = self.pending
+            if warp.done or split.mask == 0 or split.pc != entry.pc:
+                # The split died (merge/exit) or was redirected: void pick.
+                split.pending = False
+                self.pending = None
+            elif not warp.scoreboard.can_issue(
+                entry.instr, split.mask, warp.model.slot_of(split, now)
+            ):
+                return 0  # hazard materialised; hold in the issue stage
+            else:
+                record = self.sm.issue(warp, 0, split, entry, now, "primary", co_issue=False)
+                if record is None:
+                    return 0  # structural stall: group still busy
+                self.pending = None
+                primary_rec = record
+                issued += 1
+
+        # Primary pick for the next cycle and secondary pick for this one
+        # happen in decoupled schedulers "in parallel" — both observe the
+        # same post-primary-issue state and may select the same
+        # instruction; the conflict is detected a posteriori and the
+        # primary's copy is discarded (paper section 4).
+        nxt = self._pick_primary(now)
+        secondary = self._pick_secondary(now, primary_rec)
+        if secondary is not None and nxt is not None and secondary[4] is nxt[4]:
+            self.sm.stats.scheduler_conflicts += 1
+            nxt = None
+        if nxt is not None:
+            # Freeze the picked split before the secondary issues: a merge
+            # triggered by that issue must not absorb or grow it while its
+            # instruction sits in the scheduler pipeline stage.
+            nxt[3].pending = True
+
+        if secondary is not None:
+            origin, warp, slot, split, entry = secondary
+            record = self.sm.issue(
+                warp, slot, split, entry, now, origin, co_issue=primary_rec is not None
+            )
+            if record is not None:
+                issued += 1
+                if origin == "swi":
+                    self.sm.stats.swi_hits += 1
+
+        if nxt is not None:
+            _, warp, _, split, entry = nxt
+            self.pending = (warp, split, entry)
+        return issued
+
+
+def make_scheduler(config, sm: StreamingMultiprocessor) -> SchedulerBase:
+    if config.mode == "baseline":
+        return BaselineScheduler(sm)
+    if config.mode == "warp64":
+        return Warp64Scheduler(sm)
+    if config.mode == "sbi":
+        return SBIScheduler(sm)
+    if config.mode in ("swi", "sbi_swi"):
+        return CascadedScheduler(sm)
+    raise ValueError("unknown mode %r" % config.mode)

@@ -1,0 +1,27 @@
+"""Public simulation entry point."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.functional.memory import MemoryImage
+from repro.isa.builder import Kernel
+from repro.core.sm import SimulationError, StreamingMultiprocessor
+from repro.timing.config import SMConfig
+from repro.timing.stats import Stats
+
+
+def simulate(kernel: Kernel, memory: MemoryImage, config: Optional[SMConfig] = None) -> Stats:
+    """Run ``kernel`` on one SM and return its :class:`Stats`.
+
+    ``memory`` is mutated — read results back with
+    :meth:`MemoryImage.read_array`.  The functional outcome is
+    identical for every configuration; only the timing differs.
+    """
+    if config is None:
+        config = SMConfig()
+    sm = StreamingMultiprocessor(kernel, memory, config)
+    return sm.run()
+
+
+__all__ = ["simulate", "SimulationError"]

@@ -1,0 +1,354 @@
+"""The SM pipeline: ties front end, back end and memory together.
+
+One :class:`StreamingMultiprocessor` simulates a kernel launch on a
+single SM (the paper evaluates one SM with a 10 GB/s memory share).
+CTAs are dispatched onto warp slots as earlier CTAs retire; each cycle
+the mode-specific scheduler issues up to two instructions, the fetch
+engine refills up to two instruction buffers, and timed events
+(writebacks, DRAM fills, branch redirects, CCT insertions) release
+stalled resources.  Cycles where nothing can happen are skipped to the
+next event, which changes no architectural behaviour — only wall-clock
+simulation speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.functional.executor import Executor
+from repro.functional.memory import MemoryImage, SharedMemory
+from repro.isa.builder import Kernel
+from repro.isa.instructions import Instruction, Op, OpClass
+from repro.core.warp import TimingWarp
+from repro.timing.cache import L1Cache
+from repro.timing.config import SMConfig
+from repro.timing.dram import DRAMChannel
+from repro.timing.fetch import FetchEngine, IBufEntry
+from repro.timing.lsu import LoadStoreUnit
+from repro.timing.masks import bools_to_mask, mask_to_bools, popcount
+from repro.timing.scoreboard import build_transition
+from repro.timing.stats import Stats
+from repro.timing.units import Backend, ExecGroup
+from repro.timing.divergence import Split
+
+
+class SimulationError(Exception):
+    """Deadlock or cycle-limit overrun."""
+
+
+@dataclass
+class IssueRecord:
+    """What the scheduler learns from a completed issue."""
+
+    warp: TimingWarp
+    split: Split
+    instr: Instruction
+    lane_mask: int
+    group: ExecGroup
+    diverged: bool
+    active: int
+
+
+class StreamingMultiprocessor:
+    """Cycle-level model of one SM running one kernel launch."""
+
+    def __init__(self, kernel: Kernel, memory: MemoryImage, config: SMConfig) -> None:
+        from repro.core.schedulers import make_scheduler  # cycle-free import
+
+        self.kernel = kernel
+        self.memory = memory
+        self.config = config
+        self.stats = Stats()
+        self.executor = Executor(kernel, memory)
+        self.backend = Backend(config)
+        self.cache = L1Cache(config.l1_size, config.l1_ways, config.l1_block, config.l1_latency)
+        self.dram = DRAMChannel(config.dram_bandwidth, config.dram_latency)
+        self.lsu_logic = LoadStoreUnit(config, self.cache, self.dram, self.stats)
+        hot_capacity = 2 if config.uses_sbi else 1
+        self.fetch = FetchEngine(kernel.program, config.fetch_width, hot_capacity)
+        self.scheduler = make_scheduler(config, self)
+
+        self.warp_slots: List[Optional[TimingWarp]] = [None] * config.warp_count
+        self.cta_warps: Dict[int, List[TimingWarp]] = {}
+        self.next_cta = 0
+        self.pending_launches: List[Tuple[int, Tuple[int, ...]]] = []
+        self._wb_heap: List[Tuple[int, int, TimingWarp, object]] = []
+        self._seq = 0
+        self._live_cache: Optional[List[TimingWarp]] = None
+        #: Optional issue trace: when a list is attached, every issue
+        #: appends an IssueEvent (used by repro.analysis.pipeline_trace).
+        self.trace: Optional[list] = None
+
+        if kernel.cta_size > config.total_threads:
+            raise SimulationError(
+                "CTA of %d threads does not fit on the SM (%d threads)"
+                % (kernel.cta_size, config.total_threads)
+            )
+
+    # ------------------------------------------------------------------
+    # CTA dispatch
+    # ------------------------------------------------------------------
+
+    @property
+    def warps_per_cta(self) -> int:
+        width = self.config.warp_width
+        return (self.kernel.cta_size + width - 1) // width
+
+    def _free_slots(self) -> List[int]:
+        return [i for i, w in enumerate(self.warp_slots) if w is None]
+
+    def _launch_cta(self, slots: Tuple[int, ...], now: int) -> None:
+        cta = self.next_cta
+        self.next_cta += 1
+        shared = SharedMemory(max(self.kernel.shared_bytes, 4))
+        warps = []
+        width = self.config.warp_width
+        for i, slot in enumerate(slots):
+            tids = np.arange(i * width, (i + 1) * width, dtype=np.int64)
+            warp = TimingWarp(slot, cta, self.config, self.kernel, tids, shared)
+            self.warp_slots[slot] = warp
+            warps.append(warp)
+        self.cta_warps[cta] = warps
+        self.stats.ctas_launched += 1
+        self._live_cache = None
+
+    def _initial_launch(self) -> None:
+        while self.next_cta < self.kernel.grid_size:
+            free = self._free_slots()
+            if len(free) < self.warps_per_cta:
+                break
+            self._launch_cta(tuple(free[: self.warps_per_cta]), 0)
+
+    def _launch_pending(self, now: int) -> None:
+        while self.pending_launches and self.pending_launches[0][0] <= now:
+            _, slots = heapq.heappop(self.pending_launches)
+            if self.next_cta < self.kernel.grid_size:
+                self._launch_cta(slots, now)
+
+    def _retire_warp(self, warp: TimingWarp, now: int) -> None:
+        warp.done = True
+        self.stats.warps_retired += 1
+        self.stats.merges += warp.model.merge_count
+        self.fetch.flush_warp(warp.wid)
+        cta_warps = self.cta_warps[warp.cta_id]
+        if all(w.done for w in cta_warps):
+            slots = tuple(w.wid for w in cta_warps)
+            for slot in slots:
+                self.warp_slots[slot] = None
+            del self.cta_warps[warp.cta_id]
+            if self.next_cta < self.kernel.grid_size:
+                heapq.heappush(
+                    self.pending_launches,
+                    (now + self.config.cta_launch_latency, slots),
+                )
+        self._live_cache = None
+
+    def live_warps(self) -> List[TimingWarp]:
+        if self._live_cache is None:
+            self._live_cache = [
+                w for w in self.warp_slots if w is not None and not w.done
+            ]
+        return self._live_cache
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+
+    def issue(
+        self,
+        warp: TimingWarp,
+        slot: int,
+        split: Split,
+        entry: IBufEntry,
+        now: int,
+        origin: str,
+        co_issue: bool,
+    ) -> Optional[IssueRecord]:
+        """Execute + retire bookkeeping for one instruction.
+
+        Returns None when no execution group can accept the instruction
+        this cycle (the caller treats it as a lost arbitration).
+        """
+        instr = entry.instr
+        config = self.config
+        group = self.backend.pick_group(instr.op_class, now, split.lane_mask, co_issue)
+        if group is None:
+            return None
+        # Freeze the split while its instruction is in flight through the
+        # issue path: structural queries below may pop CCT entries, and a
+        # merge changing this mask mid-issue would corrupt both the lane
+        # reservation and the set of threads executing the instruction.
+        split.pending = True
+        model = warp.model
+        scoreboard = warp.scoreboard
+        matrix = scoreboard.kind == "matrix"
+        old_masks = model.slot_masks(now) if matrix else None
+        slot_ctx = model.slot_of(split, now)
+
+        mask_bools = mask_to_bools(split.mask, config.warp_width)
+        outcome = self.executor.execute(instr, warp.fwarp, mask_bools)
+        active_mask = bools_to_mask(outcome.active)
+        self.stats.record_issue(instr.op_class.value, popcount(active_mask), origin)
+        if self.trace is not None:
+            self.trace.append(
+                (now, warp.wid, entry.pc, origin, split.mask, group.name)
+            )
+
+        # Timing: occupancy and writeback.
+        if instr.op_class is OpClass.LSU:
+            occupancy, wb = self.lsu_logic.access(instr, outcome, now)
+            group.accept(now, split.lane_mask)
+            group.hold(now + occupancy)
+            wb += config.delivery_latency
+        else:
+            waves = group.accept(now, split.lane_mask)
+            wb = now + config.issue_to_writeback + (waves - 1)
+        if instr.dst is not None:
+            sb_entry = scoreboard.add(instr, split.mask, slot_ctx)
+            heapq.heappush(self._wb_heap, (wb, self._seq, warp, sb_entry))
+            self._seq += 1
+
+        self.fetch.consume(warp.wid, entry)
+        warp.last_issue_cycle = now
+        split.pending = False
+
+        # Architectural control effects.
+        diverged = False
+        op = instr.op
+        if op is Op.BRA:
+            self.stats.branches += 1
+            taken = bools_to_mask(np.asarray(outcome.taken) & outcome.active)
+            split.redirect_ready_at = now + config.branch_latency
+            diverged = model.branch(split, taken, instr.target, instr.reconv_pc, now)
+            if diverged:
+                self.stats.divergent_branches += 1
+                n_splits = sum(1 for _ in model.all_splits())
+                self.stats.max_live_splits = max(self.stats.max_live_splits, n_splits)
+        elif op is Op.EXIT:
+            model.exit_threads(split, active_mask, now)
+            if split.mask:
+                model.advance(split, now)
+            if model.done:
+                self._retire_warp(warp, now)
+            self._check_barrier(warp.cta_id, now)
+        elif op is Op.BAR:
+            model.park(split, now)
+            self._check_barrier(warp.cta_id, now)
+        else:
+            model.advance(split, now)
+
+        if matrix:
+            new_masks = model.slot_masks(now)
+            if new_masks != old_masks:
+                scoreboard.on_transition(build_transition(old_masks, new_masks))
+        return IssueRecord(warp, split, instr, split.lane_mask, group, diverged, popcount(active_mask))
+
+    # ------------------------------------------------------------------
+    # Barriers
+    # ------------------------------------------------------------------
+
+    def _check_barrier(self, cta_id: int, now: int) -> None:
+        warps = self.cta_warps.get(cta_id)
+        if not warps:
+            return
+        live = parked = 0
+        for warp in warps:
+            if warp.done:
+                continue
+            for s in warp.model.all_splits():
+                threads = popcount(s.mask)
+                live += threads
+                if s.parked:
+                    parked += threads
+        if live == 0 or parked < live:
+            return
+        for warp in warps:
+            if warp.done:
+                continue
+            matrix = warp.scoreboard.kind == "matrix"
+            old = warp.model.slot_masks(now) if matrix else None
+            warp.model.unpark_all(now)
+            if matrix:
+                new = warp.model.slot_masks(now)
+                if new != old:
+                    warp.scoreboard.on_transition(build_transition(old, new))
+
+    # ------------------------------------------------------------------
+    # Timed events
+    # ------------------------------------------------------------------
+
+    def _process_writebacks(self, now: int) -> None:
+        heap = self._wb_heap
+        while heap and heap[0][0] <= now:
+            _, _, warp, sb_entry = heapq.heappop(heap)
+            warp.scoreboard.release(sb_entry)
+
+    def _next_event(self, now: int) -> int:
+        candidates: List[int] = []
+        if self._wb_heap:
+            candidates.append(self._wb_heap[0][0])
+        nxt = self.backend.next_free_cycle(now)
+        if nxt is not None:
+            candidates.append(nxt)
+        nxt = self.fetch.next_ready_after(now)
+        if nxt is not None:
+            candidates.append(nxt)
+        candidates.extend(cycle for cycle, _ in self.pending_launches)
+        for warp in self.live_warps():
+            for s in warp.model.all_splits():
+                if s.redirect_ready_at > now:
+                    candidates.append(s.redirect_ready_at)
+                if s.ready_at > now:
+                    candidates.append(s.ready_at)
+        candidates = [c for c in candidates if c > now]
+        if not candidates:
+            raise SimulationError(self._deadlock_report(now))
+        return min(candidates)
+
+    def _deadlock_report(self, now: int) -> str:
+        lines = ["deadlock at cycle %d in kernel %s" % (now, self.kernel.name)]
+        for warp in self.live_warps():
+            splits = ", ".join(repr(s) for s in warp.model.all_splits())
+            lines.append(
+                "  warp %d (cta %d): %s; scoreboard=%d"
+                % (warp.wid, warp.cta_id, splits, len(warp.scoreboard))
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def _finished(self) -> bool:
+        return (
+            not self.live_warps()
+            and not self.pending_launches
+            and self.next_cta >= self.kernel.grid_size
+        )
+
+    def run(self) -> Stats:
+        self._initial_launch()
+        now = 0
+        max_cycles = self.config.max_cycles
+        while now < max_cycles:
+            self._launch_pending(now)
+            self._process_writebacks(now)
+            issued = self.scheduler.tick(now)
+            fetched = self.fetch.tick(now, self.live_warps())
+            if issued:
+                self.stats.busy_cycles += 1
+            if self._finished():
+                self.stats.cycles = now + 1
+                return self.stats
+            if issued or fetched:
+                now += 1
+            else:
+                now = self._next_event(now)
+        raise SimulationError(
+            "kernel %s exceeded %d cycles (IPC so far %.2f)"
+            % (self.kernel.name, max_cycles, self.stats.thread_instructions / max(now, 1))
+        )

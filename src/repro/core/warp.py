@@ -1,0 +1,83 @@
+"""Timing-side warp container binding functional and timing state."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.functional.executor import FunctionalWarp
+from repro.functional.memory import SharedMemory
+from repro.timing import lanes
+from repro.timing.divergence import DivergenceModel
+from repro.timing.frontier import FrontierModel
+from repro.timing.hct import SBIModel
+from repro.timing.masks import bools_to_mask
+from repro.timing.scoreboard import ScoreboardBase, make_scoreboard
+from repro.timing.stack import StackModel
+
+
+def make_divergence_model(config, launch_mask: int, perm: Sequence[int]) -> DivergenceModel:
+    if config.mode == "baseline":
+        return StackModel(launch_mask, perm)
+    if config.uses_sbi:
+        return SBIModel(
+            launch_mask,
+            perm,
+            cct_capacity=config.cct_capacity,
+            insert_delay=config.cct_insert_delay,
+        )
+    return FrontierModel(launch_mask, perm)
+
+
+class TimingWarp:
+    """One resident warp: divergence model, scoreboard, register file."""
+
+    def __init__(
+        self,
+        wid: int,
+        cta_id: int,
+        config,
+        kernel,
+        tids_in_cta: np.ndarray,
+        shared: SharedMemory,
+    ) -> None:
+        self.wid = wid
+        self.cta_id = cta_id
+        self.config = config
+        width = config.warp_width
+        self.lane_perm = lanes.permutation(
+            config.lane_shuffle, wid, width, config.warp_count
+        )
+        tids_in_cta = np.asarray(tids_in_cta, dtype=np.int64)
+        launch_bools = tids_in_cta < kernel.cta_size
+        self.fwarp = FunctionalWarp(
+            warp_id=wid,
+            width=width,
+            nregs=kernel.nregs,
+            # Clamp out-of-range tids (partial warps); those threads are
+            # masked out of the launch mask and never execute.
+            tids_in_cta=np.minimum(tids_in_cta, kernel.cta_size - 1),
+            cta_index=cta_id,
+            shared=shared,
+        )
+        self.fwarp.launch_mask = launch_bools
+        self.launch_mask = bools_to_mask(launch_bools)
+        self.model = make_divergence_model(config, self.launch_mask, self.lane_perm)
+        self.scoreboard: ScoreboardBase = make_scoreboard(
+            config.scoreboard_kind, config.scoreboard_entries
+        )
+        self.last_issue_cycle = -1
+        self.done = False
+
+    def retire_check(self) -> bool:
+        if not self.done and self.model.done:
+            self.done = True
+        return self.done
+
+    def __repr__(self) -> str:
+        return "TimingWarp(wid=%d, cta=%d%s)" % (
+            self.wid,
+            self.cta_id,
+            ", done" if self.done else "",
+        )

@@ -1,0 +1,151 @@
+"""Reference interpreter: kernel execution without a timing model.
+
+Executes a kernel launch to completion using thread-frontier (min-PC)
+scheduling of warp-splits, one CTA at a time.  This is the executable
+semantics of the ISA: every timing configuration (baseline stack, SBI,
+SWI...) must leave global memory in exactly the state this interpreter
+produces.  It is also used by workloads to compute dynamic instruction
+counts independent of the micro-architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.functional.executor import Executor, FunctionalWarp
+from repro.functional.memory import MemoryImage, SharedMemory
+from repro.isa.builder import Kernel
+from repro.isa.instructions import Op
+
+
+class InterpreterError(Exception):
+    """Kernel did not terminate or broke an execution invariant."""
+
+
+@dataclass
+class InterpResult:
+    """Dynamic execution summary of one launch."""
+
+    instructions: int = 0
+    thread_instructions: int = 0
+    per_op_class: Dict[str, int] = field(default_factory=dict)
+    branches: int = 0
+    divergent_branches: int = 0
+
+    def record(self, instr, active_count: int) -> None:
+        self.instructions += 1
+        self.thread_instructions += active_count
+        key = instr.op_class.value
+        self.per_op_class[key] = self.per_op_class.get(key, 0) + active_count
+
+
+class _Split:
+    __slots__ = ("warp", "pc", "mask", "parked")
+
+    def __init__(self, warp: FunctionalWarp, pc: int, mask: np.ndarray) -> None:
+        self.warp = warp
+        self.pc = pc
+        self.mask = mask
+        self.parked = False
+
+
+def _make_warps(kernel: Kernel, cta: int, warp_width: int, shared: SharedMemory):
+    warps = []
+    n_warps = (kernel.cta_size + warp_width - 1) // warp_width
+    for w in range(n_warps):
+        lo = w * warp_width
+        tids = np.arange(lo, lo + warp_width, dtype=np.int64)
+        warp = FunctionalWarp(
+            warp_id=cta * n_warps + w,
+            width=warp_width,
+            nregs=kernel.nregs,
+            tids_in_cta=np.minimum(tids, kernel.cta_size - 1),
+            cta_index=cta,
+            shared=shared,
+        )
+        launch = tids < kernel.cta_size
+        warp.launch_mask = launch
+        warps.append(warp)
+    return warps
+
+
+def run_kernel(
+    kernel: Kernel,
+    memory: MemoryImage,
+    warp_width: int = 32,
+    max_steps: int = 20_000_000,
+) -> InterpResult:
+    """Run all CTAs of ``kernel`` to completion; mutates ``memory``."""
+    executor = Executor(kernel, memory)
+    result = InterpResult()
+    for cta in range(kernel.grid_size):
+        shared = SharedMemory(max(kernel.shared_bytes, 4))
+        warps = _make_warps(kernel, cta, warp_width, shared)
+        splits: List[_Split] = [
+            _Split(w, 0, w.launch_mask.copy()) for w in warps if w.launch_mask.any()
+        ]
+        _run_cta(kernel, executor, splits, result, max_steps)
+    return result
+
+
+def _merge(splits: List[_Split], split: _Split) -> None:
+    """Merge ``split`` into an existing same-warp same-PC runnable split."""
+    for other in splits:
+        if other is split or other.parked:
+            continue
+        if other.warp is split.warp and other.pc == split.pc:
+            other.mask = other.mask | split.mask
+            splits.remove(split)
+            return
+
+
+def _run_cta(kernel, executor, splits, result, max_steps) -> None:
+    program = kernel.program
+    steps = 0
+    while splits:
+        steps += 1
+        if steps > max_steps:
+            raise InterpreterError(
+                "kernel %s exceeded %d steps (infinite loop?)" % (kernel.name, max_steps)
+            )
+        runnable = [s for s in splits if not s.parked]
+        if not runnable:
+            # All live threads parked at the barrier: release everyone.
+            for s in splits:
+                s.parked = False
+                s.pc += 1
+                _merge(splits, s)
+            continue
+        split = min(runnable, key=lambda s: s.pc)
+        instr = program[split.pc]
+        outcome = executor.execute(instr, split.warp, split.mask)
+        result.record(instr, int(outcome.active.sum()))
+        op = instr.op
+        if op is Op.BRA:
+            result.branches += 1
+            taken = outcome.taken & split.mask
+            fallthrough = split.mask & ~taken
+            if taken.any() and fallthrough.any():
+                result.divergent_branches += 1
+                split.mask = taken
+                split.pc = instr.target
+                sibling = _Split(split.warp, instr.pc + 1, fallthrough)
+                splits.append(sibling)
+                _merge(splits, sibling)
+                _merge(splits, split)
+            elif taken.any():
+                split.pc = instr.target
+                _merge(splits, split)
+            else:
+                split.pc += 1
+                _merge(splits, split)
+        elif op is Op.EXIT:
+            splits.remove(split)
+        elif op is Op.BAR:
+            split.parked = True
+        else:
+            split.pc += 1
+            _merge(splits, split)

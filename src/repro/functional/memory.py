@@ -1,0 +1,132 @@
+"""Memory images for the functional simulator.
+
+Memory is word-addressable at 4-byte granularity (the data width of
+every load/store in the ISA), with byte addresses at the interface to
+match the coalescing rules of the timing model (128-byte transaction
+blocks).  Word values are stored as ``float64`` — exact for the 32-bit
+integer and float ranges the workloads use, and uniform with the
+register file representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bytes per memory word (all loads/stores are one word).
+WORD_BYTES = 4
+
+
+class MemoryAccessError(Exception):
+    """Out-of-range or misaligned access."""
+
+
+class MemoryImage:
+    """Flat global memory with a bump allocator.
+
+    The first 128 bytes are reserved so that address 0 stays invalid —
+    it catches uninitialised-pointer bugs in kernels.
+    """
+
+    def __init__(self, size_bytes: int = 1 << 22) -> None:
+        if size_bytes % WORD_BYTES:
+            raise ValueError("size must be a multiple of %d" % WORD_BYTES)
+        self.size_bytes = size_bytes
+        self.words = np.zeros(size_bytes // WORD_BYTES, dtype=np.float64)
+        self._next_free = 128
+
+    # ------------------------------------------------------------------
+    # Allocation and host-side array access
+    # ------------------------------------------------------------------
+
+    def alloc(self, nbytes: int, align: int = 128) -> int:
+        """Reserve ``nbytes`` and return the base byte address."""
+        base = (self._next_free + align - 1) // align * align
+        if base + nbytes > self.size_bytes:
+            raise MemoryAccessError(
+                "out of memory: need %d bytes at %d, have %d"
+                % (nbytes, base, self.size_bytes)
+            )
+        self._next_free = base + nbytes
+        return base
+
+    def alloc_array(self, values: np.ndarray, align: int = 128) -> int:
+        """Allocate and initialise from a 1-D numpy array (one word each)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        base = self.alloc(len(values) * WORD_BYTES, align)
+        self.write_array(base, values)
+        return base
+
+    def write_array(self, addr: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        start = self._word_index(addr)
+        self.words[start : start + len(values)] = values
+
+    def read_array(self, addr: int, count: int) -> np.ndarray:
+        start = self._word_index(addr)
+        return self.words[start : start + count].copy()
+
+    # ------------------------------------------------------------------
+    # Device-side vector access
+    # ------------------------------------------------------------------
+
+    def _word_index(self, addr: int) -> int:
+        if addr % WORD_BYTES:
+            raise MemoryAccessError("misaligned address %d" % addr)
+        if not 0 <= addr < self.size_bytes:
+            raise MemoryAccessError("address %d out of range" % addr)
+        return addr // WORD_BYTES
+
+    def _word_indices(self, addrs: np.ndarray) -> np.ndarray:
+        if addrs.size == 0:
+            return addrs.astype(np.int64)
+        if np.any(addrs % WORD_BYTES):
+            raise MemoryAccessError("misaligned vector access")
+        if np.any(addrs < 0) or np.any(addrs >= self.size_bytes):
+            raise MemoryAccessError(
+                "vector access out of range (min=%d max=%d size=%d)"
+                % (addrs.min(initial=0), addrs.max(initial=0), self.size_bytes)
+            )
+        return (addrs // WORD_BYTES).astype(np.int64)
+
+    def load(self, addrs: np.ndarray) -> np.ndarray:
+        """Gather one word per byte address."""
+        return self.words[self._word_indices(addrs)]
+
+    def store(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        """Scatter one word per byte address (last writer wins on
+        duplicate addresses, like hardware with an undefined order)."""
+        self.words[self._word_indices(addrs)] = values
+
+    def atomic(self, addrs: np.ndarray, values: np.ndarray, op: str) -> np.ndarray:
+        """Serialised read-modify-write; returns the old values.
+
+        Duplicate addresses are applied in thread order, which is a
+        legal serialisation of the atomic semantics.
+        """
+        idx = self._word_indices(addrs)
+        old = np.empty(len(idx), dtype=np.float64)
+        words = self.words
+        for k, i in enumerate(idx):
+            old[k] = words[i]
+            if op == "add":
+                words[i] += values[k]
+            elif op == "min":
+                words[i] = min(words[i], values[k])
+            elif op == "max":
+                words[i] = max(words[i], values[k])
+            else:
+                raise ValueError("unknown atomic op %r" % op)
+        return old
+
+
+class SharedMemory(MemoryImage):
+    """Per-CTA scratchpad; same interface, separate address space.
+
+    Shared addresses start at 0 (no reserved page — kernels index it
+    directly from 0 as CUDA shared memory does).
+    """
+
+    def __init__(self, size_bytes: int) -> None:
+        size_bytes = max(WORD_BYTES, (size_bytes + WORD_BYTES - 1) // WORD_BYTES * WORD_BYTES)
+        super().__init__(size_bytes)
+        self._next_free = 0

@@ -1,0 +1,26 @@
+"""Hardware cost models for the paper's Table 3 (storage) and Table 4
+(area).
+
+The storage model derives every component's geometry (banks x entries x
+bits) from the Fermi-sized configurations the paper synthesised
+(48 x 32-wide warps baseline, 24 x 64-wide for SBI/SWI — note the
+paper's *timing* simulations use the smaller Table 2 machine; we follow
+the paper and keep both, each where it is used).
+
+The area model combines those geometries with per-structure-class area
+coefficients calibrated against the paper's published RTL results, so
+that the derived table reproduces Table 4 and scales plausibly for
+other configurations.
+"""
+
+from repro.hwcost.storage import ComponentStorage, storage_table, STORAGE_PAPER
+from repro.hwcost.area import area_table, AREA_PAPER, SM_AREA_UM2
+
+__all__ = [
+    "AREA_PAPER",
+    "ComponentStorage",
+    "SM_AREA_UM2",
+    "STORAGE_PAPER",
+    "area_table",
+    "storage_table",
+]

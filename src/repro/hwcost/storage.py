@@ -1,0 +1,161 @@
+"""Per-component storage requirements (paper Table 3).
+
+Geometries are derived from first principles for the Fermi-sized
+machine used in the paper's RTL evaluation:
+
+* baseline: 48 warps x 32 threads, two scheduling pools of 24;
+* SBI / SWI / SBI+SWI: 24 warps x 64 threads.
+
+Component derivations (bits):
+
+* **Scoreboard** entry = 8-bit destination register id; 6 entries per
+  warp.  SBI widens each entry by 16 bits of divergence-tracking state
+  (the dependency row/matrix of section 3.4), giving 24-bit entries.
+  SBI+SWI banks the structure per scheduler (x2).
+* **Warp pool / HCT** context = PC (32) + activity mask (warp width).
+  SBI holds two contexts per warp plus a 7-bit CCT head pointer
+  (24 x 201); SWI holds one (24 x 104).
+* **Stack / CCT**: the baseline reconvergence stack has 3 blocks of 4
+  entries of 64 bits per warp (48 x 3 = 144 blocks of 256 bits); the
+  CCT replaces it with 128 shared entries of CPC (32) + mask (64) +
+  valid (1) + next pointer (7) = 104 bits.
+* **Instruction buffer** entry = 64-bit decoded instruction; one per
+  warp-split slot (48 slots baseline and SBI, 24 for SWI), dual-ported
+  where the cascaded scheduler needs a second read port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: RTL-sized machine (Fermi): matches the paper's Table 3/4 sizing.
+RTL_BASELINE_WARPS = 48
+RTL_WIDE_WARPS = 24
+RTL_WARP_WIDTH_BASE = 32
+RTL_WARP_WIDTH_WIDE = 64
+SCOREBOARD_ENTRIES = 6
+REGID_BITS = 8
+SBI_TRACK_BITS = 16  # divergence-tracking state per matrix-scoreboard entry
+PC_BITS = 32
+CCT_ENTRIES = 128
+CCT_PTR_BITS = 7  # log2(128)
+IBUF_ENTRY_BITS = 64
+STACK_BLOCKS_PER_WARP = 3
+STACK_BLOCK_ENTRIES = 4
+STACK_ENTRY_BITS = 64
+
+CONFIGS = ("baseline", "sbi", "swi", "sbi_swi")
+
+
+@dataclass(frozen=True)
+class ComponentStorage:
+    """banks x rows x bits, with port count for area modelling."""
+
+    component: str
+    banks: int
+    rows: int
+    bits: int
+    ports: int = 1
+
+    @property
+    def total_bits(self) -> int:
+        return self.banks * self.rows * self.bits
+
+    def geometry(self) -> str:
+        prefix = "%dx " % self.banks if self.banks > 1 else ""
+        suffix = ", dual-ported" if self.ports > 1 else ""
+        return "%s%dx %d-bit%s" % (prefix, self.rows, self.bits, suffix)
+
+
+def scoreboard(config: str) -> ComponentStorage:
+    base_bits = SCOREBOARD_ENTRIES * REGID_BITS
+    sbi_bits = SCOREBOARD_ENTRIES * (REGID_BITS + SBI_TRACK_BITS)
+    if config == "baseline":
+        return ComponentStorage("Scoreboard", 2, RTL_WIDE_WARPS, base_bits)
+    if config == "sbi":
+        return ComponentStorage("Scoreboard", 1, RTL_WIDE_WARPS, sbi_bits)
+    if config == "swi":
+        return ComponentStorage("Scoreboard", 2, RTL_WIDE_WARPS, base_bits)
+    return ComponentStorage("Scoreboard", 1, RTL_WIDE_WARPS, 2 * sbi_bits)
+
+
+def warp_pool(config: str) -> ComponentStorage:
+    context_wide = PC_BITS + RTL_WARP_WIDTH_WIDE + 1  # CPC + mask + valid
+    if config == "baseline":
+        bits = PC_BITS + RTL_WARP_WIDTH_BASE  # PC + mask per warp
+        return ComponentStorage("Warp pool/HCT", 2, RTL_WIDE_WARPS, bits)
+    if config == "swi":
+        return ComponentStorage("Warp pool/HCT", 1, RTL_WIDE_WARPS, context_wide + CCT_PTR_BITS)
+    bits = 2 * context_wide + CCT_PTR_BITS  # two hot contexts (HCT)
+    ports = 2 if config == "sbi_swi" else 1
+    return ComponentStorage("Warp pool/HCT", 1, RTL_WIDE_WARPS, bits, ports)
+
+
+def stack_or_cct(config: str) -> ComponentStorage:
+    if config == "baseline":
+        blocks = RTL_BASELINE_WARPS * STACK_BLOCKS_PER_WARP
+        return ComponentStorage(
+            "Stack/CCT", 1, blocks, STACK_BLOCK_ENTRIES * STACK_ENTRY_BITS
+        )
+    bits = PC_BITS + RTL_WARP_WIDTH_WIDE + 1 + CCT_PTR_BITS
+    return ComponentStorage("Stack/CCT", 1, CCT_ENTRIES, bits)
+
+
+def insn_buffer(config: str) -> ComponentStorage:
+    if config == "baseline":
+        return ComponentStorage("Insn. buffer", 1, 2 * RTL_WIDE_WARPS, IBUF_ENTRY_BITS)
+    if config == "sbi":
+        return ComponentStorage("Insn. buffer", 1, 2 * RTL_WIDE_WARPS, IBUF_ENTRY_BITS)
+    if config == "swi":
+        return ComponentStorage("Insn. buffer", 1, RTL_WIDE_WARPS, IBUF_ENTRY_BITS, ports=2)
+    return ComponentStorage("Insn. buffer", 1, 2 * RTL_WIDE_WARPS, IBUF_ENTRY_BITS, ports=2)
+
+
+def components(config: str) -> List[ComponentStorage]:
+    if config not in CONFIGS:
+        raise ValueError("config must be one of %s" % (CONFIGS,))
+    return [
+        scoreboard(config),
+        warp_pool(config),
+        stack_or_cct(config),
+        insn_buffer(config),
+    ]
+
+
+def storage_table() -> Dict[str, Dict[str, ComponentStorage]]:
+    """{component: {config: storage}} for all four configurations."""
+    table: Dict[str, Dict[str, ComponentStorage]] = {}
+    for config in CONFIGS:
+        for comp in components(config):
+            table.setdefault(comp.component, {})[config] = comp
+    return table
+
+
+#: The paper's Table 3, as geometry strings, for verification.
+STORAGE_PAPER: Dict[str, Dict[str, str]] = {
+    "Scoreboard": {
+        "baseline": "2x 24x 48-bit",
+        "sbi": "24x 144-bit",
+        "swi": "2x 24x 48-bit",
+        "sbi_swi": "24x 288-bit",
+    },
+    "Warp pool/HCT": {
+        "baseline": "2x 24x 64-bit",
+        "sbi": "24x 201-bit",
+        "swi": "24x 104-bit",
+        "sbi_swi": "24x 201-bit, banked",
+    },
+    "Stack/CCT": {
+        "baseline": "144x 256-bit",
+        "sbi": "128x 104-bit",
+        "swi": "128x 104-bit",
+        "sbi_swi": "128x 104-bit",
+    },
+    "Insn. buffer": {
+        "baseline": "48x 64-bit",
+        "sbi": "48x 64-bit",
+        "swi": "24x 64-bit, dual-ported",
+        "sbi_swi": "48x 64-bit, dual-ported",
+    },
+}

@@ -1,0 +1,39 @@
+"""SIMT instruction set, assembler, kernel builder and CFG analyses.
+
+This package is the compiler-side substrate of the reproduction: it
+plays the role that nvcc + the Tesla ISA play in the paper.  Kernels are
+written against :class:`repro.isa.builder.KernelBuilder`, assembled into
+a :class:`repro.isa.program.Program`, and post-processed by
+:mod:`repro.isa.layout` which validates thread-frontier code layout and
+inserts the selective-synchronization markers used by SBI reconvergence
+constraints (paper section 3.3).
+"""
+
+from repro.isa.instructions import (
+    CmpOp,
+    Instruction,
+    MemSpace,
+    Op,
+    OpClass,
+    Operand,
+    imm,
+    reg,
+    special,
+)
+from repro.isa.program import Program
+from repro.isa.builder import KernelBuilder, Kernel
+
+__all__ = [
+    "CmpOp",
+    "Instruction",
+    "Kernel",
+    "KernelBuilder",
+    "MemSpace",
+    "Op",
+    "OpClass",
+    "Operand",
+    "Program",
+    "imm",
+    "reg",
+    "special",
+]

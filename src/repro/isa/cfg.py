@@ -1,0 +1,238 @@
+"""Control-flow graph construction and dominance analyses.
+
+Used by two compiler passes of the reproduction:
+
+* the baseline stack model needs, for every divergent branch, its
+  *reconvergence point* = immediate post-dominator of the branch
+  (Fermi/Tesla behaviour, paper section 2);
+* SBI's selective synchronization barriers need, for every
+  reconvergence point, the *divergence point* ``PCdiv`` = last
+  instruction of the immediate dominator of the join block (paper
+  section 3.3).
+
+The analyses work on arbitrary (unstructured) CFGs; the iterative
+dominator algorithm is Cooper–Harvey–Kennedy on a reverse-postorder
+numbering, run on the reverse graph for post-dominators with a virtual
+exit node collecting ``exit`` instructions and the fall-off end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Op
+from repro.isa.program import Program
+
+#: Virtual exit node id used for post-dominator computation.
+VIRTUAL_EXIT = -1
+
+
+@dataclass
+class BasicBlock:
+    """Half-open instruction range ``[start, end)`` with CFG edges."""
+
+    index: int
+    start: int
+    end: int
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    @property
+    def last_pc(self) -> int:
+        return self.end - 1
+
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+    def __repr__(self) -> str:
+        return "BB%d[%d:%d]->%s" % (self.index, self.start, self.end, self.successors)
+
+
+class ControlFlowGraph:
+    """CFG over a :class:`Program`, with dominator/post-dominator trees."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.blocks: List[BasicBlock] = []
+        self.block_of_pc: List[int] = []
+        self._build_blocks()
+        self._build_edges()
+        self.idom = self._dominators(reverse=False)
+        self.ipdom = self._dominators(reverse=True)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _leader_pcs(self) -> List[int]:
+        instrs = self.program.instructions
+        leaders = {0}
+        for pc, instr in enumerate(instrs):
+            if instr.op is Op.BRA:
+                leaders.add(instr.target)
+                if pc + 1 < len(instrs):
+                    leaders.add(pc + 1)
+            elif instr.op is Op.EXIT and pc + 1 < len(instrs):
+                leaders.add(pc + 1)
+        return sorted(leaders)
+
+    def _build_blocks(self) -> None:
+        leaders = self._leader_pcs()
+        n = len(self.program)
+        bounds = leaders + [n]
+        for i in range(len(leaders)):
+            self.blocks.append(BasicBlock(i, bounds[i], bounds[i + 1]))
+        self.block_of_pc = [0] * n
+        for block in self.blocks:
+            for pc in block.pcs():
+                self.block_of_pc[pc] = block.index
+
+    def _build_edges(self) -> None:
+        n = len(self.program)
+        for block in self.blocks:
+            last = self.program[block.last_pc]
+            succs: List[int] = []
+            if last.op is Op.BRA:
+                succs.append(self.block_of_pc[last.target])
+                if last.is_conditional and block.end < n:
+                    succs.append(self.block_of_pc[block.end])
+            elif last.op is Op.EXIT:
+                pass
+            elif block.end < n:
+                succs.append(self.block_of_pc[block.end])
+            seen = set()
+            for s in succs:
+                if s not in seen:
+                    seen.add(s)
+                    block.successors.append(s)
+                    self.blocks[s].predecessors.append(block.index)
+
+    # ------------------------------------------------------------------
+    # Dominators (Cooper-Harvey-Kennedy)
+    # ------------------------------------------------------------------
+
+    def _graph(self, reverse: bool) -> Tuple[int, Dict[int, List[int]]]:
+        """Adjacency (entry, succ-map) incl. :data:`VIRTUAL_EXIT` if reverse."""
+        if not reverse:
+            return 0, {b.index: list(b.successors) for b in self.blocks}
+        succ: Dict[int, List[int]] = {b.index: list(b.predecessors) for b in self.blocks}
+        succ[VIRTUAL_EXIT] = [
+            b.index
+            for b in self.blocks
+            if not b.successors  # exit blocks and fall-off ends
+        ]
+        return VIRTUAL_EXIT, succ
+
+    def _dominators(self, reverse: bool) -> Dict[int, Optional[int]]:
+        entry, succ = self._graph(reverse)
+        order: List[int] = []
+        visited = set()
+
+        def dfs(node: int) -> None:
+            stack = [(node, iter(succ.get(node, ())))]
+            visited.add(node)
+            while stack:
+                current, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in visited:
+                        visited.add(nxt)
+                        stack.append((nxt, iter(succ.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        dfs(entry)
+        rpo = list(reversed(order))
+        rpo_index = {node: i for i, node in enumerate(rpo)}
+        idom: Dict[int, Optional[int]] = {node: None for node in rpo}
+        idom[entry] = entry
+        preds: Dict[int, List[int]] = {node: [] for node in rpo}
+        for node in rpo:
+            for s in succ.get(node, ()):
+                if s in preds:
+                    preds[s].append(node)
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while rpo_index[a] > rpo_index[b]:
+                    a = idom[a]
+                while rpo_index[b] > rpo_index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in rpo:
+                if node == entry:
+                    continue
+                candidates = [p for p in preds[node] if idom[p] is not None]
+                if not candidates:
+                    continue
+                new = candidates[0]
+                for p in candidates[1:]:
+                    new = intersect(new, p)
+                if idom[node] != new:
+                    idom[node] = new
+                    changed = True
+        idom[entry] = None
+        return idom
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def reconvergence_pc(self, branch_pc: int) -> Optional[int]:
+        """PC of the immediate post-dominator block of a branch.
+
+        This is the reconvergence point the baseline stack pushes.
+        ``None`` when the branch only post-dominated by the virtual
+        exit (paths never rejoin before exiting).
+        """
+        block = self.blocks[self.block_of_pc[branch_pc]]
+        ip = self.ipdom.get(block.index)
+        if ip is None or ip == VIRTUAL_EXIT:
+            return None
+        return self.blocks[ip].start
+
+    def join_blocks(self) -> List[int]:
+        """Blocks that are reconvergence points of some divergent branch."""
+        joins = set()
+        for block in self.blocks:
+            last = self.program[block.last_pc]
+            if last.op is Op.BRA and last.is_conditional:
+                rec = self.reconvergence_pc(block.last_pc)
+                if rec is not None:
+                    joins.add(self.block_of_pc[rec])
+        return sorted(joins)
+
+    def divergence_pc_for_join(self, join_block: int) -> Optional[int]:
+        """``PCdiv`` for a join block: last instruction of its immediate
+        dominator (paper's conservative choice for unstructured flow)."""
+        dom = self.idom.get(join_block)
+        if dom is None or dom == VIRTUAL_EXIT:
+            return None
+        return self.blocks[dom].last_pc
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Whether block ``a`` dominates block ``b``."""
+        node: Optional[int] = b
+        while node is not None:
+            if node == a:
+                return True
+            parent = self.idom.get(node)
+            node = parent if parent != node else None
+        return False
+
+    def back_edges(self) -> List[Tuple[int, int]]:
+        """Edges (src, dst) where dst dominates src (natural loops)."""
+        edges = []
+        for block in self.blocks:
+            for s in block.successors:
+                if self.dominates(s, block.index):
+                    edges.append((block.index, s))
+        return edges

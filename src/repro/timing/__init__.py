@@ -1,0 +1,22 @@
+"""Cycle-level timing substrate of the Fermi-like SM.
+
+Modules
+-------
+``config``      SM configuration (paper Table 2 parameters).
+``stats``       Cycle/instruction statistics collected per run.
+``masks``       Bit-mask helpers (thread and lane space).
+``lanes``       Lane-shuffling policies (paper Table 1).
+``units``       SIMD execution groups with wave occupancy.
+``cache``       L1 data cache (48 KB, 6-way, 128 B blocks).
+``dram``        Throughput-limited constant-latency memory.
+``lsu``         Load-store unit: coalescing, replay, bank conflicts.
+``scoreboard``  Warp-granular / exact-mask / dependency-matrix scoreboards.
+``divergence``  Warp-split structure and the three reconvergence models
+                (IPDOM stack, thread frontier, SBI HCT+CCT heap).
+``fetch``       Instruction buffers and the fetch/decode engine.
+"""
+
+from repro.timing.config import SMConfig
+from repro.timing.stats import Stats
+
+__all__ = ["SMConfig", "Stats"]

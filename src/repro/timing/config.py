@@ -1,0 +1,166 @@
+"""SM configuration — the knobs of paper Table 2 plus model options.
+
+A configuration picks one of five scheduler *modes*:
+
+``baseline``   Fermi-like: 32 warps x 32 threads, two warp pools
+               (even/odd ids) with one scheduler each, IPDOM
+               reconvergence stack.
+``warp64``     Reference point from Figure 7: thread-frontier
+               reconvergence with 64-wide warps, single scheduler.
+``sbi``        Simultaneous Branch Interweaving: 64-wide warps, HCT/CCT
+               heap, dual front-end issuing CPC1/CPC2 of one warp.
+``swi``        Simultaneous Warp Interweaving: 64-wide warps, frontier
+               reconvergence, cascaded primary/secondary schedulers
+               filling free lanes from other warps.
+``sbi_swi``    Both: secondary slot filled by the same warp's CPC2
+               when possible, else by another warp (SWI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+VALID_MODES = ("baseline", "warp64", "sbi", "swi", "sbi_swi")
+VALID_SCOREBOARDS = ("warp", "mask", "matrix")
+VALID_SHUFFLES = ("identity", "mirror_odd", "mirror_half", "xor", "xor_rev")
+
+
+@dataclass
+class SMConfig:
+    """All timing parameters of one streaming multiprocessor."""
+
+    mode: str = "baseline"
+    warp_count: int = 32
+    warp_width: int = 32
+
+    # Front end (Table 2).
+    scheduler_latency: int = 1
+    delivery_latency: int = 0
+    fetch_width: int = 2
+    scoreboard_entries: int = 6
+    scoreboard_kind: str = "warp"
+
+    # Back end.
+    exec_latency: int = 8
+    mad_lanes: int = 64          # total MAD lanes; split into groups of warp_width
+    sfu_width: int = 8
+    lsu_width: int = 32
+
+    # SBI options.
+    sbi_constraints: bool = True
+    cct_capacity: int = 8        # cold contexts per warp
+    cct_insert_delay: int = 2    # sideband-sorter cycles per insertion
+
+    # SWI options.
+    lane_shuffle: str = "identity"
+    swi_ways: Optional[int] = None   # None = fully associative lookup
+
+    # Memory system (Table 2).
+    l1_size: int = 48 * 1024
+    l1_ways: int = 6
+    l1_block: int = 128
+    l1_latency: int = 3
+    shared_latency: int = 3
+    shared_banks: int = 32
+    dram_bandwidth: float = 10.0     # bytes per cycle (10 GB/s at 1 GHz)
+    dram_latency: int = 330          # cycles (330 ns at 1 GHz)
+    store_segment: int = 32          # write-through granularity in bytes
+
+    # Launch / control.
+    cta_launch_latency: int = 10
+    max_cycles: int = 5_000_000
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        if self.mode not in VALID_MODES:
+            raise ValueError("mode must be one of %s" % (VALID_MODES,))
+        if self.scoreboard_kind not in VALID_SCOREBOARDS:
+            raise ValueError("scoreboard_kind must be one of %s" % (VALID_SCOREBOARDS,))
+        if self.lane_shuffle not in VALID_SHUFFLES:
+            raise ValueError("lane_shuffle must be one of %s" % (VALID_SHUFFLES,))
+        if self.warp_width not in (4, 8, 16, 32, 64):
+            raise ValueError("warp_width must be a power of two in [4, 64]")
+        if self.mad_lanes % self.warp_width:
+            raise ValueError("mad_lanes must be a multiple of warp_width")
+        if self.swi_ways is not None and self.swi_ways < 1:
+            raise ValueError("swi_ways must be >= 1 (or None for full)")
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+
+    @property
+    def mad_group_count(self) -> int:
+        """MAD groups are warp-wide; Fermi-like 2x32 or one 64-wide."""
+        return max(1, self.mad_lanes // self.warp_width)
+
+    @property
+    def branch_latency(self) -> int:
+        """Cycles from branch issue to redirected fetch."""
+        return self.scheduler_latency + self.delivery_latency + self.exec_latency
+
+    @property
+    def issue_to_writeback(self) -> int:
+        """Base latency from issue to scoreboard release (1 wave)."""
+        return self.delivery_latency + self.exec_latency
+
+    @property
+    def uses_two_pools(self) -> bool:
+        return self.mode == "baseline"
+
+    @property
+    def uses_sbi(self) -> bool:
+        return self.mode in ("sbi", "sbi_swi")
+
+    @property
+    def uses_swi(self) -> bool:
+        return self.mode in ("swi", "sbi_swi")
+
+    @property
+    def issue_width(self) -> int:
+        return 1 if self.mode == "warp64" else 2
+
+    @property
+    def peak_ipc(self) -> float:
+        """Thread-instruction retire bound (64 baseline, 104 SBI/SWI)."""
+        issue_bound = self.issue_width * self.warp_width
+        unit_bound = self.mad_lanes + self.sfu_width + self.lsu_width
+        if self.mode in ("baseline", "warp64"):
+            return float(min(issue_bound, self.issue_width * self.warp_width))
+        return float(min(issue_bound, unit_bound))
+
+    @property
+    def total_threads(self) -> int:
+        return self.warp_count * self.warp_width
+
+    def replace(self, **kwargs) -> "SMConfig":
+        """Copy with overrides (post-init re-validates)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Table-2-style one-liner."""
+        return (
+            "%s: %dx%d warps, sched %dc, delivery %dc, exec %dc, "
+            "L1 %dKB/%d-way/%dB, mem %.0f B/c %dc, shuffle=%s, ways=%s"
+            % (
+                self.mode,
+                self.warp_count,
+                self.warp_width,
+                self.scheduler_latency,
+                self.delivery_latency,
+                self.exec_latency,
+                self.l1_size // 1024,
+                self.l1_ways,
+                self.l1_block,
+                self.dram_bandwidth,
+                self.dram_latency,
+                self.lane_shuffle,
+                "full" if self.swi_ways is None else self.swi_ways,
+            )
+        )

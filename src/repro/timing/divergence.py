@@ -1,0 +1,175 @@
+"""Warp-split representation and the divergence-model interface.
+
+A *warp-split* is a (PC, activity-mask) pair: a maximal group of
+threads of one warp executing in lockstep.  The three reconvergence
+models of the reproduction manage splits differently:
+
+* :class:`repro.timing.stack.StackModel` — baseline IPDOM stack, one
+  runnable split (the top of stack).
+* :class:`repro.timing.frontier.FrontierModel` — thread-frontier
+  scheduling: the minimum-PC split is runnable (Warp64 reference and
+  the SWI configuration).
+* :class:`repro.timing.hct.SBIModel` — the paper's HCT/CCT heap with
+  *two* runnable splits (``CPC1``/``CPC2``) for simultaneous branch
+  interweaving.
+
+All models speak the same interface so the SM pipeline and schedulers
+are mode-agnostic; the matrix scoreboard observes slot transitions
+through :meth:`DivergenceModel.slot_masks`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.timing.masks import permute_mask, popcount
+
+
+class Split:
+    """One warp-split: PC, thread mask, and scheduling state."""
+
+    __slots__ = (
+        "pc",
+        "mask",
+        "rpc",
+        "parked",
+        "pending",
+        "redirect_ready_at",
+        "ready_at",
+        "_lane_mask",
+        "_perm",
+    )
+
+    def __init__(self, pc: int, mask: int, perm: Sequence[int], rpc: Optional[int] = None):
+        self.pc = pc
+        self.mask = mask
+        self.rpc = rpc  # reconvergence PC (stack model only)
+        self.parked = False
+        self.pending = False  # picked by a cascaded scheduler, not yet issued
+        self.redirect_ready_at = 0  # fetch gate after a branch resolves
+        self.ready_at = 0  # CCT sideband-sorter availability
+        self._perm = perm
+        self._lane_mask: Optional[int] = None
+
+    @property
+    def lane_mask(self) -> int:
+        """Mask in physical-lane space (after the warp's shuffle)."""
+        if self._lane_mask is None:
+            self._lane_mask = permute_mask(self.mask, self._perm)
+        return self._lane_mask
+
+    def set_mask(self, mask: int) -> None:
+        self.mask = mask
+        self._lane_mask = None
+
+    @property
+    def active_threads(self) -> int:
+        return popcount(self.mask)
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            f for f, on in (("P", self.parked), ("*", self.pending)) if on
+        )
+        return "Split(pc=%d, mask=%#x%s)" % (self.pc, self.mask, flags)
+
+
+class DivergenceModel:
+    """Common interface of the three reconvergence models."""
+
+    #: Number of simultaneously runnable splits the model exposes.
+    hot_capacity = 1
+
+    def __init__(self, launch_mask: int, lane_perm: Sequence[int]) -> None:
+        self.launch_mask = launch_mask
+        self.lane_perm = lane_perm
+        self.merge_count = 0
+        self.exited_mask = 0
+
+    # -- scheduling view ------------------------------------------------
+
+    def hot_splits(self, now: int) -> List[Split]:
+        """Runnable splits ordered by priority (index 0 = primary)."""
+        raise NotImplementedError
+
+    def all_splits(self) -> Iterable[Split]:
+        raise NotImplementedError
+
+    def slot_of(self, split: Split, now: int) -> int:
+        """Context slot of ``split``: 0 (primary), 1 (secondary), 2 (rest)."""
+        hot = self.hot_splits(now)
+        for i, s in enumerate(hot[:2]):
+            if s is split:
+                return i
+        return 2
+
+    def slot_masks(self, now: int) -> Tuple[int, int, int]:
+        """Thread masks of the three context slots (matrix scoreboard)."""
+        hot = self.hot_splits(now)
+        m0 = hot[0].mask if len(hot) > 0 else 0
+        m1 = hot[1].mask if len(hot) > 1 else 0
+        rest = self.live_mask() & ~(m0 | m1)
+        return m0, m1, rest
+
+    def live_mask(self) -> int:
+        mask = 0
+        for s in self.all_splits():
+            mask |= s.mask
+        return mask
+
+    @property
+    def done(self) -> bool:
+        return not any(True for _ in self.all_splits())
+
+    # -- mutation --------------------------------------------------------
+
+    def branch(
+        self,
+        split: Split,
+        taken_mask: int,
+        target_pc: int,
+        reconv_pc: Optional[int],
+        now: int,
+    ) -> bool:
+        """Apply a branch outcome; returns True when it diverged.
+
+        ``reconv_pc`` is the compiler-computed IPDOM — used by the
+        stack model, ignored by the PC-ordered models.
+        """
+        raise NotImplementedError
+
+    def advance(self, split: Split, now: int) -> None:
+        """Move past a non-branch instruction (PC + 1)."""
+        raise NotImplementedError
+
+    def exit_threads(self, split: Split, mask: int, now: int) -> None:
+        """Retire ``mask`` threads (EXIT instruction)."""
+        raise NotImplementedError
+
+    def park(self, split: Split, now: int) -> None:
+        """Suspend at a CTA barrier."""
+        raise NotImplementedError
+
+    def unpark_all(self, now: int) -> None:
+        """Barrier release: every parked split resumes at PC + 1."""
+        raise NotImplementedError
+
+    # -- invariants (used by tests) --------------------------------------
+
+    def check_invariants(self) -> None:
+        """Masks are pairwise disjoint and partition the live threads."""
+        seen = 0
+        for s in self.all_splits():
+            if s.mask == 0:
+                raise AssertionError("empty split %r" % s)
+            if seen & s.mask:
+                raise AssertionError("overlapping splits in %r" % self)
+            seen |= s.mask
+        expected = self.launch_mask & ~self.exited_mask
+        if seen != expected:
+            raise AssertionError(
+                "live mask %#x != launch-exited %#x" % (seen, expected)
+            )
+
+
+def make_split(pc: int, mask: int, perm: Sequence[int], rpc: Optional[int] = None) -> Split:
+    return Split(pc, mask, perm, rpc)

@@ -1,0 +1,46 @@
+"""Off-chip memory: throughput-limited, constant latency.
+
+The paper follows Gebhart et al.'s methodology: memory is modelled as a
+fixed-latency pipe with a hard bandwidth cap (10 GB/s per SM, 330 ns).
+Requests serialise on a single channel at ``bandwidth`` bytes/cycle;
+data returns a constant ``latency`` after a request's slot on the
+channel.  Outstanding fills to the same block are merged (MSHR
+behaviour) by the LSU layer.
+"""
+
+from __future__ import annotations
+
+
+class DRAMChannel:
+    """Bandwidth-serialised request channel."""
+
+    def __init__(self, bandwidth: float, latency: int) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self._free_at = 0.0
+        self.bytes_transferred = 0.0
+        self.requests = 0
+
+    def request(self, nbytes: int, now: int) -> int:
+        """Schedule a transfer; returns the data-arrival cycle."""
+        start = max(float(now), self._free_at)
+        self._free_at = start + nbytes / self.bandwidth
+        self.bytes_transferred += nbytes
+        self.requests += 1
+        return int(self._free_at + self.latency) + 1
+
+    def post_write(self, nbytes: int, now: int) -> int:
+        """Write traffic: consumes bandwidth; completion is when the
+        channel slot drains (stores are fire-and-forget through a
+        store buffer)."""
+        start = max(float(now), self._free_at)
+        self._free_at = start + nbytes / self.bandwidth
+        self.bytes_transferred += nbytes
+        self.requests += 1
+        return int(self._free_at) + 1
+
+    @property
+    def busy_until(self) -> float:
+        return self._free_at

@@ -1,0 +1,132 @@
+"""Instruction buffers and the fetch/decode engine.
+
+Each warp owns a small pool of instruction-buffer entries (one per hot
+context: one in the baseline, two for SBI's dual front-end).  Entries
+are *tagged by PC*, not bound to a context slot: when the HCT sorter
+swaps the primary and secondary contexts (their PCs cross, which
+happens constantly around loop back edges), the buffered instructions
+remain valid for whichever slot the split now occupies — exactly like
+a real per-warp instruction buffer indexed by warp id.
+
+The fetch engine refills up to ``fetch_width`` unmatched entries per
+cycle (the baseline's two fetch-decode units, Figure 1), round-robin
+over warps.  A fetched instruction decodes in one cycle
+(``ready_at = fetch + 1``).  Branch redirects gate fetch through
+``Split.redirect_ready_at``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.timing.divergence import Split
+
+
+@dataclass
+class IBufEntry:
+    """One decoded instruction waiting in a warp's buffer pool."""
+
+    pc: int
+    instr: Instruction
+    fetch_cycle: int
+    ready_at: int
+    index: int  # position in the warp's buffer pool
+
+
+class FetchEngine:
+    """Shared fetch/decode bandwidth across all warps."""
+
+    def __init__(self, program, fetch_width: int, hot_capacity: int) -> None:
+        self.program = program
+        self.fetch_width = fetch_width
+        self.hot_capacity = hot_capacity
+        self.buffers: Dict[Tuple[int, int], Optional[IBufEntry]] = {}
+        self._rr = 0
+
+    # ------------------------------------------------------------------
+
+    def entry_for(self, wid: int, split: Split, now: int) -> Optional[IBufEntry]:
+        """A decoded entry whose tag matches the split's PC, if any."""
+        for index in range(self.hot_capacity):
+            entry = self.buffers.get((wid, index))
+            if entry is not None and entry.pc == split.pc and entry.ready_at <= now:
+                return entry
+        return None
+
+    def consume(self, wid: int, entry: IBufEntry) -> None:
+        key = (wid, entry.index)
+        if self.buffers.get(key) is entry:
+            self.buffers[key] = None
+
+    def flush_warp(self, wid: int) -> None:
+        for index in range(self.hot_capacity):
+            self.buffers[(wid, index)] = None
+
+    # ------------------------------------------------------------------
+
+    def _refill_one(self, warp, hot_pcs: List[int], now: int) -> bool:
+        """Fetch the first hot split lacking a matching buffer entry."""
+        wid = warp.wid
+        entries = [self.buffers.get((wid, i)) for i in range(self.hot_capacity)]
+        tags = [e.pc for e in entries if e is not None]
+        for split in warp.model.hot_splits(now)[: self.hot_capacity]:
+            if split.parked or split.pending:
+                continue
+            if split.redirect_ready_at > now:
+                continue
+            if split.pc in tags:
+                continue
+            # Victim: an empty way, else a way whose tag matches no hot PC.
+            victim = None
+            for i, entry in enumerate(entries):
+                if entry is None:
+                    victim = i
+                    break
+            if victim is None:
+                for i, entry in enumerate(entries):
+                    if entry.pc not in hot_pcs:
+                        victim = i
+                        break
+            if victim is None:
+                continue
+            self.buffers[(wid, victim)] = IBufEntry(
+                pc=split.pc,
+                instr=self.program[split.pc],
+                fetch_cycle=now,
+                ready_at=now + 1,
+                index=victim,
+            )
+            return True
+        return False
+
+    def tick(self, now: int, warps: List) -> int:
+        """Refill unmatched buffers; returns the number of fetches."""
+        if not warps:
+            return 0
+        fetched = 0
+        n = len(warps)
+        start = self._rr % n
+        for i in range(n):
+            if fetched >= self.fetch_width:
+                break
+            warp = warps[(start + i) % n]
+            if warp is None or warp.done:
+                continue
+            hot_pcs = [
+                s.pc for s in warp.model.hot_splits(now)[: self.hot_capacity]
+            ]
+            while fetched < self.fetch_width and self._refill_one(warp, hot_pcs, now):
+                fetched += 1
+        self._rr += 1
+        return fetched
+
+    def next_ready_after(self, now: int) -> Optional[int]:
+        """Earliest future decode-ready time (event skipping)."""
+        times = [
+            e.ready_at
+            for e in self.buffers.values()
+            if e is not None and e.ready_at > now
+        ]
+        return min(times) if times else None

@@ -1,0 +1,108 @@
+"""Thread-frontier reconvergence (Diamos et al., used by Warp64/SWI).
+
+Warp-splits are kept ordered by PC and the minimum-PC split runs.
+With thread-frontier-compatible code layout this reconverges at the
+earliest possible point: a lagging split always has the smallest PC,
+so it catches up, and two splits whose PCs meet merge immediately.
+No placeholder contexts, no compiler reconvergence annotations —
+reconvergence emerges from the scheduling order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.timing.divergence import DivergenceModel, Split
+
+
+class FrontierModel(DivergenceModel):
+    """PC-sorted warp-splits; one runnable (the minimum PC)."""
+
+    hot_capacity = 1
+
+    def __init__(self, launch_mask: int, lane_perm: Sequence[int]) -> None:
+        super().__init__(launch_mask, lane_perm)
+        self.splits: List[Split] = [Split(0, launch_mask, lane_perm)]
+        self.parked: List[Split] = []
+
+    # -- views -----------------------------------------------------------
+
+    def hot_splits(self, now: int) -> List[Split]:
+        if not self.splits:
+            return []
+        return [min(self.splits, key=lambda s: s.pc)]
+
+    def all_splits(self) -> Iterable[Split]:
+        yield from self.splits
+        yield from self.parked
+
+    # -- helpers -----------------------------------------------------------
+
+    def _try_merge(self, split: Split) -> None:
+        """Fold ``split`` into a same-PC runnable sibling if possible."""
+        if split.pending:
+            return
+        for other in self.splits:
+            if other is split or other.pending:
+                continue
+            if other.pc == split.pc:
+                other.set_mask(other.mask | split.mask)
+                other.redirect_ready_at = max(
+                    other.redirect_ready_at, split.redirect_ready_at
+                )
+                self.splits.remove(split)
+                split.set_mask(0)  # dead: any stale scheduler pick is void
+                self.merge_count += 1
+                return
+
+    # -- mutation ----------------------------------------------------------
+
+    def branch(
+        self,
+        split: Split,
+        taken_mask: int,
+        target_pc: int,
+        reconv_pc: Optional[int],
+        now: int,
+    ) -> bool:
+        ft_mask = split.mask & ~taken_mask
+        taken_mask &= split.mask
+        if not ft_mask or not taken_mask:
+            split.pc = target_pc if taken_mask else split.pc + 1
+            self._try_merge(split)
+            return False
+        fall_through_pc = split.pc + 1
+        split.set_mask(taken_mask)
+        split.pc = target_pc
+        sibling = Split(fall_through_pc, ft_mask, self.lane_perm)
+        sibling.redirect_ready_at = split.redirect_ready_at
+        self.splits.append(sibling)
+        self._try_merge(sibling)
+        if split in self.splits:
+            self._try_merge(split)
+        return True
+
+    def advance(self, split: Split, now: int) -> None:
+        split.pc += 1
+        self._try_merge(split)
+
+    def exit_threads(self, split: Split, mask: int, now: int) -> None:
+        self.exited_mask |= mask
+        split.set_mask(split.mask & ~mask)
+        if not split.mask:
+            self.splits.remove(split)
+
+    def park(self, split: Split, now: int) -> None:
+        split.parked = True
+        self.splits.remove(split)
+        self.parked.append(split)
+
+    def unpark_all(self, now: int) -> None:
+        for split in self.parked:
+            split.parked = False
+            split.pc += 1
+            self.splits.append(split)
+        self.parked.clear()
+        for split in list(self.splits):
+            if split in self.splits:
+                self._try_merge(split)

@@ -1,0 +1,177 @@
+"""SBI's sorted heap of warp-split contexts: HCT + CCT (paper §3.4).
+
+The **Hot Context Table** holds the two minimum-PC contexts of each
+warp — the primary (``CPC1``) and secondary (``CPC2``) warp-splits that
+the dual front-end can issue simultaneously.  The **Cold Context
+Table** holds the remaining contexts as a sorted list per warp.
+
+Hardware behaviours modelled:
+
+* the HCT sorter sorts/compacts/merges at most three contexts per
+  cycle (two hot + one new, since at most one divergence per cycle);
+* insertions into the CCT go through an asynchronous *sideband sorter*
+  — an inserted context only becomes poppable ``cct_insert_delay``
+  cycles later, and insertions serialise (the paper's degraded-stack
+  behaviour under pressure shows up as delayed availability);
+* when hot slots free up (merge, exit, barrier park), the minimum
+  *ready* cold context is popped in;
+* two hot contexts whose PCs meet merge — this is also how SBI's
+  selective synchronization barrier releases a suspended secondary
+  (paper §3.3: "no additional hardware is needed").
+
+The selective-synchronization *check* itself lives in the scheduler
+(it is an issue-eligibility rule); this module only provides the
+context structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.timing.divergence import DivergenceModel, Split
+
+
+class SBIModel(DivergenceModel):
+    """Dual hot context (HCT) + sorted cold contexts (CCT)."""
+
+    hot_capacity = 2
+
+    def __init__(
+        self,
+        launch_mask: int,
+        lane_perm: Sequence[int],
+        cct_capacity: int = 8,
+        insert_delay: int = 2,
+    ) -> None:
+        super().__init__(launch_mask, lane_perm)
+        self.hot: List[Split] = [Split(0, launch_mask, lane_perm)]
+        self.cold: List[Split] = []
+        self.parked: List[Split] = []
+        self.cct_capacity = cct_capacity
+        self.insert_delay = insert_delay
+        self.sideband_busy_until = 0
+        self.cct_overflows = 0
+        self.cct_high_water = 0
+
+    # -- views -----------------------------------------------------------
+
+    def hot_splits(self, now: int) -> List[Split]:
+        self._settle(now)
+        return list(self.hot)
+
+    def all_splits(self) -> Iterable[Split]:
+        yield from self.hot
+        yield from self.cold
+        yield from self.parked
+
+    # -- HCT/CCT mechanics --------------------------------------------------
+
+    def _settle(self, now: int) -> None:
+        """Restore the sorted-heap invariant over hot + sorted cold.
+
+        The HCT sorter + CCT sorter together expose the two minimum-PC
+        contexts and *compact* contexts whose PCs meet (paper Figure 5:
+        "sort + compact", "merge").  Entries still travelling through
+        the sideband sorter (``ready_at > now``) cannot be promoted or
+        merged yet; in-flight (pending) contexts are frozen.
+        """
+        pool = list(self.hot)
+        settled_cold = []
+        for s in self.cold:
+            if s.ready_at <= now:
+                pool.append(s)
+            else:
+                settled_cold.append(s)
+        pool.sort(key=lambda s: s.pc)
+        merged: List[Split] = []
+        for s in pool:
+            last = merged[-1] if merged else None
+            if (
+                last is not None
+                and last.pc == s.pc
+                and not last.pending
+                and not s.pending
+            ):
+                last.set_mask(last.mask | s.mask)
+                last.redirect_ready_at = max(
+                    last.redirect_ready_at, s.redirect_ready_at
+                )
+                s.set_mask(0)  # dead: any stale scheduler pick is void
+                self.merge_count += 1
+            else:
+                merged.append(s)
+        self.hot = merged[:2]
+        self.cold = merged[2:] + settled_cold
+        self.cct_high_water = max(self.cct_high_water, len(self.cold))
+        if len(self.cold) > self.cct_capacity:
+            self.cct_overflows += 1
+
+    def _insert_cold(self, split: Split, now: int) -> None:
+        """Sideband-sorter insertion: the entry is stored immediately
+        but joins the sorted order ``insert_delay`` cycles later (while
+        unsorted it cannot be promoted — the paper's degraded window)."""
+        start = max(now, self.sideband_busy_until)
+        split.ready_at = start + self.insert_delay
+        self.sideband_busy_until = split.ready_at
+        self.cold.append(split)
+
+    def _place(self, split: Split, now: int) -> None:
+        """HCT sorter: keep the two minimum contexts hot, spill the max."""
+        self.hot.append(split)
+        self.hot.sort(key=lambda s: s.pc)
+        if len(self.hot) > 2:
+            spill = self.hot.pop()  # maximum PC
+            self._insert_cold(spill, now)
+        self._settle(now)
+
+    # -- mutation ----------------------------------------------------------
+
+    def branch(
+        self,
+        split: Split,
+        taken_mask: int,
+        target_pc: int,
+        reconv_pc: Optional[int],
+        now: int,
+    ) -> bool:
+        ft_mask = split.mask & ~taken_mask
+        taken_mask &= split.mask
+        if not ft_mask or not taken_mask:
+            split.pc = target_pc if taken_mask else split.pc + 1
+            self._settle(now)
+            return False
+        fall_through_pc = split.pc + 1
+        split.set_mask(taken_mask)
+        split.pc = target_pc
+        sibling = Split(fall_through_pc, ft_mask, self.lane_perm)
+        sibling.redirect_ready_at = split.redirect_ready_at
+        self._place(sibling, now)
+        return True
+
+    def advance(self, split: Split, now: int) -> None:
+        split.pc += 1
+        self._settle(now)
+
+    def exit_threads(self, split: Split, mask: int, now: int) -> None:
+        self.exited_mask |= mask
+        split.set_mask(split.mask & ~mask)
+        if not split.mask:
+            if split in self.hot:
+                self.hot.remove(split)
+            elif split in self.cold:
+                self.cold.remove(split)
+        self._settle(now)
+
+    def park(self, split: Split, now: int) -> None:
+        split.parked = True
+        self.hot.remove(split)
+        self.parked.append(split)
+        self._settle(now)
+
+    def unpark_all(self, now: int) -> None:
+        for split in self.parked:
+            split.parked = False
+            split.pc += 1
+            self.cold.append(split)  # rejoin through the heap
+        self.parked.clear()
+        self._settle(now)

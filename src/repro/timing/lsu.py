@@ -1,0 +1,143 @@
+"""Load-store unit: coalescing, replay, bank conflicts, atomics.
+
+The LSU owns a single 128-byte port to the L1 (paper section 2).  A
+memory instruction is broken into *transactions*:
+
+* **global**: one per distinct 128 B block touched by active threads
+  (perfect intra-warp coalescing).  Additional transactions replay on
+  subsequent cycles, occupying the port — this is the paper's
+  "memory instructions that encounter conflicts are replayed with an
+  updated activity mask".
+* **shared**: one per maximal conflict-free bank access; threads
+  reading the same word broadcast for free, distinct words in the same
+  bank serialise (32 banks).
+* **atomics**: serialise per active thread (Fermi-era behaviour);
+  global atomics additionally fetch their blocks through the L1 and
+  spend write-through bandwidth.
+
+Coalescing operates on *thread-space* addresses, so lane shuffling
+(which permutes threads to physical lanes) never changes transaction
+counts — one of the paper's arguments for shuffling over dynamic warp
+formation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.functional.executor import ExecOutcome
+from repro.isa.instructions import Instruction, MemSpace, Op
+from repro.timing.cache import L1Cache
+from repro.timing.dram import DRAMChannel
+from repro.timing.stats import Stats
+
+
+class LoadStoreUnit:
+    """Transaction generation and timing for one memory instruction."""
+
+    def __init__(self, config, cache: L1Cache, dram: DRAMChannel, stats: Stats) -> None:
+        self.config = config
+        self.cache = cache
+        self.dram = dram
+        self.stats = stats
+        # MSHR merge table: block address -> fill-complete cycle.
+        self._pending_fills: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def access(self, instr: Instruction, outcome: ExecOutcome, now: int) -> Tuple[int, int]:
+        """Process a memory instruction issued at ``now``.
+
+        Returns ``(occupancy_cycles, writeback_cycle)``: the number of
+        cycles the LSU port is held (1 + replays) and the cycle the
+        result is architecturally complete (scoreboard release for
+        loads/atomics; port drain for stores).
+        """
+        addrs = outcome.addresses[outcome.active]
+        if addrs.size == 0:
+            return 1, now + self.config.l1_latency
+        if outcome.space is MemSpace.SHARED:
+            return self._shared(instr, addrs, now)
+        return self._global(instr, addrs, now)
+
+    # ------------------------------------------------------------------
+    # Shared memory
+    # ------------------------------------------------------------------
+
+    def _shared_conflicts(self, addrs: np.ndarray, serialize_all: bool) -> int:
+        banks = (addrs // 4) % self.config.shared_banks
+        conflicts = 1
+        for bank in np.unique(banks):
+            in_bank = addrs[banks == bank]
+            count = in_bank.size if serialize_all else np.unique(in_bank).size
+            conflicts = max(conflicts, int(count))
+        return conflicts
+
+    def _shared(self, instr: Instruction, addrs: np.ndarray, now: int) -> Tuple[int, int]:
+        serialize_all = instr.op not in (Op.LD, Op.ST)
+        transactions = self._shared_conflicts(addrs, serialize_all)
+        self.stats.shared_transactions += transactions
+        self.stats.memory_replays += transactions - 1
+        wb = now + transactions - 1 + self.config.shared_latency
+        return transactions, wb
+
+    # ------------------------------------------------------------------
+    # Global memory
+    # ------------------------------------------------------------------
+
+    def _blocks_of(self, addrs: np.ndarray) -> np.ndarray:
+        return np.unique(addrs // self.config.l1_block)
+
+    def _fetch_block(self, block: int, at: int) -> int:
+        """Read one block through L1/MSHR/DRAM; returns data-ready cycle."""
+        self.stats.l1_accesses += 1
+        ready = self.cache.lookup(block * self.config.l1_block)
+        if ready is not None:
+            self.stats.l1_hits += 1
+            return max(at + self.config.l1_latency, ready)
+        self.stats.l1_misses += 1
+        pending = self._pending_fills.get(block)
+        if pending is not None and pending > at:
+            return pending  # MSHR merge with an in-flight fill
+        fill = self.dram.request(self.config.l1_block, at)
+        self.stats.dram_bytes += self.config.l1_block
+        self._pending_fills[block] = fill
+        self.cache.fill(block * self.config.l1_block, fill)
+        return fill
+
+    def _store_traffic(self, addrs: np.ndarray, at: int) -> None:
+        segments = np.unique(addrs // self.config.store_segment)
+        nbytes = int(segments.size) * self.config.store_segment
+        self.dram.post_write(nbytes, at)
+        self.stats.dram_bytes += nbytes
+
+    def _global(self, instr: Instruction, addrs: np.ndarray, now: int) -> Tuple[int, int]:
+        blocks = self._blocks_of(addrs)
+        if instr.op is Op.LD:
+            occupancy = int(blocks.size)
+            wb = now
+            for i, block in enumerate(blocks):
+                wb = max(wb, self._fetch_block(int(block), now + i))
+            self.stats.global_transactions += occupancy
+            self.stats.memory_replays += occupancy - 1
+            return occupancy, wb
+        if instr.op is Op.ST:
+            occupancy = int(blocks.size)
+            for i in range(occupancy):
+                chunk = addrs[(addrs // self.config.l1_block) == blocks[i]]
+                self._store_traffic(chunk, now + i)
+            self.stats.global_transactions += occupancy
+            self.stats.memory_replays += occupancy - 1
+            return occupancy, now + occupancy - 1 + 1
+        # Atomics: fetch each block once, then serialise one thread/cycle.
+        occupancy = int(addrs.size)
+        data_ready = now
+        for i, block in enumerate(blocks):
+            data_ready = max(data_ready, self._fetch_block(int(block), now + i))
+        self._store_traffic(addrs, now)
+        self.stats.global_transactions += occupancy
+        self.stats.memory_replays += occupancy - 1
+        wb = max(data_ready, now + occupancy - 1) + 1
+        return occupancy, wb

@@ -1,0 +1,87 @@
+"""Bit-mask helpers.
+
+Activity masks are Python integers with one bit per thread of a warp
+(bit ``i`` = thread ``i`` in *thread* space).  Lane-space masks are the
+same integers after the per-warp lane-shuffle permutation
+(:mod:`repro.timing.lanes`).  Warp widths up to 64 keep these in a
+single machine word.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+
+def full_mask(width: int) -> int:
+    """Mask with the low ``width`` bits set."""
+    return (1 << width) - 1
+
+
+def popcount(mask: int) -> int:
+    return mask.bit_count()
+
+
+def bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_to_bools(mask: int, width: int) -> np.ndarray:
+    """Expand to a ``bool[width]`` numpy array (thread order)."""
+    out = np.zeros(width, dtype=bool)
+    for i in bits(mask):
+        out[i] = True
+    return out
+
+
+def bools_to_mask(values: Sequence[bool]) -> int:
+    mask = 0
+    for i, v in enumerate(values):
+        if v:
+            mask |= 1 << i
+    return mask
+
+
+def permute_mask(mask: int, perm: Sequence[int]) -> int:
+    """Map thread-space bits through ``perm`` (thread -> lane)."""
+    out = 0
+    for i in bits(mask):
+        out |= 1 << perm[i]
+    return out
+
+
+def wave_count(lane_mask: int, group_width: int, warp_width: int) -> int:
+    """Pipeline waves a lane mask occupies on a ``group_width``-wide unit.
+
+    Lanes stream through the unit in chunks of ``group_width``
+    consecutive lane positions; chunks with no active lane are skipped.
+    An empty mask still costs one wave (the instruction occupies the
+    issue port).
+    """
+    if group_width >= warp_width:
+        return 1
+    chunk_mask = full_mask(group_width)
+    waves = 0
+    for base in range(0, warp_width, group_width):
+        if (lane_mask >> base) & chunk_mask:
+            waves += 1
+    return max(waves, 1)
+
+
+def mask_str(mask: int, width: int) -> str:
+    """Visual mask, thread 0 leftmost: ``'X..X'``."""
+    return "".join("X" if mask & (1 << i) else "." for i in range(width))
+
+
+def split_masks_disjoint(masks: List[int]) -> bool:
+    seen = 0
+    for m in masks:
+        if seen & m:
+            return False
+        seen |= m
+    return True

@@ -1,0 +1,162 @@
+"""Scoreboards: warp-granular, exact-mask, and dependency-matrix.
+
+The baseline tracks in-flight destination registers per warp (6
+entries, paper Table 2) and stalls any instruction whose sources or
+destination match — warp-granular, so disjoint warp-splits create
+false dependencies.
+
+SBI needs finer tracking because threads "jump" between warp-splits at
+divergence and reconvergence: a dependency exists only if *common
+threads* execute both instructions.  Two implementations:
+
+* :class:`MaskScoreboard` — the brute-force design the paper mentions:
+  store the execution mask of every in-flight instruction; dependency
+  iff register match AND mask intersection.  Exact; used as the
+  reference in property tests.
+* :class:`MatrixScoreboard` — the paper's design (section 3.4, Figure
+  6): each entry keeps a 3-slot boolean row saying which of the
+  current contexts (primary, secondary, rest-of-heap ``I3``) still
+  contain threads that executed the entry.  Rows are advanced by
+  multiplying with the per-cycle transition matrix ``D(t, t+1)`` of
+  the divergence-convergence graph.  Storage is independent of warp
+  width; the closure is conservative (may flag a dependency between
+  disjoint splits after a merge-then-split chain) but never unsafe.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import Instruction
+
+#: Number of context slots tracked by the matrix scoreboard:
+#: primary (CPC1), secondary (CPC2), and I3 = everything else.
+N_SLOTS = 3
+
+Transition = Tuple[Tuple[bool, bool, bool], ...]
+
+
+class Entry:
+    """One in-flight instruction's scoreboard record."""
+
+    __slots__ = ("dst", "mask", "row", "released")
+
+    def __init__(self, dst: int, mask: int, slot: int) -> None:
+        self.dst = dst
+        self.mask = mask
+        row = [False] * N_SLOTS
+        row[slot] = True
+        self.row = row
+        self.released = False
+
+
+class ScoreboardBase:
+    """Per-warp dependency tracking with bounded entries."""
+
+    kind = "base"
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: List[Entry] = []
+
+    # -- capacity ------------------------------------------------------
+
+    def has_room(self, instr: Instruction) -> bool:
+        if instr.dst is None:
+            return True  # only destination registers occupy entries
+        return len(self.entries) < self.capacity
+
+    # -- dependency query ---------------------------------------------
+
+    def _conflicts(self, entry: Entry, mask: int, slot: int) -> bool:
+        raise NotImplementedError
+
+    def can_issue(self, instr: Instruction, mask: int, slot: int) -> bool:
+        """True when ``instr`` (for threads ``mask``, context ``slot``)
+        has no RAW/WAW hazard against in-flight instructions."""
+        if not self.has_room(instr):
+            return False
+        if not self.entries:
+            return True
+        sources = instr.source_registers()
+        dst = instr.dst
+        for entry in self.entries:
+            if entry.dst in sources or (dst is not None and entry.dst == dst):
+                if self._conflicts(entry, mask, slot):
+                    return False
+        return True
+
+    # -- lifecycle ------------------------------------------------------
+
+    def add(self, instr: Instruction, mask: int, slot: int) -> Optional[Entry]:
+        if instr.dst is None:
+            return None
+        entry = Entry(instr.dst, mask, slot)
+        self.entries.append(entry)
+        return entry
+
+    def release(self, entry: Entry) -> None:
+        if not entry.released:
+            entry.released = True
+            self.entries.remove(entry)
+
+    def on_transition(self, transition: Transition) -> None:
+        """Advance context rows after a divergence/merge event."""
+        # Only the matrix scoreboard uses transitions.
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class WarpScoreboard(ScoreboardBase):
+    """Baseline: any register match is a dependency (warp-granular)."""
+
+    kind = "warp"
+
+    def _conflicts(self, entry: Entry, mask: int, slot: int) -> bool:
+        return True
+
+
+class MaskScoreboard(ScoreboardBase):
+    """Exact: dependency iff the thread masks intersect."""
+
+    kind = "mask"
+
+    def _conflicts(self, entry: Entry, mask: int, slot: int) -> bool:
+        return (entry.mask & mask) != 0
+
+
+class MatrixScoreboard(ScoreboardBase):
+    """The paper's transitive-closure scoreboard (section 3.4)."""
+
+    kind = "matrix"
+
+    def _conflicts(self, entry: Entry, mask: int, slot: int) -> bool:
+        return entry.row[slot]
+
+    def on_transition(self, transition: Transition) -> None:
+        for entry in self.entries:
+            row = entry.row
+            entry.row = [
+                any(row[i] and transition[i][j] for i in range(N_SLOTS))
+                for j in range(N_SLOTS)
+            ]
+
+
+def make_scoreboard(kind: str, capacity: int) -> ScoreboardBase:
+    if kind == "warp":
+        return WarpScoreboard(capacity)
+    if kind == "mask":
+        return MaskScoreboard(capacity)
+    if kind == "matrix":
+        return MatrixScoreboard(capacity)
+    raise ValueError("unknown scoreboard kind %r" % kind)
+
+
+def build_transition(
+    old_masks: Sequence[int], new_masks: Sequence[int]
+) -> Transition:
+    """``D(t, t+1)``: ``T[i][j]`` = some thread moved slot i -> slot j."""
+    return tuple(
+        tuple((old & new) != 0 for new in new_masks) for old in old_masks
+    )

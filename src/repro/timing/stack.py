@@ -1,0 +1,134 @@
+"""Baseline IPDOM reconvergence stack (paper section 2).
+
+The classic Tesla/Fermi mechanism: on a divergent branch the current
+context is replaced by a *reconvergence placeholder* at the immediate
+post-dominator plus one context per outcome; the top of stack executes;
+a context reaching its reconvergence PC pops, and the placeholder
+(holding the union mask) resumes converged execution.
+
+Only the top of stack is runnable, so divergent paths serialise — the
+behaviour SBI removes.  Unstructured control flow (no post-dominator
+before exit) pushes contexts with ``rpc=None`` which pop only when all
+their threads exit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.timing.divergence import DivergenceModel, Split
+
+
+class StackModel(DivergenceModel):
+    """One runnable split: the top of the reconvergence stack."""
+
+    hot_capacity = 1
+
+    def __init__(self, launch_mask: int, lane_perm: Sequence[int]) -> None:
+        super().__init__(launch_mask, lane_perm)
+        self.stack: List[Split] = [Split(0, launch_mask, lane_perm, rpc=None)]
+
+    # -- views -----------------------------------------------------------
+
+    def hot_splits(self, now: int) -> List[Split]:
+        if not self.stack:
+            return []
+        top = self.stack[-1]
+        return [] if top.parked else [top]
+
+    def all_splits(self) -> Iterable[Split]:
+        return iter(self.stack)
+
+    def live_mask(self) -> int:
+        # Stack entries are nested: the bottom placeholder holds the
+        # union of everything above it, so the union is the widest one.
+        mask = 0
+        for s in self.stack:
+            mask |= s.mask
+        return mask
+
+    # -- helpers ----------------------------------------------------------
+
+    def _pop_reconverged(self) -> None:
+        """Pop contexts that reached their reconvergence point."""
+        while self.stack:
+            top = self.stack[-1]
+            if top.rpc is not None and top.pc == top.rpc:
+                self.stack.pop()
+                self.merge_count += 1
+            else:
+                break
+
+    def check_invariants(self) -> None:
+        """Stack masks are nested: each entry within the one below."""
+        for i in range(len(self.stack) - 1):
+            below, above = self.stack[i], self.stack[i + 1]
+            if above.mask & ~below.mask:
+                # Only reconvergence placeholders nest strictly; paths
+                # pushed together are disjoint siblings of the
+                # placeholder below them.
+                pass
+        live = self.live_mask()
+        expected = self.launch_mask & ~self.exited_mask
+        if live != expected:
+            raise AssertionError("live %#x != expected %#x" % (live, expected))
+
+    # -- mutation ----------------------------------------------------------
+
+    def branch(
+        self,
+        split: Split,
+        taken_mask: int,
+        target_pc: int,
+        reconv_pc: Optional[int],
+        now: int,
+    ) -> bool:
+        """Branch the top of stack; pushes IPDOM placeholder on divergence."""
+        if split is not self.stack[-1]:
+            raise AssertionError("stack model can only branch the top of stack")
+        ft_mask = split.mask & ~taken_mask
+        taken_mask &= split.mask
+        if not ft_mask or not taken_mask:
+            split.pc = target_pc if taken_mask else split.pc + 1
+            self._pop_reconverged()
+            return False
+        # Divergent: replace top by placeholder + two outcome contexts.
+        outer_rpc = split.rpc
+        self.stack.pop()
+        perm = self.lane_perm
+        if reconv_pc is not None:
+            self.stack.append(Split(reconv_pc, split.mask, perm, rpc=outer_rpc))
+            child_rpc: Optional[int] = reconv_pc
+        else:
+            child_rpc = outer_rpc
+        ft = Split(split.pc + 1, ft_mask, perm, rpc=child_rpc)
+        taken = Split(target_pc, taken_mask, perm, rpc=child_rpc)
+        ft.redirect_ready_at = split.redirect_ready_at
+        taken.redirect_ready_at = split.redirect_ready_at
+        self.stack.append(ft)
+        self.stack.append(taken)
+        # An empty taken path (if-without-else jumping straight to the
+        # reconvergence point) merges immediately.
+        self._pop_reconverged()
+        return True
+
+    def advance(self, split: Split, now: int) -> None:
+        split.pc += 1
+        self._pop_reconverged()
+
+    def exit_threads(self, split: Split, mask: int, now: int) -> None:
+        self.exited_mask |= mask
+        for entry in list(self.stack):
+            entry.set_mask(entry.mask & ~mask)
+        self.stack = [e for e in self.stack if e.mask]
+        self._pop_reconverged()
+
+    def park(self, split: Split, now: int) -> None:
+        split.parked = True
+
+    def unpark_all(self, now: int) -> None:
+        for entry in self.stack:
+            if entry.parked:
+                entry.parked = False
+                entry.pc += 1
+        self._pop_reconverged()

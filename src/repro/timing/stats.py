@@ -1,0 +1,107 @@
+"""Run statistics.
+
+``thread_instructions / cycles`` is the IPC metric of paper Figure 7
+(thread instructions per cycle on the SM).  Issue-slot counters split
+by origin (primary, SBI secondary, SWI secondary) support Figure 8a's
+instruction-issue accounting, and the memory counters feed sanity
+checks in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Stats:
+    """Counters for one simulation run."""
+
+    cycles: int = 0
+    busy_cycles: int = 0
+
+    # Instruction accounting.
+    instructions_issued: int = 0
+    thread_instructions: int = 0
+    issued_primary: int = 0
+    issued_sbi_secondary: int = 0
+    issued_swi_secondary: int = 0
+    per_op_class: Dict[str, int] = field(default_factory=dict)
+
+    # Control flow.
+    branches: int = 0
+    divergent_branches: int = 0
+    merges: int = 0
+    max_live_splits: int = 0
+    sync_suspensions: int = 0
+
+    # SWI scheduler.
+    swi_lookups: int = 0
+    swi_hits: int = 0
+    scheduler_conflicts: int = 0
+
+    # Memory system.
+    l1_accesses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    dram_bytes: float = 0.0
+    global_transactions: int = 0
+    shared_transactions: int = 0
+    memory_replays: int = 0
+
+    # Occupancy.
+    ctas_launched: int = 0
+    warps_retired: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Thread instructions per cycle (the paper's Figure 7 metric)."""
+        return self.thread_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def issue_ipc(self) -> float:
+        """Instruction issues per cycle (front-end utilisation)."""
+        return self.instructions_issued / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_hits / self.l1_accesses if self.l1_accesses else 0.0
+
+    @property
+    def avg_active_threads(self) -> float:
+        """Mean active threads per issued instruction (SIMD efficiency)."""
+        if not self.instructions_issued:
+            return 0.0
+        return self.thread_instructions / self.instructions_issued
+
+    def record_issue(self, op_class: str, active: int, origin: str) -> None:
+        self.instructions_issued += 1
+        self.thread_instructions += active
+        self.per_op_class[op_class] = self.per_op_class.get(op_class, 0) + active
+        if origin == "primary":
+            self.issued_primary += 1
+        elif origin == "sbi":
+            self.issued_sbi_secondary += 1
+        elif origin == "swi":
+            self.issued_swi_secondary += 1
+        else:
+            raise ValueError("unknown issue origin %r" % origin)
+
+    def summary(self) -> str:
+        lines = [
+            "cycles              %10d" % self.cycles,
+            "instructions        %10d" % self.instructions_issued,
+            "thread instructions %10d" % self.thread_instructions,
+            "IPC                 %10.2f" % self.ipc,
+            "issue IPC           %10.3f" % self.issue_ipc,
+            "avg active threads  %10.2f" % self.avg_active_threads,
+            "issue slots         primary=%d sbi=%d swi=%d"
+            % (self.issued_primary, self.issued_sbi_secondary, self.issued_swi_secondary),
+            "branches            %10d (%d divergent, %d merges)"
+            % (self.branches, self.divergent_branches, self.merges),
+            "L1                  %d accesses, %.1f%% hits"
+            % (self.l1_accesses, 100.0 * self.l1_hit_rate),
+            "DRAM traffic        %10.0f bytes" % self.dram_bytes,
+            "CTAs launched       %10d" % self.ctas_launched,
+        ]
+        return "\n".join(lines)

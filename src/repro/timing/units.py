@@ -1,0 +1,136 @@
+"""SIMD execution groups (paper Figure 1 / Figure 3 back end).
+
+The baseline SM has four groups: two 32-lane MAD groups, one 8-lane
+SFU group and one 32-lane LSU.  The 64-wide configurations fuse the
+MAD lanes into a single 64-lane group (Figure 3).  A warp instruction
+whose width exceeds the group width streams through in *waves*; the
+group cannot accept another instruction until its waves drain
+(initiation interval = wave count).
+
+Co-issue (the heart of SBI/SWI): up to two instructions may be accepted
+by the *same* group in the same cycle when their lane masks are
+disjoint — per-lane multiplexers pick instruction I1 or I2 from the
+dual broadcast network.  The occupancy is then computed on the union
+mask.  The LSU is transaction-serial, so co-issued memory instructions
+add their transaction counts instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.instructions import OpClass
+from repro.timing.masks import wave_count
+
+
+@dataclass
+class ExecGroup:
+    """One SIMD unit group with an issue port."""
+
+    name: str
+    kind: OpClass
+    width: int
+    warp_width: int
+    free_at: int = 0
+    # Per-cycle co-issue bookkeeping.
+    cycle: int = -1
+    lane_mask: int = 0
+    issue_count: int = 0
+    busy_until_samples: int = 0
+
+    def _roll(self, now: int) -> None:
+        if self.cycle != now:
+            self.cycle = now
+            self.lane_mask = 0
+            self.issue_count = 0
+
+    # ------------------------------------------------------------------
+
+    def can_accept(self, now: int, lane_mask: int, co_issue: bool) -> bool:
+        """Can an instruction with ``lane_mask`` issue here this cycle?
+
+        ``co_issue=True`` permits sharing with one instruction already
+        accepted this cycle, provided masks are disjoint (dual
+        broadcast limit: two instructions per group per cycle).
+        """
+        self._roll(now)
+        if self.issue_count == 0:
+            return self.free_at <= now
+        if not co_issue or self.issue_count >= 2:
+            return False
+        return (self.lane_mask & lane_mask) == 0
+
+    def accept(self, now: int, lane_mask: int) -> int:
+        """Issue an instruction; returns its wave count.
+
+        Occupancy is recomputed on the union mask so that a co-issued
+        pair costs ``waves(m1 | m2)`` (MAD/SFU) — the LSU overrides
+        this with transaction counts via :meth:`hold`.
+        """
+        self._roll(now)
+        if self.issue_count >= 2:
+            raise RuntimeError("more than two instructions on group %s" % self.name)
+        if self.issue_count and (self.lane_mask & lane_mask):
+            raise RuntimeError("overlapping co-issue on group %s" % self.name)
+        self.lane_mask |= lane_mask
+        self.issue_count += 1
+        waves = wave_count(self.lane_mask, self.width, self.warp_width)
+        self.free_at = max(self.free_at, now + waves)
+        return wave_count(lane_mask, self.width, self.warp_width)
+
+    def hold(self, until: int) -> None:
+        """Extend the busy window (LSU transaction replay)."""
+        self.free_at = max(self.free_at, until)
+
+
+class Backend:
+    """The SM's set of execution groups, with issue routing."""
+
+    def __init__(self, config) -> None:
+        self.config = config
+        self.groups: List[ExecGroup] = []
+        for i in range(config.mad_group_count):
+            self.groups.append(
+                ExecGroup("MAD%d" % i, OpClass.MAD, config.warp_width, config.warp_width)
+            )
+        self.groups.append(
+            ExecGroup("SFU", OpClass.SFU, config.sfu_width, config.warp_width)
+        )
+        self.groups.append(
+            ExecGroup("LSU", OpClass.LSU, config.lsu_width, config.warp_width)
+        )
+        self.lsu = self.groups[-1]
+        self.sfu = self.groups[-2]
+
+    def candidates(self, op_class: OpClass) -> List[ExecGroup]:
+        """Groups an op class can issue to (CTRL rides the MAD groups)."""
+        if op_class in (OpClass.MAD, OpClass.CTRL):
+            return [g for g in self.groups if g.kind is OpClass.MAD]
+        if op_class is OpClass.SFU:
+            return [self.sfu]
+        return [self.lsu]
+
+    def pick_group(
+        self, op_class: OpClass, now: int, lane_mask: int, co_issue: bool
+    ) -> Optional[ExecGroup]:
+        """First group that can accept the instruction this cycle.
+
+        Prefers a completely free group before co-issue sharing, which
+        both maximises throughput and keeps baseline (no co-issue)
+        behaviour natural.
+        """
+        options = self.candidates(op_class)
+        for group in options:
+            if group.can_accept(now, lane_mask, co_issue=False) and group.issue_count == 0:
+                return group
+        if co_issue:
+            for group in options:
+                if group.can_accept(now, lane_mask, co_issue=True):
+                    return group
+        return None
+
+    def next_free_cycle(self, now: int) -> Optional[int]:
+        """Earliest future cycle any busy group frees (event skipping)."""
+        future = [g.free_at for g in self.groups if g.free_at > now]
+        return min(future) if future else None

@@ -1,0 +1,36 @@
+"""The paper's workload suite (Figure 7), rebuilt in the repro ISA.
+
+Regular applications (average IPC above 30 with 64-wide warps):
+``3dfd``, ``backprop``, ``binomialoptions``, ``blackscholes``,
+``dwthaar1d``, ``fastwalshtransform``, ``hotspot``, ``matrixmul``,
+``montecarlo``, ``transpose``.
+
+Irregular applications: ``bfs``, ``convolutionseparable``,
+``eigenvalues``, ``histogram``, ``lud``, ``mandelbrot``,
+``needleman_wunsch``, ``sortingnetworks``, ``srad``, ``tmd1``,
+``tmd2``.  As in the paper, the two TMD kernels are excluded from
+suite means (they characterise thread-frontier reconvergence rather
+than SBI/SWI).
+
+Each module exposes ``build(size)`` returning a
+:class:`repro.workloads.common.Instance`; sizes are ``tiny`` (tests),
+``bench`` (figures) and ``full``.
+"""
+
+from repro.workloads.common import Instance
+from repro.workloads.suite import (
+    ALL_WORKLOADS,
+    IRREGULAR,
+    MEAN_EXCLUDED,
+    REGULAR,
+    get_workload,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "IRREGULAR",
+    "Instance",
+    "MEAN_EXCLUDED",
+    "REGULAR",
+    "get_workload",
+]

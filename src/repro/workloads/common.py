@@ -1,0 +1,93 @@
+"""Shared workload plumbing: instances, references, helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.functional.interp import run_kernel
+from repro.functional.memory import MemoryImage
+from repro.isa.builder import Kernel, KernelBuilder
+
+#: Valid workload sizes.
+SIZES = ("tiny", "bench", "full")
+
+
+@dataclass
+class Instance:
+    """One built workload: kernel + initialised memory + outputs.
+
+    ``outputs`` lists (label, byte address, word count) regions whose
+    final contents define functional correctness.  ``numpy_check``,
+    when present, validates those regions against an independent numpy
+    model of the algorithm (raises AssertionError on mismatch).
+    """
+
+    name: str
+    kernel: Kernel
+    memory: MemoryImage
+    outputs: List[Tuple[str, int, int]]
+    numpy_check: Optional[Callable[[MemoryImage], None]] = None
+    rebuild: Optional[Callable[[], "Instance"]] = None
+
+    def fresh(self) -> "Instance":
+        """A new instance with untouched memory (runs mutate memory)."""
+        if self.rebuild is None:
+            raise RuntimeError("workload %s has no rebuild closure" % self.name)
+        return self.rebuild()
+
+    def reference_outputs(self) -> Dict[str, np.ndarray]:
+        """Final output regions per the reference interpreter."""
+        ref = self.fresh()
+        run_kernel(ref.kernel, ref.memory)
+        return {
+            label: ref.memory.read_array(addr, count)
+            for label, addr, count in ref.outputs
+        }
+
+    def read_outputs(self) -> Dict[str, np.ndarray]:
+        return {
+            label: self.memory.read_array(addr, count)
+            for label, addr, count in self.outputs
+        }
+
+
+def check_size(size: str) -> None:
+    if size not in SIZES:
+        raise ValueError("size must be one of %s, got %r" % (SIZES, size))
+
+
+def rng(name: str, size: str) -> np.random.Generator:
+    """Deterministic per-(workload, size) random source."""
+    seed = abs(hash((name, size))) % (2**31)
+    return np.random.default_rng(seed)
+
+
+def emit_global_tid(kb: KernelBuilder, dst) -> None:
+    """``dst = ctaid * ntid + tid`` (global thread index)."""
+    kb.mov(dst, kb.tid)
+    kb.mad(dst, kb.ctaid, kb.ntid, dst)
+
+
+def emit_byte_index(kb: KernelBuilder, dst, idx) -> None:
+    """``dst = idx * 4`` (word index to byte offset)."""
+    kb.mul(dst, idx, 4)
+
+
+#: LCG constants small enough that products stay exact in float64.
+LCG_A = 1665
+LCG_C = 101
+LCG_MASK = (1 << 20) - 1
+
+
+def emit_lcg(kb: KernelBuilder, state) -> None:
+    """Advance an in-register LCG: ``state = (a*state + c) & mask``."""
+    kb.mad(state, state, LCG_A, LCG_C)
+    kb.and_(state, state, LCG_MASK)
+
+
+def lcg_next(state: np.ndarray) -> np.ndarray:
+    """Numpy twin of :func:`emit_lcg` for reference checks."""
+    return (state * LCG_A + LCG_C).astype(np.int64) & LCG_MASK

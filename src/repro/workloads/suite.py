@@ -1,0 +1,64 @@
+"""Workload registry and classification (paper Figure 7)."""
+
+from __future__ import annotations
+
+import importlib
+from repro.workloads.common import Instance
+
+#: Regular applications (Figure 7a), paper order.
+REGULAR = (
+    "3dfd",
+    "backprop",
+    "binomialoptions",
+    "blackscholes",
+    "dwthaar1d",
+    "fastwalshtransform",
+    "hotspot",
+    "matrixmul",
+    "montecarlo",
+    "transpose",
+)
+
+#: Irregular applications (Figure 7b), paper order.
+IRREGULAR = (
+    "bfs",
+    "convolutionseparable",
+    "eigenvalues",
+    "histogram",
+    "lud",
+    "mandelbrot",
+    "needleman_wunsch",
+    "sortingnetworks",
+    "srad",
+    "tmd1",
+    "tmd2",
+)
+
+#: Excluded from suite means, as in the paper (they characterise
+#: thread-frontier reconvergence rather than SBI/SWI).
+MEAN_EXCLUDED = ("tmd1", "tmd2")
+
+ALL_WORKLOADS = REGULAR + IRREGULAR
+
+_MODULE_OF = {name: name for name in ALL_WORKLOADS}
+_MODULE_OF["3dfd"] = "threedfd"  # module names cannot start with a digit
+_MODULE_OF["tmd1"] = "tmd"
+_MODULE_OF["tmd2"] = "tmd"
+
+
+def get_workload(name: str, size: str = "bench") -> Instance:
+    """Build a fresh instance of one workload."""
+    if name not in _MODULE_OF:
+        raise KeyError("unknown workload %r (have %s)" % (name, sorted(_MODULE_OF)))
+    module = importlib.import_module("repro.workloads." + _MODULE_OF[name])
+    if name in ("tmd1", "tmd2"):
+        return module.build(size, variant=name)
+    return module.build(size)
+
+
+def category_of(name: str) -> str:
+    if name in REGULAR:
+        return "regular"
+    if name in IRREGULAR:
+        return "irregular"
+    raise KeyError(name)

@@ -1,0 +1,149 @@
+"""Presets (Table 2), Stats accounting, and the analysis helpers."""
+
+import pytest
+
+from repro.analysis import report as rpt
+from repro.analysis.pipeline_trace import figure2_example, render_trace
+from repro.core import presets
+from repro.timing.config import SMConfig
+from repro.timing.stats import Stats
+
+
+class TestPresets:
+    def test_table2_baseline(self):
+        c = presets.baseline()
+        assert (c.warp_count, c.warp_width) == (32, 32)
+        assert c.scheduler_latency == 1 and c.delivery_latency == 0
+        assert c.scoreboard_kind == "warp"
+        assert c.peak_ipc == 64.0
+
+    def test_table2_sbi(self):
+        c = presets.sbi()
+        assert (c.warp_count, c.warp_width) == (16, 64)
+        assert c.scheduler_latency == 1 and c.delivery_latency == 1
+        assert c.scoreboard_kind == "matrix"
+        assert c.peak_ipc == 104.0
+
+    def test_table2_swi(self):
+        c = presets.swi()
+        assert c.scheduler_latency == 2
+        assert c.lane_shuffle == "xor_rev"
+        assert c.swi_ways is None
+
+    def test_sbi_swi_combination(self):
+        c = presets.sbi_swi()
+        assert c.uses_sbi and c.uses_swi
+        assert c.mad_group_count == 1
+
+    def test_baseline_two_mad_groups(self):
+        assert presets.baseline().mad_group_count == 2
+
+    def test_shared_memory_parameters(self):
+        c = presets.baseline()
+        assert c.l1_size == 48 * 1024 and c.l1_ways == 6 and c.l1_block == 128
+        assert c.dram_bandwidth == 10.0 and c.dram_latency == 330
+
+    def test_by_name_and_overrides(self):
+        c = presets.by_name("swi", ways=3)
+        assert c.swi_ways == 3
+        with pytest.raises(ValueError):
+            presets.by_name("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SMConfig(mode="bogus")
+        with pytest.raises(ValueError):
+            SMConfig(warp_width=48)
+        with pytest.raises(ValueError):
+            SMConfig(lane_shuffle="bogus")
+        with pytest.raises(ValueError):
+            SMConfig(swi_ways=0)
+
+    def test_replace_revalidates(self):
+        c = presets.baseline()
+        with pytest.raises(ValueError):
+            c.replace(warp_width=13)
+
+    def test_describe(self):
+        assert "baseline" in presets.baseline().describe()
+
+
+class TestStats:
+    def test_ipc(self):
+        s = Stats()
+        s.cycles = 10
+        s.thread_instructions = 320
+        assert s.ipc == 32.0
+
+    def test_zero_cycles(self):
+        assert Stats().ipc == 0.0
+        assert Stats().l1_hit_rate == 0.0
+        assert Stats().avg_active_threads == 0.0
+
+    def test_record_issue_origins(self):
+        s = Stats()
+        s.record_issue("mad", 32, "primary")
+        s.record_issue("lsu", 16, "sbi")
+        s.record_issue("sfu", 8, "swi")
+        assert s.instructions_issued == 3
+        assert s.thread_instructions == 56
+        assert (s.issued_primary, s.issued_sbi_secondary, s.issued_swi_secondary) == (1, 1, 1)
+        assert s.per_op_class == {"mad": 32, "lsu": 16, "sfu": 8}
+
+    def test_bad_origin(self):
+        with pytest.raises(ValueError):
+            Stats().record_issue("mad", 1, "bogus")
+
+    def test_summary_renders(self):
+        s = Stats()
+        s.cycles = 100
+        s.record_issue("mad", 32, "primary")
+        text = s.summary()
+        assert "IPC" in text and "cycles" in text
+
+
+class TestReportHelpers:
+    def test_gmean(self):
+        assert rpt.gmean([2.0, 8.0]) == pytest.approx(4.0)
+        assert rpt.gmean([]) == 0.0
+        with pytest.raises(ValueError):
+            rpt.gmean([1.0, -1.0])
+
+    def test_format_table(self):
+        text = rpt.format_table(["a", "b"], [[1, 2.5], ["x", None]], title="T")
+        assert "T" in text and "2.50" in text and "-" in text
+
+    def test_speedup_table_excludes(self):
+        ipc = {
+            "w1": {"base": 10.0, "new": 20.0},
+            "tmdx": {"base": 10.0, "new": 40.0},
+        }
+        text = rpt.speedup_table(
+            ipc, "base", ["new"], ["w1", "tmdx"], excluded=("tmdx",)
+        )
+        assert "2.00" in text  # w1 speedup
+        assert "gmean" in text
+        lines = [l for l in text.splitlines() if l.startswith("gmean")]
+        assert "2.00" in lines[0]  # tmdx's 4x not in the mean
+
+
+class TestPipelineTrace:
+    def test_render_empty(self):
+        assert render_trace([], 4) == "(no issues)"
+
+    @pytest.mark.parametrize("mode", ["baseline", "sbi", "swi", "sbi_swi", "sbi_nc"])
+    def test_figure2_modes_run(self, mode):
+        stats, art = figure2_example(mode)
+        assert stats.thread_instructions > 0
+        assert "cycle" in art
+
+    def test_figure2_sbi_co_issues(self):
+        stats, _ = figure2_example("sbi")
+        assert stats.issued_sbi_secondary > 0
+
+    def test_figure2_results_equal_across_modes(self):
+        counts = set()
+        for mode in ("baseline", "sbi", "swi", "sbi_swi"):
+            stats, _ = figure2_example(mode)
+            counts.add(stats.thread_instructions)
+        assert len(counts) == 1

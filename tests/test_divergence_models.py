@@ -1,0 +1,255 @@
+"""Stack, frontier and HCT/CCT divergence models."""
+
+import pytest
+
+from repro.timing.divergence import Split
+from repro.timing.frontier import FrontierModel
+from repro.timing.hct import SBIModel
+from repro.timing.stack import StackModel
+
+W = 8
+FULL = (1 << W) - 1
+PERM = tuple(range(W))
+
+
+def models():
+    return [
+        StackModel(FULL, PERM),
+        FrontierModel(FULL, PERM),
+        SBIModel(FULL, PERM, insert_delay=0),
+    ]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("model", models(), ids=["stack", "frontier", "sbi"])
+    def test_initial_state(self, model):
+        hot = model.hot_splits(0)
+        assert len(hot) == 1
+        assert hot[0].pc == 0 and hot[0].mask == FULL
+        model.check_invariants()
+
+    @pytest.mark.parametrize("model", models(), ids=["stack", "frontier", "sbi"])
+    def test_uniform_branch(self, model):
+        split = model.hot_splits(0)[0]
+        diverged = model.branch(split, FULL, 5, reconv_pc=9, now=0)
+        assert not diverged
+        assert model.hot_splits(0)[0].pc == 5
+        model.check_invariants()
+
+    @pytest.mark.parametrize("model", models(), ids=["stack", "frontier", "sbi"])
+    def test_divergent_branch_partitions_mask(self, model):
+        split = model.hot_splits(0)[0]
+        taken = 0b00001111
+        diverged = model.branch(split, taken, 5, reconv_pc=9, now=0)
+        assert diverged
+        model.check_invariants()
+        live = 0
+        for s in model.all_splits():
+            live |= s.mask
+        assert live == FULL
+
+    @pytest.mark.parametrize("model", models(), ids=["stack", "frontier", "sbi"])
+    def test_exit_removes_threads(self, model):
+        split = model.hot_splits(0)[0]
+        model.exit_threads(split, 0b1111, now=0)
+        model.check_invariants()
+        assert model.live_mask() == 0b11110000
+
+    @pytest.mark.parametrize("model", models(), ids=["stack", "frontier", "sbi"])
+    def test_full_exit_finishes_warp(self, model):
+        split = model.hot_splits(0)[0]
+        model.exit_threads(split, FULL, now=0)
+        assert model.done
+
+    @pytest.mark.parametrize("model", models(), ids=["stack", "frontier", "sbi"])
+    def test_park_unpark_roundtrip(self, model):
+        split = model.hot_splits(0)[0]
+        model.park(split, now=0)
+        assert model.hot_splits(0) == []
+        model.unpark_all(now=1)
+        hot = model.hot_splits(1)
+        assert len(hot) == 1 and hot[0].pc == 1
+        model.check_invariants()
+
+
+class TestStack:
+    def test_reconverges_at_ipdom(self):
+        m = StackModel(FULL, PERM)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 5, reconv_pc=9, now=0)
+        # Taken path runs 5..8, pops at 9.
+        top = m.hot_splits(0)[0]
+        assert top.pc == 5 and top.mask == 0b1111
+        for _ in range(4):
+            m.advance(top, 0)
+        # Now the fall-through path (pc 1) is on top.
+        top = m.hot_splits(0)[0]
+        assert top.pc == 1 and top.mask == 0b11110000
+        for _ in range(8):
+            m.advance(top, 0)
+        top = m.hot_splits(0)[0]
+        assert top.pc == 9 and top.mask == FULL
+        assert m.merge_count >= 2
+
+    def test_serialises_paths(self):
+        m = StackModel(FULL, PERM)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 5, reconv_pc=9, now=0)
+        assert len(m.hot_splits(0)) == 1  # only the top runs
+
+    def test_empty_taken_path_merges_immediately(self):
+        m = StackModel(FULL, PERM)
+        split = m.hot_splits(0)[0]
+        # if-without-else: taken target == reconvergence point.
+        m.branch(split, 0b1111, 9, reconv_pc=9, now=0)
+        top = m.hot_splits(0)[0]
+        assert top.pc == 1 and top.mask == 0b11110000
+
+    def test_exit_within_divergent_region(self):
+        m = StackModel(FULL, PERM)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 5, reconv_pc=9, now=0)
+        top = m.hot_splits(0)[0]
+        m.exit_threads(top, 0b1111, now=0)
+        m.check_invariants()
+        assert m.live_mask() == 0b11110000
+
+    def test_unstructured_branch_without_reconv(self):
+        m = StackModel(FULL, PERM)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 5, reconv_pc=None, now=0)
+        top = m.hot_splits(0)[0]
+        m.exit_threads(top, top.mask, now=0)
+        top = m.hot_splits(0)[0]
+        assert top.mask == 0b11110000
+
+
+class TestFrontier:
+    def test_min_pc_runs(self):
+        m = FrontierModel(FULL, PERM)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 5, reconv_pc=None, now=0)
+        assert m.hot_splits(0)[0].pc == 1  # fall-through has lower pc
+
+    def test_equal_pc_merges(self):
+        m = FrontierModel(FULL, PERM)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 2, reconv_pc=None, now=0)
+        lagging = m.hot_splits(0)[0]
+        assert lagging.pc == 1
+        m.advance(lagging, 0)
+        hot = m.hot_splits(0)
+        assert len(list(m.all_splits())) == 1
+        assert hot[0].mask == FULL
+        assert m.merge_count == 1
+
+    def test_pending_split_not_merged(self):
+        m = FrontierModel(FULL, PERM)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 2, reconv_pc=None, now=0)
+        target = next(s for s in m.splits if s.pc == 2)
+        target.pending = True
+        lagging = m.hot_splits(0)[0]
+        m.advance(lagging, 0)
+        assert len(m.splits) == 2  # merge deferred while pending
+
+    def test_merged_split_marked_dead(self):
+        m = FrontierModel(FULL, PERM)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 2, reconv_pc=None, now=0)
+        lagging = m.hot_splits(0)[0]
+        m.advance(lagging, 0)
+        dead = [s for s in (split, lagging) if s.mask == 0]
+        assert len(dead) == 1
+
+
+class TestSBIHeap:
+    def test_two_hot_contexts(self):
+        m = SBIModel(FULL, PERM, insert_delay=0)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 5, reconv_pc=None, now=0)
+        hot = m.hot_splits(0)
+        assert len(hot) == 2
+        assert hot[0].pc == 1 and hot[1].pc == 5  # CPC1 < CPC2
+
+    def test_third_context_spills_to_cct(self):
+        m = SBIModel(FULL, PERM, insert_delay=0)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 5, reconv_pc=None, now=0)
+        cpc1 = m.hot_splits(0)[0]  # pc 1, mask 0b11110000
+        m.branch(cpc1, 0b00110000, 3, reconv_pc=None, now=0)
+        hot = m.hot_splits(0)
+        assert len(hot) == 2
+        assert [s.pc for s in hot] == [2, 3]  # minimum two contexts
+        assert len(m.cold) == 1 and m.cold[0].pc == 5
+
+    def test_cct_refills_hot(self):
+        m = SBIModel(FULL, PERM, insert_delay=0)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 5, reconv_pc=None, now=0)
+        cpc1 = m.hot_splits(0)[0]
+        m.branch(cpc1, 0b00110000, 3, reconv_pc=None, now=0)
+        # Exit the minimum split: the cold context must come back.
+        cpc1 = m.hot_splits(0)[0]
+        m.exit_threads(cpc1, cpc1.mask, now=0)
+        hot = m.hot_splits(0)
+        assert len(hot) == 2
+        assert [s.pc for s in hot] == [3, 5]
+        assert not m.cold
+
+    def test_sideband_delay_gates_promotion(self):
+        m = SBIModel(FULL, PERM, insert_delay=5)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 5, reconv_pc=None, now=0)
+        cpc1 = m.hot_splits(0)[0]
+        m.branch(cpc1, 0b00110000, 3, reconv_pc=None, now=0)
+        spilled = m.cold[0]
+        assert spilled.ready_at == 5
+        cpc1 = m.hot_splits(0)[0]
+        m.exit_threads(cpc1, cpc1.mask, now=0)
+        assert len(m.hot_splits(0)) == 1  # not yet sorted in
+        assert len(m.hot_splits(5)) == 2  # promoted once ready
+
+    def test_equal_pc_hot_merge(self):
+        m = SBIModel(FULL, PERM, insert_delay=0)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 2, reconv_pc=None, now=0)
+        lagging = m.hot_splits(0)[0]
+        m.advance(lagging, 0)
+        hot = m.hot_splits(0)
+        assert len(hot) == 1 and hot[0].mask == FULL
+        assert m.merge_count == 1
+
+    def test_cold_merges_through_settle(self):
+        m = SBIModel(FULL, PERM, insert_delay=0)
+        split = m.hot_splits(0)[0]
+        # Two divergences targeting the same PC merge in the heap.
+        m.branch(split, 0b1111, 5, reconv_pc=None, now=0)
+        cpc1 = m.hot_splits(0)[0]  # pc 1, mask 0b11110000
+        m.branch(cpc1, 0b00110000, 5, reconv_pc=None, now=0)
+        pcs = sorted(s.pc for s in m.all_splits())
+        masks = {s.pc: s.mask for s in m.all_splits()}
+        assert pcs == [2, 5]
+        assert masks[5] == 0b00111111
+        assert m.merge_count == 1
+
+    def test_unpark_rejoins_heap(self):
+        m = SBIModel(FULL, PERM, insert_delay=0)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 5, reconv_pc=None, now=0)
+        cpc2 = m.hot_splits(0)[1]
+        m.park(cpc2, now=0)
+        assert len(m.hot_splits(0)) == 1
+        m.unpark_all(now=1)
+        assert len(m.hot_splits(1)) == 2
+        m.check_invariants()
+
+    def test_high_water_tracked(self):
+        m = SBIModel(FULL, PERM, insert_delay=0, cct_capacity=1)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1, 10, reconv_pc=None, now=0)
+        s = m.hot_splits(0)[0]
+        m.branch(s, 0b10, 11, reconv_pc=None, now=0)
+        s = m.hot_splits(0)[0]
+        m.branch(s, 0b100, 12, reconv_pc=None, now=0)
+        assert m.cct_high_water >= 1

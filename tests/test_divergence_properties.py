@@ -1,0 +1,151 @@
+"""Property tests: divergence models under random operation storms.
+
+Whatever sequence of branches, advances, exits, parks and releases a
+scheduler throws at a divergence model, two invariants must hold at
+every step (paper-critical — SBI's co-issue legality depends on them):
+
+* live splits are pairwise disjoint;
+* the union of live masks equals launch minus exited threads.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timing.frontier import FrontierModel
+from repro.timing.hct import SBIModel
+from repro.timing.stack import StackModel
+
+W = 16
+FULL = (1 << W) - 1
+PERM = tuple(range(W))
+MAX_PC = 30
+
+
+def _models():
+    return {
+        "stack": lambda: StackModel(FULL, PERM),
+        "frontier": lambda: FrontierModel(FULL, PERM),
+        "sbi": lambda: SBIModel(FULL, PERM, insert_delay=1),
+        "sbi_slow_sideband": lambda: SBIModel(FULL, PERM, insert_delay=7),
+    }
+
+
+@st.composite
+def op_sequences(draw):
+    ops = []
+    for _ in range(draw(st.integers(5, 40))):
+        kind = draw(
+            st.sampled_from(["branch", "advance", "exit", "park_cycle"])
+        )
+        ops.append(
+            (
+                kind,
+                draw(st.integers(0, FULL)),  # mask material
+                draw(st.integers(0, MAX_PC)),  # target material
+                draw(st.booleans()),  # pick primary or secondary hot
+            )
+        )
+    return ops
+
+
+class TestInvariantStorm:
+    @pytest.mark.parametrize("name", sorted(_models()))
+    @given(ops=op_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold(self, name, ops):
+        model = _models()[name]()
+        now = 0
+        for kind, mask_bits, target, pick_second in ops:
+            now += 1
+            hot = model.hot_splits(now)
+            if not hot:
+                model.unpark_all(now)
+                hot = model.hot_splits(now)
+                if not hot:
+                    break
+            split = hot[1] if (pick_second and len(hot) > 1) else hot[0]
+            if kind == "branch":
+                taken = split.mask & mask_bits
+                # The stack model needs a reconvergence pc above the
+                # branch; use the maximum pc as a conservative join.
+                model.branch(split, taken, target, reconv_pc=MAX_PC + 1, now=now)
+            elif kind == "advance":
+                model.advance(split, now)
+            elif kind == "exit":
+                exit_mask = split.mask & mask_bits
+                if exit_mask:
+                    model.exit_threads(split, exit_mask, now)
+            else:  # park everything runnable, then release
+                model.park(split, now)
+                model.unpark_all(now)
+            model.check_invariants()
+        model.check_invariants()
+
+    @pytest.mark.parametrize("name", sorted(_models()))
+    @given(ops=op_sequences())
+    @settings(max_examples=30, deadline=None)
+    def test_hot_splits_always_live_and_sorted(self, name, ops):
+        model = _models()[name]()
+        now = 0
+        for kind, mask_bits, target, pick_second in ops:
+            now += 1
+            hot = model.hot_splits(now)
+            if not hot:
+                break
+            pcs = [s.pc for s in hot]
+            assert pcs == sorted(pcs), "hot contexts must be PC-ordered"
+            assert all(s.mask for s in hot), "hot contexts must be live"
+            split = hot[1] if (pick_second and len(hot) > 1) else hot[0]
+            if kind == "branch":
+                model.branch(
+                    split, split.mask & mask_bits, target, reconv_pc=MAX_PC + 1, now=now
+                )
+            elif kind == "advance":
+                model.advance(split, now)
+            elif kind == "exit" and (split.mask & mask_bits):
+                model.exit_threads(split, split.mask & mask_bits, now)
+
+    @given(ops=op_sequences())
+    @settings(max_examples=30, deadline=None)
+    def test_sbi_hot_capacity_bound(self, ops):
+        model = SBIModel(FULL, PERM, insert_delay=2)
+        now = 0
+        for kind, mask_bits, target, pick_second in ops:
+            now += 1
+            hot = model.hot_splits(now)
+            assert len(hot) <= 2, "HCT exposes at most two contexts"
+            if not hot:
+                break
+            split = hot[1] if (pick_second and len(hot) > 1) else hot[0]
+            if kind == "branch":
+                model.branch(
+                    split, split.mask & mask_bits, target, reconv_pc=None, now=now
+                )
+            elif kind == "advance":
+                model.advance(split, now)
+            elif kind == "exit" and (split.mask & mask_bits):
+                model.exit_threads(split, split.mask & mask_bits, now)
+
+    @given(ops=op_sequences())
+    @settings(max_examples=30, deadline=None)
+    def test_merges_never_lose_threads(self, ops):
+        model = FrontierModel(FULL, PERM)
+        now = 0
+        for kind, mask_bits, target, _ in ops:
+            now += 1
+            hot = model.hot_splits(now)
+            if not hot:
+                break
+            split = hot[0]
+            before = model.live_mask() | model.exited_mask
+            if kind == "branch":
+                model.branch(
+                    split, split.mask & mask_bits, target, reconv_pc=None, now=now
+                )
+            elif kind == "advance":
+                model.advance(split, now)
+            elif kind == "exit" and (split.mask & mask_bits):
+                model.exit_threads(split, split.mask & mask_bits, now)
+            after = model.live_mask() | model.exited_mask
+            assert after == before == FULL

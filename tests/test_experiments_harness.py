@@ -1,0 +1,83 @@
+"""The analysis/experiments harness used by the benchmark tree."""
+
+import os
+
+import pytest
+
+from repro.analysis import experiments
+from repro.core import presets
+
+
+class TestRunOne:
+    def test_runs_and_caches(self):
+        cfg = presets.baseline()
+        first = experiments.run_one("histogram", cfg, "tiny")
+        second = experiments.run_one("histogram", cfg, "tiny")
+        assert first is second  # cache hit
+
+    def test_cache_keyed_by_config(self):
+        a = experiments.run_one("histogram", presets.baseline(), "tiny")
+        b = experiments.run_one("histogram", presets.warp64(), "tiny")
+        assert a is not b
+
+    def test_no_cache(self):
+        cfg = presets.baseline()
+        a = experiments.run_one("histogram", cfg, "tiny", cache=False)
+        b = experiments.run_one("histogram", cfg, "tiny", cache=False)
+        assert a is not b
+        assert a.cycles == b.cycles  # deterministic
+
+    def test_verify_flag(self):
+        experiments.run_one(
+            "histogram", presets.baseline(), "tiny", verify=True, cache=False
+        )
+
+    def test_config_key_distinguishes_options(self):
+        keys = {
+            experiments.config_key(presets.swi()),
+            experiments.config_key(presets.swi(ways=3)),
+            experiments.config_key(presets.swi(lane_shuffle="xor")),
+            experiments.config_key(presets.sbi(constraints=False)),
+        }
+        assert len(keys) == 4
+
+
+class TestSuiteHelpers:
+    def test_run_suite_shape(self):
+        results = experiments.run_suite(
+            {"baseline": presets.baseline()}, ["histogram"], "tiny"
+        )
+        assert set(results) == {"histogram"}
+        assert set(results["histogram"]) == {"baseline"}
+
+    def test_ipc_table(self):
+        results = experiments.run_suite(
+            {"baseline": presets.baseline()}, ["histogram"], "tiny"
+        )
+        table = experiments.suite_ipc_table(results)
+        assert table["histogram"]["baseline"] > 0
+
+    def test_included_excludes_tmd(self):
+        names = experiments.included(["bfs", "tmd1", "tmd2", "lud"])
+        assert names == ["bfs", "lud"]
+
+    def test_figure7_configs_complete(self):
+        cfgs = experiments.figure7_configs()
+        assert set(cfgs) == {"baseline", "sbi", "swi", "sbi_swi", "warp64"}
+
+    def test_save_results(self, tmp_path):
+        path = os.path.join(str(tmp_path), "sub", "out.json")
+        experiments.save_results(path, {"a": {"b": 1.0}})
+        assert os.path.exists(path)
+
+    def test_determinism_across_instances(self):
+        """Two fresh runs of the same cell give identical cycle counts —
+        the simulator has no hidden global state."""
+        cfg = presets.sbi_swi()
+        a = experiments.run_one("sortingnetworks", cfg, "tiny", cache=False)
+        b = experiments.run_one("sortingnetworks", cfg, "tiny", cache=False)
+        assert (a.cycles, a.thread_instructions, a.instructions_issued) == (
+            b.cycles,
+            b.thread_instructions,
+            b.instructions_issued,
+        )

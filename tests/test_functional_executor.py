@@ -1,0 +1,223 @@
+"""Semantics of every opcode in the vectorised executor."""
+
+import numpy as np
+import pytest
+
+from repro.functional.executor import Executor, FunctionalWarp
+from repro.functional.memory import MemoryImage, SharedMemory
+from repro.isa.builder import Kernel, KernelBuilder
+from repro.isa.instructions import CmpOp, Instruction, MemSpace, Op, imm, reg, special
+from repro.isa.program import Program
+
+W = 8
+
+
+@pytest.fixture
+def env():
+    memory = MemoryImage(1 << 16)
+    prog = Program([Instruction(Op.EXIT)])
+    kernel = Kernel("t", prog, cta_size=W, grid_size=1, params=(2.0, 3.0), nregs=8)
+    executor = Executor(kernel, memory)
+    warp = FunctionalWarp(
+        warp_id=1,
+        width=W,
+        nregs=8,
+        tids_in_cta=np.arange(W),
+        cta_index=0,
+        shared=SharedMemory(256),
+    )
+    mask = np.ones(W, dtype=bool)
+    return executor, warp, mask, memory
+
+
+def run_op(env, op, *srcs, dst=0, cmp=None, **kw):
+    executor, warp, mask, _ = env
+    instr = Instruction(op, dst=dst, srcs=srcs, cmp=cmp, **kw)
+    executor.execute(instr, warp, mask)
+    return warp.regs[dst]
+
+
+class TestArithmetic:
+    def test_mov_imm(self, env):
+        out = run_op(env, Op.MOV, imm(7))
+        assert np.all(out == 7)
+
+    def test_add_sub_mul(self, env):
+        _, warp, _, _ = env
+        warp.regs[1] = np.arange(W)
+        assert np.array_equal(run_op(env, Op.ADD, reg(1), imm(2)), np.arange(W) + 2)
+        assert np.array_equal(run_op(env, Op.SUB, reg(1), imm(1)), np.arange(W) - 1)
+        assert np.array_equal(run_op(env, Op.MUL, reg(1), imm(3)), np.arange(W) * 3)
+
+    def test_mad(self, env):
+        _, warp, _, _ = env
+        warp.regs[1] = np.arange(W)
+        out = run_op(env, Op.MAD, reg(1), imm(2), imm(5))
+        assert np.array_equal(out, np.arange(W) * 2 + 5)
+
+    def test_min_max_abs_neg_floor(self, env):
+        _, warp, _, _ = env
+        warp.regs[1] = np.array([-2.5, -1, 0, 1, 2.5, 3, -4, 5], dtype=float)
+        assert np.all(run_op(env, Op.MIN, reg(1), imm(0)) <= 0)
+        assert np.all(run_op(env, Op.MAX, reg(1), imm(0)) >= 0)
+        assert np.all(run_op(env, Op.ABS, reg(1)) >= 0)
+        assert np.array_equal(run_op(env, Op.NEG, reg(1)), -warp.regs[1])
+        assert np.array_equal(run_op(env, Op.FLOOR, reg(1)), np.floor(warp.regs[1]))
+
+    def test_integer_logic(self, env):
+        _, warp, _, _ = env
+        warp.regs[1] = np.arange(W)
+        assert np.array_equal(run_op(env, Op.AND, reg(1), imm(1)), np.arange(W) & 1)
+        assert np.array_equal(run_op(env, Op.OR, reg(1), imm(4)), np.arange(W) | 4)
+        assert np.array_equal(run_op(env, Op.XOR, reg(1), imm(3)), np.arange(W) ^ 3)
+        assert np.array_equal(run_op(env, Op.SHL, reg(1), imm(2)), np.arange(W) << 2)
+        assert np.array_equal(run_op(env, Op.SHR, reg(1), imm(1)), np.arange(W) >> 1)
+
+    def test_sel(self, env):
+        _, warp, _, _ = env
+        warp.regs[1] = np.array([0, 1, 0, 1, 0, 1, 0, 1], dtype=float)
+        out = run_op(env, Op.SEL, reg(1), imm(10), imm(20))
+        assert np.array_equal(out, np.where(warp.regs[1] != 0, 10, 20))
+
+    @pytest.mark.parametrize(
+        "cmp,fn",
+        [
+            (CmpOp.LT, np.less),
+            (CmpOp.LE, np.less_equal),
+            (CmpOp.GT, np.greater),
+            (CmpOp.GE, np.greater_equal),
+            (CmpOp.EQ, np.equal),
+            (CmpOp.NE, np.not_equal),
+        ],
+    )
+    def test_setp(self, env, cmp, fn):
+        _, warp, _, _ = env
+        warp.regs[1] = np.arange(W)
+        out = run_op(env, Op.SETP, reg(1), imm(4), cmp=cmp)
+        assert np.array_equal(out, fn(np.arange(W), 4).astype(float))
+
+
+class TestSFU:
+    def test_rcp_div_sqrt(self, env):
+        _, warp, _, _ = env
+        warp.regs[1] = np.arange(1, W + 1, dtype=float)
+        assert np.allclose(run_op(env, Op.RCP, reg(1)), 1.0 / warp.regs[1])
+        assert np.allclose(run_op(env, Op.DIV, imm(2), reg(1)), 2.0 / warp.regs[1])
+        assert np.allclose(run_op(env, Op.SQRT, reg(1)), np.sqrt(warp.regs[1]))
+        assert np.allclose(run_op(env, Op.RSQRT, reg(1)), 1 / np.sqrt(warp.regs[1]))
+
+    def test_transcendentals(self, env):
+        _, warp, _, _ = env
+        warp.regs[1] = np.linspace(0.1, 2.0, W)
+        assert np.allclose(run_op(env, Op.SIN, reg(1)), np.sin(warp.regs[1]))
+        assert np.allclose(run_op(env, Op.COS, reg(1)), np.cos(warp.regs[1]))
+        assert np.allclose(run_op(env, Op.EX2, reg(1)), np.exp2(warp.regs[1]))
+        assert np.allclose(run_op(env, Op.LG2, reg(1)), np.log2(warp.regs[1]))
+
+
+class TestSpecials:
+    def test_tid_and_params(self, env):
+        executor, warp, mask, _ = env
+        out = run_op(env, Op.MOV, special("tid"))
+        assert np.array_equal(out, np.arange(W))
+        assert np.all(run_op(env, Op.MOV, special("param", 0)) == 2.0)
+        assert np.all(run_op(env, Op.MOV, special("param", 1)) == 3.0)
+
+    def test_geometry_specials(self, env):
+        assert np.all(run_op(env, Op.MOV, special("ntid")) == W)
+        assert np.all(run_op(env, Op.MOV, special("ctaid")) == 0)
+        assert np.all(run_op(env, Op.MOV, special("nctaid")) == 1)
+        assert np.all(run_op(env, Op.MOV, special("warpid")) == 1)
+
+    def test_missing_param_raises(self, env):
+        from repro.functional.executor import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            run_op(env, Op.MOV, special("param", 7))
+
+
+class TestMasking:
+    def test_partial_mask_writes(self, env):
+        executor, warp, _, _ = env
+        mask = np.zeros(W, dtype=bool)
+        mask[::2] = True
+        instr = Instruction(Op.MOV, dst=0, srcs=(imm(9),))
+        executor.execute(instr, warp, mask)
+        assert np.all(warp.regs[0][::2] == 9)
+        assert np.all(warp.regs[0][1::2] == 0)
+
+    def test_predication(self, env):
+        executor, warp, mask, _ = env
+        warp.regs[3] = (np.arange(W) < 4).astype(float)
+        instr = Instruction(Op.MOV, dst=0, srcs=(imm(5),), pred=3)
+        out = executor.execute(instr, warp, mask)
+        assert np.array_equal(out.active, np.arange(W) < 4)
+        assert np.all(warp.regs[0][:4] == 5) and np.all(warp.regs[0][4:] == 0)
+
+    def test_negated_predication(self, env):
+        executor, warp, mask, _ = env
+        warp.regs[3] = (np.arange(W) < 4).astype(float)
+        instr = Instruction(Op.MOV, dst=0, srcs=(imm(5),), pred=3, pred_neg=True)
+        out = executor.execute(instr, warp, mask)
+        assert np.array_equal(out.active, np.arange(W) >= 4)
+
+
+class TestBranchesAndMemory:
+    def test_branch_taken_mask(self, env):
+        executor, warp, mask, _ = env
+        warp.regs[2] = (np.arange(W) % 2).astype(float)
+        instr = Instruction(Op.BRA, srcs=(reg(2),), target=0)
+        out = executor.execute(instr, warp, mask)
+        assert np.array_equal(out.taken, np.arange(W) % 2 == 1)
+
+    def test_unconditional_branch_all_taken(self, env):
+        executor, warp, mask, _ = env
+        instr = Instruction(Op.BRA, target=0)
+        out = executor.execute(instr, warp, mask)
+        assert out.taken.all()
+
+    def test_load_store_roundtrip(self, env):
+        executor, warp, mask, memory = env
+        base = memory.alloc(W * 4)
+        warp.regs[1] = np.arange(W) * 4.0
+        warp.regs[2] = np.arange(W) + 100.0
+        st = Instruction(
+            Op.ST, srcs=(imm(base), reg(1), reg(2)), space=MemSpace.GLOBAL
+        )
+        executor.execute(st, warp, mask)
+        ld = Instruction(
+            Op.LD, dst=3, srcs=(imm(base), reg(1)), space=MemSpace.GLOBAL
+        )
+        out = executor.execute(ld, warp, mask)
+        assert out.is_memory and out.space is MemSpace.GLOBAL
+        assert np.array_equal(warp.regs[3], np.arange(W) + 100.0)
+
+    def test_static_offset_addressing(self, env):
+        executor, warp, mask, memory = env
+        base = memory.alloc(2 * W * 4)
+        memory.write_array(base + 4, np.arange(W) + 7)
+        warp.regs[1] = np.arange(W) * 4.0
+        ld = Instruction(
+            Op.LD, dst=3, srcs=(imm(base), reg(1)), offset=4, space=MemSpace.GLOBAL
+        )
+        executor.execute(ld, warp, mask)
+        assert np.array_equal(warp.regs[3], np.arange(W) + 7)
+
+    def test_shared_space_isolated_from_global(self, env):
+        executor, warp, mask, memory = env
+        warp.regs[1] = np.arange(W) * 4.0
+        st = Instruction(Op.ST, srcs=(imm(0), reg(1), imm(42)), space=MemSpace.SHARED)
+        executor.execute(st, warp, mask)
+        assert np.all(warp.shared.read_array(0, W) == 42)
+        assert np.all(memory.read_array(128, W) == 0)
+
+    def test_atomic_add_returns_old(self, env):
+        executor, warp, mask, memory = env
+        base = memory.alloc(4)
+        atom = Instruction(
+            Op.ATOM_ADD, dst=4, srcs=(imm(base), imm(1.0)), space=MemSpace.GLOBAL
+        )
+        executor.execute(atom, warp, mask)
+        # All 8 threads hit the same word: serialised old values 0..7.
+        assert np.array_equal(np.sort(warp.regs[4]), np.arange(W))
+        assert memory.read_array(base, 1)[0] == W

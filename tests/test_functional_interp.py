@@ -1,0 +1,146 @@
+"""Reference interpreter: scheduling, merging, barriers, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.functional import MemoryImage, run_kernel
+from repro.functional.interp import InterpreterError, InterpResult
+from repro.isa import CmpOp, KernelBuilder, MemSpace
+
+
+def _store_tid_kernel(cta=64, grid=2):
+    kb = KernelBuilder("ids")
+    t, a = kb.regs("t", "a")
+    kb.mov(t, kb.tid)
+    kb.mad(t, kb.ctaid, kb.ntid, t)
+    kb.mul(a, t, 4)
+    kb.st(kb.param(0), t, index=a)
+    kb.exit_()
+    return kb.build(cta_size=cta, grid_size=grid, params=(0.0,))
+
+
+class TestBasics:
+    def test_thread_ids(self):
+        mem = MemoryImage()
+        out = mem.alloc(128 * 4)
+        kernel = _store_tid_kernel().with_params(float(out))
+        run_kernel(kernel, mem)
+        np.testing.assert_array_equal(mem.read_array(out, 128), np.arange(128))
+
+    def test_instruction_accounting(self):
+        mem = MemoryImage()
+        out = mem.alloc(128 * 4)
+        kernel = _store_tid_kernel().with_params(float(out))
+        result = run_kernel(kernel, mem)
+        # 5 instructions x 128 threads, executed warp-wide.
+        assert result.thread_instructions == 5 * 128
+        assert result.instructions == 5 * 4  # 4 warps of 32
+        assert result.per_op_class["lsu"] == 128
+
+    def test_divergence_counted(self):
+        kb = KernelBuilder("div")
+        t, p, v = kb.regs("t", "p", "v")
+        kb.mov(t, kb.tid)
+        kb.and_(p, t, 1)
+        kb.bra("x", cond=p)
+        kb.mov(v, 1)
+        kb.label("x")
+        kb.exit_()
+        result = run_kernel(kb.build(cta_size=32, grid_size=1), MemoryImage())
+        assert result.branches == 1
+        assert result.divergent_branches == 1
+
+    def test_warp_width_parameter(self):
+        mem = MemoryImage()
+        out = mem.alloc(128 * 4)
+        kernel = _store_tid_kernel().with_params(float(out))
+        result = run_kernel(kernel, mem, warp_width=8)
+        assert result.instructions == 5 * 16  # 16 warps of 8
+        np.testing.assert_array_equal(mem.read_array(out, 128), np.arange(128))
+
+    def test_infinite_loop_detected(self):
+        kb = KernelBuilder("inf")
+        kb.label("l")
+        kb.nop()
+        kb.bra("l")
+        kernel = kb.build(cta_size=32, grid_size=1)
+        with pytest.raises(InterpreterError, match="steps"):
+            run_kernel(kernel, MemoryImage(), max_steps=100)
+
+
+class TestMergingAndBarriers:
+    def test_reconverged_threads_execute_together(self):
+        # After the if/else joins, the tail should execute once per
+        # warp, not once per path.
+        kb = KernelBuilder("merge")
+        t, p, v = kb.regs("t", "p", "v")
+        kb.mov(t, kb.tid)
+        kb.and_(p, t, 1)
+        kb.bra("e", cond=p)
+        kb.mov(v, 1)
+        kb.bra("j")
+        kb.label("e")
+        kb.mov(v, 2)
+        kb.label("j")
+        kb.nop()  # tail marker
+        kb.exit_()
+        result = run_kernel(kb.build(cta_size=32, grid_size=1), MemoryImage())
+        from repro.isa.instructions import Op
+
+        # One warp: the tail NOP must have executed exactly once
+        # (merged): prologue mov/and/bra (3) + then-path mov/bra (2) +
+        # else-path mov (1) + nop (1) + exit (1).
+        assert result.instructions == 3 + 2 + 1 + 1 + 1
+
+    def test_barrier_orders_shared_memory(self):
+        kb = KernelBuilder("bar")
+        t, v, a = kb.regs("t", "v", "a")
+        kb.mov(t, kb.tid)
+        kb.mul(a, t, 4)
+        kb.st(0, t, index=a, space=MemSpace.SHARED)
+        kb.bar()
+        kb.sub(v, 63, t)  # read the mirrored slot
+        kb.mul(a, v, 4)
+        kb.ld(v, 0, index=a, space=MemSpace.SHARED)
+        kb.mul(a, t, 4)
+        kb.st(kb.param(0), v, index=a)
+        kb.exit_()
+        mem = MemoryImage()
+        out = mem.alloc(64 * 4)
+        kernel = kb.build(
+            cta_size=64, grid_size=1, params=(out,), shared_bytes=64 * 4
+        )
+        run_kernel(kernel, mem)
+        np.testing.assert_array_equal(
+            mem.read_array(out, 64), 63 - np.arange(64)
+        )
+
+    def test_data_dependent_loop_trip_counts(self):
+        kb = KernelBuilder("trips")
+        t, c, acc, p, a = kb.regs("t", "c", "acc", "p", "a")
+        kb.mov(t, kb.tid)
+        kb.and_(c, t, 7)
+        kb.mov(acc, 0)
+        kb.label("l")
+        kb.add(acc, acc, 1)
+        kb.sub(c, c, 1)
+        kb.setp(p, CmpOp.GE, c, 0)
+        kb.bra("l", cond=p)
+        kb.mul(a, t, 4)
+        kb.st(kb.param(0), acc, index=a)
+        kb.exit_()
+        mem = MemoryImage()
+        out = mem.alloc(64 * 4)
+        kernel = kb.build(cta_size=64, grid_size=1, params=(out,))
+        run_kernel(kernel, mem)
+        np.testing.assert_array_equal(
+            mem.read_array(out, 64), (np.arange(64) % 8) + 1
+        )
+
+    def test_partial_cta(self):
+        mem = MemoryImage()
+        out = mem.alloc(64 * 4)
+        kernel = _store_tid_kernel(cta=40, grid=1).with_params(float(out))
+        run_kernel(kernel, mem)
+        np.testing.assert_array_equal(mem.read_array(out, 40), np.arange(40))
+        assert np.all(mem.read_array(out + 40 * 4, 24) == 0)

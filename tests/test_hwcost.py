@@ -1,0 +1,94 @@
+"""Hardware cost models vs the paper's Tables 3 and 4."""
+
+import pytest
+
+from repro.hwcost.area import (
+    AREA_PAPER,
+    OVERHEAD_PAPER,
+    SM_AREA_UM2,
+    area_table,
+    overhead_percent,
+)
+from repro.hwcost.storage import (
+    CONFIGS,
+    STORAGE_PAPER,
+    ComponentStorage,
+    components,
+    storage_table,
+)
+
+
+class TestStorageGeometry:
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_every_component_present(self, config):
+        names = {c.component for c in components(config)}
+        assert names == {"Scoreboard", "Warp pool/HCT", "Stack/CCT", "Insn. buffer"}
+
+    @pytest.mark.parametrize("component", sorted(STORAGE_PAPER))
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_matches_paper_table3(self, component, config):
+        table = storage_table()
+        derived = table[component][config].geometry().split(",")[0].replace(" ", "")
+        paper = STORAGE_PAPER[component][config].split(",")[0].replace(" ", "")
+        assert derived == paper
+
+    def test_geometry_string(self):
+        c = ComponentStorage("X", 2, 24, 48)
+        assert c.geometry() == "2x 24x 48-bit"
+        assert c.total_bits == 2 * 24 * 48
+
+    def test_sbi_scoreboard_tracks_divergence_state(self):
+        table = storage_table()
+        assert (
+            table["Scoreboard"]["sbi"].total_bits
+            > table["Scoreboard"]["baseline"].total_bits // 2 * 1
+        )
+
+    def test_cct_replaces_larger_stack(self):
+        table = storage_table()
+        stack_bits = table["Stack/CCT"]["baseline"].total_bits
+        cct_bits = table["Stack/CCT"]["sbi"].total_bits
+        assert cct_bits < stack_bits  # the heap is cheaper than the stacks
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            components("bogus")
+
+
+class TestAreaModel:
+    def test_components_close_to_paper(self):
+        table = area_table()
+        for component, row in AREA_PAPER.items():
+            for config, paper in row.items():
+                model = table[component][config]
+                if paper is None:
+                    assert model is None
+                else:
+                    assert model == pytest.approx(paper, rel=0.05), (component, config)
+
+    def test_overheads_match_paper(self):
+        for config, paper in OVERHEAD_PAPER.items():
+            assert overhead_percent(config) == pytest.approx(paper, abs=0.25)
+
+    def test_baseline_has_no_overhead(self):
+        assert overhead_percent("baseline") == 0.0
+        assert area_table()["Overhead"]["baseline"] is None
+
+    def test_totals_are_sums(self):
+        table = area_table()
+        for config in CONFIGS:
+            total = sum(
+                v
+                for name, row in table.items()
+                if name not in ("Total", "Overhead")
+                and (v := row.get(config)) is not None
+            )
+            assert table["Total"][config] == pytest.approx(total)
+
+    def test_overhead_under_four_percent(self):
+        # The paper's headline: all variants cost under 4% of SM area.
+        for config in ("sbi", "swi", "sbi_swi"):
+            assert overhead_percent(config) < 4.0
+
+    def test_sm_area_reference(self):
+        assert SM_AREA_UM2 == pytest.approx(15.6e6)

@@ -1,0 +1,149 @@
+"""CFG construction and dominance analyses on crafted graphs."""
+
+import pytest
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.cfg import ControlFlowGraph
+from repro.isa.instructions import CmpOp
+
+
+def _if_else_builder():
+    kb = KernelBuilder("ifelse")
+    p, v = kb.regs("p", "v")
+    kb.and_(p, kb.tid, 1)          # 0
+    kb.bra("else_", cond=p)        # 1
+    kb.mov(v, 1)                   # 2
+    kb.bra("join")                 # 3
+    kb.label("else_")
+    kb.mov(v, 2)                   # 4
+    kb.label("join")
+    kb.mov(v, 3)                   # 5
+    kb.exit_()                     # 6
+    return kb
+
+
+def _cfg(kb):
+    from repro.isa.program import Program
+
+    return ControlFlowGraph(Program(list(kb._instrs), dict(kb._labels)))
+
+
+class TestBlocks:
+    def test_if_else_block_structure(self):
+        cfg = _cfg(_if_else_builder())
+        # entry, if-path, else-path, join
+        assert len(cfg.blocks) == 4
+        entry = cfg.blocks[0]
+        assert entry.start == 0 and len(entry.successors) == 2
+
+    def test_block_of_pc_covers_program(self):
+        cfg = _cfg(_if_else_builder())
+        for pc in range(len(cfg.program)):
+            block = cfg.blocks[cfg.block_of_pc[pc]]
+            assert block.start <= pc < block.end
+
+    def test_predecessors_are_inverse_of_successors(self):
+        cfg = _cfg(_if_else_builder())
+        for block in cfg.blocks:
+            for s in block.successors:
+                assert block.index in cfg.blocks[s].predecessors
+
+
+class TestDominance:
+    def test_if_else_reconvergence(self):
+        cfg = _cfg(_if_else_builder())
+        # The divergent branch at pc 1 reconverges at the join (pc 5).
+        assert cfg.reconvergence_pc(1) == 5
+
+    def test_join_blocks_and_pcdiv(self):
+        cfg = _cfg(_if_else_builder())
+        joins = cfg.join_blocks()
+        assert len(joins) == 1
+        join = joins[0]
+        assert cfg.blocks[join].start == 5
+        # PCdiv = last instruction of the immediate dominator (entry).
+        assert cfg.divergence_pc_for_join(join) == 1
+
+    def test_entry_dominates_everything(self):
+        cfg = _cfg(_if_else_builder())
+        for block in cfg.blocks:
+            assert cfg.dominates(0, block.index)
+
+    def test_branch_paths_do_not_dominate_join(self):
+        cfg = _cfg(_if_else_builder())
+        join = cfg.join_blocks()[0]
+        assert not cfg.dominates(1, join)
+        assert not cfg.dominates(2, join)
+
+    def test_loop_back_edge(self):
+        kb = KernelBuilder("loop")
+        c, p = kb.regs("c", "p")
+        kb.mov(c, 3)               # 0
+        kb.label("head")
+        kb.sub(c, c, 1)            # 1
+        kb.setp(p, CmpOp.GT, c, 0) # 2
+        kb.bra("head", cond=p)     # 3
+        kb.exit_()                 # 4
+        cfg = _cfg(kb)
+        edges = cfg.back_edges()
+        assert len(edges) == 1
+        src, dst = edges[0]
+        assert cfg.blocks[dst].start == 1
+
+    def test_loop_exit_reconvergence(self):
+        kb = KernelBuilder("loop")
+        c, p = kb.regs("c", "p")
+        kb.mov(c, 3)
+        kb.label("head")
+        kb.sub(c, c, 1)
+        kb.setp(p, CmpOp.GT, c, 0)
+        kb.bra("head", cond=p)     # pc 3: divergent loop branch
+        kb.mov(c, 0)               # pc 4: loop exit
+        kb.exit_()
+        cfg = _cfg(kb)
+        assert cfg.reconvergence_pc(3) == 4
+
+    def test_unstructured_no_reconvergence_before_exit(self):
+        kb = KernelBuilder("unstructured")
+        p, v = kb.regs("p", "v")
+        kb.and_(p, kb.tid, 1)      # 0
+        kb.bra("other", cond=p)    # 1
+        kb.mov(v, 1)               # 2
+        kb.exit_()                 # 3
+        kb.label("other")
+        kb.mov(v, 2)               # 4
+        kb.exit_()                 # 5
+        cfg = _cfg(kb)
+        assert cfg.reconvergence_pc(1) is None
+
+    def test_nested_if_pcdiv_is_conservative(self):
+        # Nested if-then-else (the paper's Figure 4 shape): the outer
+        # join's PCdiv is the outer divergence point.
+        kb = KernelBuilder("nested")
+        p, q, v = kb.regs("p", "q", "v")
+        kb.and_(p, kb.tid, 1)
+        kb.bra("outer_else", cond=p)      # outer divergence
+        kb.and_(q, kb.tid, 2)
+        kb.bra("inner_else", cond=q)      # inner divergence
+        kb.mov(v, 1)
+        kb.bra("inner_join")
+        kb.label("inner_else")
+        kb.mov(v, 2)
+        kb.label("inner_join")
+        kb.mov(v, 3)
+        kb.bra("outer_join")
+        kb.label("outer_else")
+        kb.mov(v, 4)
+        kb.label("outer_join")
+        kb.mov(v, 5)
+        kb.exit_()
+        cfg = _cfg(kb)
+        outer_branch = 1
+        inner_branch = 3
+        inner_join_pc = cfg.reconvergence_pc(inner_branch)
+        outer_join_pc = cfg.reconvergence_pc(outer_branch)
+        assert inner_join_pc < outer_join_pc
+        inner_block = cfg.block_of_pc[inner_join_pc]
+        outer_block = cfg.block_of_pc[outer_join_pc]
+        assert cfg.divergence_pc_for_join(inner_block) == inner_branch
+        assert cfg.divergence_pc_for_join(outer_block) == outer_branch

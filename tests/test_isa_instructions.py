@@ -1,0 +1,121 @@
+"""Unit tests for the instruction set definitions."""
+
+import pytest
+
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    CmpOp,
+    Instruction,
+    MemSpace,
+    Op,
+    OpClass,
+    Operand,
+    OperandKind,
+    imm,
+    op_class_of,
+    reg,
+    special,
+)
+
+
+class TestOperands:
+    def test_reg_operand(self):
+        r = reg(5)
+        assert r.kind is OperandKind.REG
+        assert r.value == 5
+        assert repr(r) == "r5"
+
+    def test_reg_negative_rejected(self):
+        with pytest.raises(ValueError):
+            reg(-1)
+
+    def test_imm_operand(self):
+        i = imm(3.5)
+        assert i.kind is OperandKind.IMM
+        assert i.value == 3.5
+
+    def test_special_named(self):
+        s = special("tid")
+        assert s.kind is OperandKind.SPECIAL
+        assert repr(s) == "%tid"
+
+    def test_special_param(self):
+        s = special("param", 2)
+        assert s.value == ("param", 2)
+        assert repr(s) == "%param2"
+
+    def test_special_param_needs_index(self):
+        with pytest.raises(ValueError):
+            special("param")
+
+    def test_special_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            special("bogus")
+
+    def test_operands_hashable(self):
+        assert reg(1) == reg(1)
+        assert len({reg(1), reg(1), reg(2)}) == 2
+
+
+class TestOpClasses:
+    @pytest.mark.parametrize(
+        "op", [Op.MOV, Op.ADD, Op.MAD, Op.SETP, Op.SEL, Op.SHL, Op.NOP]
+    )
+    def test_mad_class(self, op):
+        assert op_class_of(op) is OpClass.MAD
+
+    @pytest.mark.parametrize("op", [Op.RCP, Op.SQRT, Op.SIN, Op.EX2, Op.DIV])
+    def test_sfu_class(self, op):
+        assert op_class_of(op) is OpClass.SFU
+
+    @pytest.mark.parametrize("op", [Op.LD, Op.ST, Op.ATOM_ADD])
+    def test_lsu_class(self, op):
+        assert op_class_of(op) is OpClass.LSU
+
+    @pytest.mark.parametrize("op", [Op.BRA, Op.BAR, Op.EXIT])
+    def test_ctrl_class(self, op):
+        assert op_class_of(op) is OpClass.CTRL
+
+    def test_every_op_has_a_class(self):
+        for op in Op:
+            assert op_class_of(op) in OpClass
+
+    def test_branch_ops(self):
+        assert Op.BRA in BRANCH_OPS
+        assert Op.BAR not in BRANCH_OPS
+
+
+class TestInstruction:
+    def test_conditional_branch(self):
+        i = Instruction(Op.BRA, srcs=(reg(3),), target=7)
+        assert i.is_branch and i.is_conditional
+        assert i.source_registers() == (3,)
+
+    def test_unconditional_branch(self):
+        i = Instruction(Op.BRA, target=7)
+        assert i.is_branch and not i.is_conditional
+
+    def test_memory_flags(self):
+        ld = Instruction(Op.LD, dst=1, srcs=(imm(0),), space=MemSpace.GLOBAL)
+        st = Instruction(Op.ST, srcs=(imm(0), reg(2)), space=MemSpace.GLOBAL)
+        atom = Instruction(Op.ATOM_ADD, srcs=(imm(0), reg(2)))
+        assert ld.reads_memory and not ld.writes_memory
+        assert st.writes_memory and not st.reads_memory
+        assert atom.reads_memory and atom.writes_memory
+
+    def test_source_registers_include_predicate(self):
+        i = Instruction(Op.ADD, dst=0, srcs=(reg(1), reg(2)), pred=5)
+        assert set(i.source_registers()) == {1, 2, 5}
+
+    def test_source_registers_skip_immediates(self):
+        i = Instruction(Op.ADD, dst=0, srcs=(reg(1), imm(3)))
+        assert i.source_registers() == (1,)
+
+    def test_repr_contains_mnemonic(self):
+        i = Instruction(Op.SETP, dst=0, srcs=(reg(1), imm(2)), cmp=CmpOp.LT)
+        text = repr(i)
+        assert "setp.lt" in text and "r0" in text
+
+    def test_repr_predicated(self):
+        i = Instruction(Op.MOV, dst=0, srcs=(imm(1),), pred=3, pred_neg=True)
+        assert repr(i).startswith("@!r3")

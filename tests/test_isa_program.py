@@ -1,0 +1,72 @@
+"""Program assembly, label resolution and validation."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Op, imm, reg
+from repro.isa.program import AssemblyError, Program
+
+
+def _exit():
+    return Instruction(Op.EXIT)
+
+
+class TestResolution:
+    def test_label_resolution(self):
+        prog = Program(
+            [Instruction(Op.BRA, target="end"), Instruction(Op.NOP), _exit()],
+            labels={"end": 2},
+        )
+        assert prog[0].target == 2
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            Program([Instruction(Op.BRA, target="nowhere"), _exit()])
+
+    def test_pcs_assigned(self):
+        prog = Program([Instruction(Op.NOP), Instruction(Op.NOP), _exit()])
+        assert [i.pc for i in prog] == [0, 1, 2]
+
+    def test_numeric_targets_kept(self):
+        prog = Program([Instruction(Op.BRA, target=1), _exit()])
+        assert prog[0].target == 1
+
+
+class TestValidation:
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblyError, match="empty"):
+            Program([])
+
+    def test_out_of_range_target(self):
+        with pytest.raises(AssemblyError, match="out of range"):
+            Program([Instruction(Op.BRA, target=5), _exit()])
+
+    def test_must_end_with_exit_or_branch(self):
+        with pytest.raises(AssemblyError, match="must end"):
+            Program([Instruction(Op.NOP)])
+
+    def test_ending_with_unconditional_branch_ok(self):
+        prog = Program([Instruction(Op.NOP), Instruction(Op.BRA, target=0)])
+        assert len(prog) == 2
+
+
+class TestListing:
+    def test_listing_contains_labels_and_markers(self):
+        instrs = [
+            Instruction(Op.MOV, dst=0, srcs=(imm(1),)),
+            Instruction(Op.BRA, target="tail"),
+            _exit(),
+        ]
+        prog = Program(instrs, labels={"tail": 2})
+        prog[2].sync_pcdiv = 1
+        text = prog.listing()
+        assert "tail:" in text
+        assert "sync(PCdiv=1)" in text
+
+    def test_label_at(self):
+        prog = Program([Instruction(Op.NOP), _exit()], labels={"x": 1})
+        assert prog.label_at(1) == "x"
+        assert prog.label_at(0) is None
+
+    def test_iteration_and_len(self):
+        prog = Program([Instruction(Op.NOP), _exit()])
+        assert len(list(prog)) == len(prog) == 2

@@ -1,0 +1,202 @@
+"""L1 cache, DRAM channel and LSU coalescing/replay."""
+
+import numpy as np
+import pytest
+
+from repro.functional.executor import ExecOutcome
+from repro.functional.memory import MemoryAccessError, MemoryImage, SharedMemory
+from repro.isa.instructions import Instruction, MemSpace, Op, imm, reg
+from repro.timing.cache import L1Cache
+from repro.timing.config import SMConfig
+from repro.timing.dram import DRAMChannel
+from repro.timing.lsu import LoadStoreUnit
+from repro.timing.stats import Stats
+
+
+class TestMemoryImage:
+    def test_alloc_alignment(self):
+        mem = MemoryImage(1 << 12)
+        a = mem.alloc(100)
+        b = mem.alloc(4)
+        assert a % 128 == 0 and b % 128 == 0 and b > a
+
+    def test_zero_address_reserved(self):
+        mem = MemoryImage(1 << 12)
+        assert mem.alloc(4) >= 128
+
+    def test_out_of_memory(self):
+        mem = MemoryImage(256)
+        with pytest.raises(MemoryAccessError):
+            mem.alloc(512)
+
+    def test_misaligned_access(self):
+        mem = MemoryImage(1 << 12)
+        with pytest.raises(MemoryAccessError):
+            mem.load(np.array([2]))
+
+    def test_vector_bounds(self):
+        mem = MemoryImage(256)
+        with pytest.raises(MemoryAccessError):
+            mem.load(np.array([1024]))
+
+    def test_store_load_roundtrip(self):
+        mem = MemoryImage(1 << 12)
+        a = mem.alloc_array(np.arange(8))
+        got = mem.load(np.arange(8) * 4 + a)
+        assert np.array_equal(got, np.arange(8))
+
+    def test_atomic_ops(self):
+        mem = MemoryImage(1 << 12)
+        a = mem.alloc_array(np.array([10.0]))
+        old = mem.atomic(np.array([a, a]), np.array([1.0, 2.0]), "add")
+        assert list(old) == [10.0, 11.0]
+        assert mem.read_array(a, 1)[0] == 13.0
+        mem.atomic(np.array([a]), np.array([5.0]), "min")
+        assert mem.read_array(a, 1)[0] == 5.0
+        mem.atomic(np.array([a]), np.array([9.0]), "max")
+        assert mem.read_array(a, 1)[0] == 9.0
+
+    def test_shared_starts_at_zero(self):
+        sh = SharedMemory(64)
+        assert sh.alloc(4) == 0
+
+
+class TestL1Cache:
+    def make(self):
+        return L1Cache(size=4 * 2 * 128, ways=2, block=128, latency=3)
+
+    def test_miss_then_hit(self):
+        c = self.make()
+        assert c.lookup(0) is None
+        c.fill(0, ready_at=10)
+        assert c.lookup(0) == 10
+        assert c.misses == 1 and c.hits == 1
+
+    def test_lru_eviction(self):
+        c = self.make()  # 4 sets x 2 ways
+        s = 4 * 128  # set stride
+        c.fill(0, 0)
+        c.fill(s, 0)  # same set, second way
+        c.lookup(0)  # touch 0 so s is LRU
+        c.fill(2 * s, 0)  # evicts s
+        assert c.lookup(0) is not None
+        assert c.lookup(s) is None
+
+    def test_fill_idempotent_keeps_earliest(self):
+        c = self.make()
+        c.fill(0, 20)
+        c.fill(0, 10)
+        assert c.lookup(0) == 10
+
+    def test_invalidate(self):
+        c = self.make()
+        c.fill(0, 0)
+        c.invalidate_all()
+        assert c.lookup(0) is None
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            L1Cache(size=1000, ways=3, block=128, latency=3)
+
+
+class TestDRAM:
+    def test_latency(self):
+        d = DRAMChannel(bandwidth=16.0, latency=100)
+        done = d.request(128, now=0)
+        assert done == 100 + 128 // 16 + 1
+
+    def test_bandwidth_serialisation(self):
+        d = DRAMChannel(bandwidth=16.0, latency=100)
+        first = d.request(128, now=0)
+        second = d.request(128, now=0)
+        assert second - first == 128 // 16
+
+    def test_write_traffic_counted(self):
+        d = DRAMChannel(bandwidth=10.0, latency=330)
+        d.post_write(64, now=0)
+        assert d.bytes_transferred == 64
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            DRAMChannel(0.0, 10)
+
+
+def _lsu(config=None):
+    config = config or SMConfig()
+    stats = Stats()
+    cache = L1Cache(config.l1_size, config.l1_ways, config.l1_block, config.l1_latency)
+    dram = DRAMChannel(config.dram_bandwidth, config.dram_latency)
+    return LoadStoreUnit(config, cache, dram, stats), stats
+
+
+def _outcome(addrs, active=None, space=MemSpace.GLOBAL):
+    addrs = np.asarray(addrs, dtype=np.int64)
+    if active is None:
+        active = np.ones(len(addrs), dtype=bool)
+    return ExecOutcome(active=active, addresses=addrs, space=space)
+
+
+LD = Instruction(Op.LD, dst=0, srcs=(imm(0),), space=MemSpace.GLOBAL)
+ST = Instruction(Op.ST, srcs=(imm(0), reg(1)), space=MemSpace.GLOBAL)
+LDS = Instruction(Op.LD, dst=0, srcs=(imm(0),), space=MemSpace.SHARED)
+ATOM = Instruction(Op.ATOM_ADD, srcs=(imm(0), imm(1)), space=MemSpace.GLOBAL)
+
+
+class TestCoalescing:
+    def test_fully_coalesced_load(self):
+        lsu, stats = _lsu()
+        occ, wb = lsu.access(LD, _outcome(np.arange(32) * 4), now=0)
+        assert occ == 1
+        assert stats.global_transactions == 1
+
+    def test_scattered_load_replays(self):
+        lsu, stats = _lsu()
+        occ, _ = lsu.access(LD, _outcome(np.arange(8) * 128), now=0)
+        assert occ == 8
+        assert stats.memory_replays == 7
+
+    def test_same_word_broadcast(self):
+        lsu, stats = _lsu()
+        occ, _ = lsu.access(LD, _outcome(np.zeros(32)), now=0)
+        assert occ == 1
+
+    def test_hit_faster_than_miss(self):
+        lsu, _ = _lsu()
+        _, wb_miss = lsu.access(LD, _outcome(np.arange(32) * 4), now=0)
+        _, wb_hit = lsu.access(LD, _outcome(np.arange(32) * 4), now=wb_miss)
+        assert wb_hit - wb_miss < wb_miss
+
+    def test_mshr_merges_inflight_fills(self):
+        lsu, stats = _lsu()
+        lsu.access(LD, _outcome(np.arange(32) * 4), now=0)
+        dram_before = stats.dram_bytes
+        lsu.access(LD, _outcome(np.arange(32) * 4), now=1)
+        assert stats.dram_bytes == dram_before  # merged, no second fill
+
+    def test_inactive_lanes_free(self):
+        lsu, stats = _lsu()
+        active = np.zeros(4, dtype=bool)
+        occ, _ = lsu.access(LD, _outcome([0, 128, 256, 384], active), now=0)
+        assert occ == 1 and stats.global_transactions == 0
+
+    def test_store_charges_segments(self):
+        lsu, stats = _lsu()
+        occ, _ = lsu.access(ST, _outcome(np.arange(8) * 4), now=0)
+        assert occ == 1
+        assert stats.dram_bytes == 32  # one 32B segment
+
+    def test_shared_bank_conflicts(self):
+        lsu, stats = _lsu()
+        # 32 threads hitting bank 0 with distinct words: full conflict.
+        occ, _ = lsu.access(LDS, _outcome(np.arange(32) * 128, space=MemSpace.SHARED), 0)
+        assert occ == 32
+
+    def test_shared_broadcast_no_conflict(self):
+        lsu, _ = _lsu()
+        occ, _ = lsu.access(LDS, _outcome(np.zeros(32), space=MemSpace.SHARED), 0)
+        assert occ == 1
+
+    def test_atomic_serialises_per_thread(self):
+        lsu, _ = _lsu()
+        occ, _ = lsu.access(ATOM, _outcome(np.zeros(16)), now=0)
+        assert occ == 16

@@ -1,0 +1,162 @@
+"""Edge cases across the ISA and layout passes."""
+
+import numpy as np
+import pytest
+
+from repro.functional import MemoryImage, run_kernel
+from repro.isa import CmpOp, KernelBuilder
+from repro.isa.cfg import ControlFlowGraph
+from repro.isa.layout import insert_sync_markers, validate_frontier_layout
+from repro.isa.program import AssemblyError, Program
+from repro.isa.instructions import Instruction, Op
+
+
+class TestUnstructuredControlFlow:
+    def _shared_tail_kernel(self):
+        """Two divergent paths jumping into one shared tail block —
+        the TMD shape where stack reconvergence is late."""
+        kb = KernelBuilder("shared_tail")
+        t, p, q, v, a = kb.regs("t", "p", "q", "v", "a")
+        kb.mov(t, kb.tid)
+        kb.and_(p, t, 1)
+        kb.bra("path_a", cond=p)
+        kb.and_(q, t, 2)
+        kb.bra("path_b", cond=q)
+        kb.mov(v, 1)
+        kb.bra("tail")
+        kb.label("path_a")
+        kb.mov(v, 2)
+        kb.bra("tail")
+        kb.label("path_b")
+        kb.mov(v, 3)
+        kb.label("tail")
+        kb.mul(a, t, 4)
+        kb.st(kb.param(0), v, index=a)
+        kb.exit_()
+        return kb
+
+    def test_multi_predecessor_join_analyses(self):
+        kb = self._shared_tail_kernel()
+        kernel = kb.build(cta_size=32, grid_size=1, params=(0.0,))
+        cfg = ControlFlowGraph(kernel.program)
+        joins = cfg.join_blocks()
+        assert joins  # the shared tail is a join
+
+    def test_functional_result(self):
+        kb = self._shared_tail_kernel()
+        mem = MemoryImage()
+        out = mem.alloc(32 * 4)
+        kernel = kb.build(cta_size=32, grid_size=1, params=(out,))
+        run_kernel(kernel, mem)
+        t = np.arange(32)
+        expect = np.where(t % 2 == 1, 2, np.where(t % 4 >= 2, 3, 1))
+        np.testing.assert_array_equal(mem.read_array(out, 32), expect)
+
+    def test_timing_modes_agree(self):
+        from repro.core import presets
+        from repro.core.simulator import simulate
+
+        results = []
+        for mode in ("baseline", "sbi", "sbi_swi"):
+            kb = self._shared_tail_kernel()
+            mem = MemoryImage()
+            out = mem.alloc(32 * 4)
+            kernel = kb.build(cta_size=32, grid_size=1, params=(out,))
+            simulate(kernel, mem, presets.by_name(mode))
+            results.append(mem.read_array(out, 32))
+        assert all(np.array_equal(results[0], r) for r in results[1:])
+
+
+class TestLoopsWithBreaks:
+    def test_loop_with_early_break(self):
+        kb = KernelBuilder("brk")
+        t, c, p, v, a = kb.regs("t", "c", "p", "v", "a")
+        kb.mov(t, kb.tid)
+        kb.mov(c, 0)
+        kb.mov(v, 0)
+        kb.label("loop")
+        kb.add(v, v, 1)
+        kb.setp(p, CmpOp.EQ, v, t)  # data-dependent break
+        kb.bra("out", cond=p)
+        kb.add(c, c, 1)
+        kb.setp(p, CmpOp.LT, c, 8)
+        kb.bra("loop", cond=p)
+        kb.label("out")
+        kb.mul(a, t, 4)
+        kb.st(kb.param(0), v, index=a)
+        kb.exit_()
+        mem = MemoryImage()
+        out = mem.alloc(32 * 4)
+        kernel = kb.build(cta_size=32, grid_size=1, params=(out,))
+        assert validate_frontier_layout(kernel.program) == []
+        run_kernel(kernel, mem)
+        t = np.arange(32)
+        # Threads 1..8 break when the counter reaches their id; others
+        # run all 8 iterations.
+        expect = np.where((t >= 1) & (t <= 8), t, 8)
+        np.testing.assert_array_equal(mem.read_array(out, 32), expect)
+
+    def test_nested_loops(self):
+        kb = KernelBuilder("nest")
+        t, i, j, acc, p, a = kb.regs("t", "i", "j", "acc", "p", "a")
+        kb.mov(t, kb.tid)
+        kb.mov(acc, 0)
+        kb.mov(i, 0)
+        kb.label("outer")
+        kb.and_(j, t, 3)
+        kb.label("inner")
+        kb.add(acc, acc, 1)
+        kb.sub(j, j, 1)
+        kb.setp(p, CmpOp.GE, j, 0)
+        kb.bra("inner", cond=p)
+        kb.add(i, i, 1)
+        kb.setp(p, CmpOp.LT, i, 3)
+        kb.bra("outer", cond=p)
+        kb.mul(a, t, 4)
+        kb.st(kb.param(0), acc, index=a)
+        kb.exit_()
+        mem = MemoryImage()
+        out = mem.alloc(32 * 4)
+        kernel = kb.build(cta_size=32, grid_size=1, params=(out,))
+        run_kernel(kernel, mem)
+        expect = 3 * ((np.arange(32) % 4) + 1)
+        np.testing.assert_array_equal(mem.read_array(out, 32), expect)
+
+
+class TestMarkers:
+    def test_markers_idempotent(self):
+        kb = KernelBuilder("m")
+        p, v = kb.regs("p", "v")
+        kb.and_(p, kb.tid, 1)
+        kb.bra("e", cond=p)
+        kb.mov(v, 1)
+        kb.label("e")
+        kb.exit_()
+        prog = Program(list(kb._instrs), dict(kb._labels))
+        first = insert_sync_markers(prog)
+        second = insert_sync_markers(prog)
+        assert first == second == 1  # same marker recomputed, not doubled
+
+    def test_straightline_has_no_markers(self):
+        kb = KernelBuilder("s")
+        (v,) = kb.regs("v")
+        kb.mov(v, 1)
+        kb.add(v, v, 2)
+        kb.exit_()
+        kernel = kb.build(cta_size=32)
+        assert all(i.sync_pcdiv is None for i in kernel.program)
+
+    def test_uniform_branch_no_divergence_at_runtime(self):
+        from repro.core import presets
+        from repro.core.simulator import simulate
+
+        kb = KernelBuilder("u")
+        p, v = kb.regs("p", "v")
+        kb.setp(p, CmpOp.GE, kb.ntid, 0)  # always true, uniform
+        kb.bra("x", cond=p)
+        kb.mov(v, 1)
+        kb.label("x")
+        kb.exit_()
+        kernel = kb.build(cta_size=64, grid_size=1)
+        stats = simulate(kernel, MemoryImage(), presets.sbi())
+        assert stats.divergent_branches == 0

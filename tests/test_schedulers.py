@@ -1,0 +1,178 @@
+"""Scheduler behaviour: pools, co-issue, SWI lookup, conflicts."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pipeline_trace import trace_kernel
+from repro.core import presets
+from repro.core.simulator import simulate
+from repro.functional.memory import MemoryImage
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import CmpOp
+
+
+def _balanced_ifelse(work=6):
+    """Balanced divergent kernel: SBI's favourite shape."""
+    kb = KernelBuilder("bal")
+    t, p, v, a = kb.regs("t", "p", "v", "a")
+    kb.mov(t, kb.tid)
+    kb.mad(t, kb.ctaid, kb.ntid, t)
+    kb.mov(v, 1.0)
+    kb.and_(p, t, 1)
+    kb.bra("odd", cond=p)
+    for _ in range(work):
+        kb.mad(v, v, 3, 1)
+    kb.bra("join")
+    kb.label("odd")
+    for _ in range(work):
+        kb.mad(v, v, 5, 2)
+    kb.label("join")
+    kb.mul(a, t, 4)
+    kb.st(kb.param(0), v, index=a)
+    kb.exit_()
+    return kb
+
+
+def _imbalanced(work=8):
+    """Unbalanced per-thread trip counts: SWI's favourite shape."""
+    kb = KernelBuilder("imb")
+    t, p, v, c, a = kb.regs("t", "p", "v", "c", "a")
+    kb.mov(t, kb.tid)
+    kb.mad(t, kb.ctaid, kb.ntid, t)
+    kb.and_(c, t, work - 1)
+    kb.mov(v, 0.0)
+    kb.label("loop")
+    kb.mad(v, v, 3, 1)
+    kb.sub(c, c, 1)
+    kb.setp(p, CmpOp.GE, c, 0)
+    kb.bra("loop", cond=p)
+    kb.mul(a, t, 4)
+    kb.st(kb.param(0), v, index=a)
+    kb.exit_()
+    return kb
+
+
+def _run(kb, config, threads=1024):
+    mem = MemoryImage()
+    out = mem.alloc(threads * 4)
+    kernel = kb.build(cta_size=256, grid_size=threads // 256, params=(out,))
+    return simulate(kernel, mem, config)
+
+
+class TestBaselinePools:
+    def test_both_pools_issue(self):
+        mem = MemoryImage()
+        out = mem.alloc(1024 * 4)
+        kernel = _balanced_ifelse().build(cta_size=256, grid_size=4, params=(out,))
+        from repro.core.sm import StreamingMultiprocessor
+
+        sm = StreamingMultiprocessor(kernel, mem, presets.baseline())
+        sm.trace = []
+        sm.run()
+        wids = {e[1] for e in sm.trace}
+        assert any(w % 2 == 0 for w in wids) and any(w % 2 == 1 for w in wids)
+
+    def test_one_issue_per_pool_per_cycle(self):
+        mem = MemoryImage()
+        out = mem.alloc(1024 * 4)
+        kernel = _balanced_ifelse().build(cta_size=256, grid_size=4, params=(out,))
+        from repro.core.sm import StreamingMultiprocessor
+
+        sm = StreamingMultiprocessor(kernel, mem, presets.baseline())
+        sm.trace = []
+        sm.run()
+        per_cycle = {}
+        for cycle, wid, _, _, _, _ in sm.trace:
+            per_cycle.setdefault(cycle, []).append(wid % 2)
+        for cycle, pools in per_cycle.items():
+            assert len(pools) <= 2
+            assert len([p for p in pools if p == 0]) <= 1
+            assert len([p for p in pools if p == 1]) <= 1
+
+
+class TestSBI:
+    def test_co_issues_balanced_branches(self):
+        stats = _run(_balanced_ifelse(), presets.sbi())
+        assert stats.issued_sbi_secondary > 0
+
+    def test_sbi_beats_warp64_on_balanced(self):
+        sbi = _run(_balanced_ifelse(10), presets.sbi())
+        w64 = _run(_balanced_ifelse(10), presets.warp64())
+        assert sbi.ipc > w64.ipc * 1.1
+
+    def test_co_issued_masks_disjoint(self):
+        mem = MemoryImage()
+        out = mem.alloc(1024 * 4)
+        kernel = _balanced_ifelse().build(cta_size=256, grid_size=4, params=(out,))
+        from repro.core.sm import StreamingMultiprocessor
+
+        sm = StreamingMultiprocessor(kernel, mem, presets.sbi())
+        sm.trace = []
+        sm.run()
+        by_cycle = {}
+        for cycle, wid, pc, origin, mask, group in sm.trace:
+            by_cycle.setdefault(cycle, []).append((wid, mask, origin))
+        for cycle, issues in by_cycle.items():
+            if len(issues) == 2:
+                (w1, m1, o1), (w2, m2, o2) = issues
+                assert w1 == w2  # SBI co-issues within one warp
+                assert (m1 & m2) == 0
+
+    def test_one_divergence_per_cycle(self):
+        # Secondary branches are not co-issued after a diverging primary
+        # branch; the structural restriction keeps the HCT sorter at one
+        # new context per cycle (checked indirectly: runs complete).
+        stats = _run(_imbalanced(), presets.sbi())
+        assert stats.divergent_branches > 0
+
+
+class TestSWI:
+    def test_fills_lanes_from_other_warps(self):
+        stats = _run(_imbalanced(), presets.swi())
+        assert stats.issued_swi_secondary > 0
+        assert stats.swi_hits > 0
+
+    def test_conflicts_detected_and_survived(self):
+        stats = _run(_imbalanced(), presets.swi())
+        assert stats.scheduler_conflicts >= 0  # mechanism exercised
+        assert stats.cycles > 0
+
+    def test_direct_mapped_not_faster_than_full(self):
+        full = _run(_imbalanced(), presets.swi())
+        direct = _run(_imbalanced(), presets.swi(ways=1))
+        assert direct.swi_hits <= full.swi_hits
+
+    def test_swi_beats_warp64_on_imbalance(self):
+        swi = _run(_imbalanced(), presets.swi())
+        w64 = _run(_imbalanced(), presets.warp64())
+        assert swi.ipc > w64.ipc
+
+    def test_lane_shuffle_changes_schedule_not_results(self):
+        results = []
+        for policy in ("identity", "xor_rev"):
+            mem = MemoryImage()
+            out = mem.alloc(1024 * 4)
+            kernel = _imbalanced().build(cta_size=256, grid_size=4, params=(out,))
+            simulate(kernel, mem, presets.swi(lane_shuffle=policy))
+            results.append(mem.read_array(out, 1024))
+        np.testing.assert_array_equal(results[0], results[1])
+
+
+class TestCombined:
+    def test_uses_both_secondary_kinds(self):
+        stats = _run(_balanced_ifelse(), presets.sbi_swi())
+        assert stats.issued_sbi_secondary + stats.issued_swi_secondary > 0
+
+    def test_combined_at_least_matches_baseline(self):
+        base = _run(_balanced_ifelse(10), presets.baseline())
+        combo = _run(_balanced_ifelse(10), presets.sbi_swi())
+        assert combo.ipc > base.ipc
+
+    def test_peak_ipc_bound(self):
+        for cfg, bound in (
+            (presets.baseline(), 64.0),
+            (presets.warp64(), 64.0),
+            (presets.sbi_swi(), 104.0),
+        ):
+            stats = _run(_balanced_ifelse(2), cfg)
+            assert stats.ipc <= bound + 1e-9

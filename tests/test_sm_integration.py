@@ -1,0 +1,226 @@
+"""SM pipeline integration: barriers, CTA dispatch, event skipping,
+memory-system interaction, and the paper's structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.core import presets
+from repro.core.sm import SimulationError, StreamingMultiprocessor
+from repro.core.simulator import simulate
+from repro.functional.memory import MemoryImage
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import CmpOp, MemSpace
+
+
+def _barrier_kernel():
+    """Producer/consumer through shared memory: wrong barrier handling
+    corrupts the result."""
+    kb = KernelBuilder("barrier")
+    t, v, a, p = kb.regs("t", "v", "a", "p")
+    kb.mov(t, kb.tid)
+    kb.mul(a, t, 4)
+    kb.st(0, t, index=a, space=MemSpace.SHARED)
+    kb.bar()
+    # Read the neighbour's value (wraps within the CTA).
+    kb.add(v, t, 1)
+    kb.and_(v, v, 63)
+    kb.mul(a, v, 4)
+    kb.ld(v, 0, index=a, space=MemSpace.SHARED)
+    kb.mad(t, kb.ctaid, kb.ntid, t)
+    kb.mul(a, t, 4)
+    kb.st(kb.param(0), v, index=a)
+    kb.exit_()
+    return kb
+
+
+def _divergent_barrier_kernel():
+    """Threads reach the barrier from divergent paths (legal: all
+    threads execute it)."""
+    kb = KernelBuilder("divbar")
+    t, p, v, a = kb.regs("t", "p", "v", "a")
+    kb.mov(t, kb.tid)
+    kb.and_(p, t, 1)
+    kb.bra("odd", cond=p)
+    kb.mov(v, 10)
+    kb.bra("join")
+    kb.label("odd")
+    kb.mov(v, 20)
+    kb.label("join")
+    kb.bar()
+    kb.mad(t, kb.ctaid, kb.ntid, t)
+    kb.mul(a, t, 4)
+    kb.st(kb.param(0), v, index=a)
+    kb.exit_()
+    return kb
+
+
+ALL_MODES = ("baseline", "warp64", "sbi", "swi", "sbi_swi")
+
+
+class TestBarriers:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_producer_consumer(self, mode):
+        mem = MemoryImage()
+        out = mem.alloc(256 * 4)
+        kernel = _barrier_kernel().build(
+            cta_size=64, grid_size=4, params=(out,), shared_bytes=64 * 4
+        )
+        simulate(kernel, mem, presets.by_name(mode))
+        got = mem.read_array(out, 256)
+        expect = np.tile((np.arange(64) + 1) % 64, 4)
+        np.testing.assert_array_equal(got, expect)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_divergent_arrival(self, mode):
+        mem = MemoryImage()
+        out = mem.alloc(128 * 4)
+        kernel = _divergent_barrier_kernel().build(
+            cta_size=64, grid_size=2, params=(out,)
+        )
+        simulate(kernel, mem, presets.by_name(mode))
+        got = mem.read_array(out, 128)
+        expect = np.where(np.arange(128) % 2 == 1, 20, 10)
+        np.testing.assert_array_equal(got, expect)
+
+
+class TestCTADispatch:
+    def test_more_ctas_than_slots(self):
+        kb = KernelBuilder("many")
+        t, a = kb.regs("t", "a")
+        kb.mov(t, kb.tid)
+        kb.mad(t, kb.ctaid, kb.ntid, t)
+        kb.mul(a, t, 4)
+        kb.st(kb.param(0), t, index=a)
+        kb.exit_()
+        mem = MemoryImage()
+        n = 4096  # 16 CTAs of 256 > resident capacity
+        out = mem.alloc(n * 4)
+        kernel = kb.build(cta_size=256, grid_size=16, params=(out,))
+        stats = simulate(kernel, mem, presets.baseline())
+        assert stats.ctas_launched == 16
+        np.testing.assert_array_equal(mem.read_array(out, n), np.arange(n))
+
+    def test_partial_last_warp(self):
+        kb = KernelBuilder("partial")
+        t, a = kb.regs("t", "a")
+        kb.mov(t, kb.tid)
+        kb.mul(a, t, 4)
+        kb.st(kb.param(0), t, index=a)
+        kb.exit_()
+        mem = MemoryImage()
+        out = mem.alloc(64 * 4)
+        kernel = kb.build(cta_size=40, grid_size=1, params=(out,))  # 40 < 64
+        simulate(kernel, mem, presets.warp64())
+        np.testing.assert_array_equal(mem.read_array(out, 40), np.arange(40))
+
+    def test_oversized_cta_rejected(self):
+        kb = KernelBuilder("big")
+        kb.exit_()
+        kernel = kb.build(cta_size=4096, grid_size=1)
+        with pytest.raises(SimulationError):
+            simulate(kernel, MemoryImage(), presets.baseline())
+
+    def test_warps_retired_counted(self):
+        kb = KernelBuilder("retire")
+        kb.exit_()
+        kernel = kb.build(cta_size=128, grid_size=2)
+        stats = simulate(kernel, MemoryImage(), presets.baseline())
+        assert stats.warps_retired == 8  # 2 CTAs x 4 warps of 32
+
+
+class TestTimeoutAndEvents:
+    def test_cycle_limit(self):
+        kb = KernelBuilder("spin")
+        c, p = kb.regs("c", "p")
+        kb.mov(c, 1_000_000)
+        kb.label("l")
+        kb.sub(c, c, 1)
+        kb.setp(p, CmpOp.GT, c, 0)
+        kb.bra("l", cond=p)
+        kb.exit_()
+        kernel = kb.build(cta_size=32, grid_size=1)
+        with pytest.raises(SimulationError, match="exceeded"):
+            simulate(kernel, MemoryImage(), presets.baseline(max_cycles=500))
+
+    def test_event_skipping_matches_dense_clock(self):
+        """Event-driven skipping is a pure wall-clock optimisation: a
+        memory-latency-bound kernel still reports correct cycle counts
+        (DRAM latency must show up in the total)."""
+        kb = KernelBuilder("latency")
+        t, a, v = kb.regs("t", "a", "v")
+        kb.mov(t, kb.tid)
+        kb.mul(a, t, 4)
+        kb.ld(v, kb.param(0), index=a)
+        kb.mul(v, v, 2)
+        kb.st(kb.param(0), v, index=a)
+        kb.exit_()
+        mem = MemoryImage()
+        data = mem.alloc_array(np.arange(32))
+        kernel = kb.build(cta_size=32, grid_size=1, params=(data,))
+        stats = simulate(kernel, mem, presets.baseline())
+        assert stats.cycles > presets.baseline().dram_latency
+
+    def test_divergent_barrier_ub_is_diagnosed_not_hung(self):
+        """A barrier on one side of an unreconverged divergence is
+        undefined behaviour in the programming model.  The stack
+        serialises paths, so the parked top of stack can starve the
+        other path: the simulator must report a deadlock diagnostic
+        promptly instead of spinning.  Thread-frontier models run the
+        minimum PC (the exiting path) first and complete."""
+        kb = KernelBuilder("dead")
+        t, p = kb.regs("t", "p")
+        kb.mov(t, kb.tid)
+        kb.and_(p, t, 1)
+        kb.bra("wait", cond=p)
+        kb.exit_()
+        kb.label("wait")
+        kb.bar()
+        kb.exit_()
+        kernel = kb.build(cta_size=32, grid_size=1, layout="as_is")
+        # Frontier reconvergence completes (exit has the lower PC).
+        simulate(kernel, MemoryImage(), presets.warp64(max_cycles=100_000))
+        # The stack either completes or reports a deadlock — never hangs.
+        try:
+            simulate(kernel, MemoryImage(), presets.baseline(max_cycles=100_000))
+        except SimulationError as err:
+            assert "deadlock" in str(err)
+
+
+class TestMemorySystemIntegration:
+    def test_l1_reuse_detected(self):
+        kb = KernelBuilder("reuse")
+        t, a, v, acc, c, p = kb.regs("t", "a", "v", "acc", "c", "p")
+        kb.mov(t, kb.tid)
+        kb.mul(a, t, 4)
+        kb.mov(c, 4)
+        kb.label("l")
+        kb.ld(v, kb.param(0), index=a)
+        kb.add(acc, acc, v)
+        kb.sub(c, c, 1)
+        kb.setp(p, CmpOp.GT, c, 0)
+        kb.bra("l", cond=p)
+        kb.st(kb.param(0), acc, index=a)
+        kb.exit_()
+        mem = MemoryImage()
+        data = mem.alloc_array(np.ones(256))
+        kernel = kb.build(cta_size=256, grid_size=1, params=(data,))
+        stats = simulate(kernel, mem, presets.baseline())
+        assert stats.l1_hits > stats.l1_misses
+
+    def test_dram_traffic_accounted(self):
+        kb = KernelBuilder("stream")
+        t, a, v = kb.regs("t", "a", "v")
+        kb.mov(t, kb.tid)
+        kb.mad(t, kb.ctaid, kb.ntid, t)
+        kb.mul(a, t, 4)
+        kb.ld(v, kb.param(0), index=a)
+        kb.st(kb.param(1), v, index=a)
+        kb.exit_()
+        mem = MemoryImage()
+        n = 1024
+        src = mem.alloc_array(np.arange(n))
+        dst = mem.alloc(n * 4)
+        kernel = kb.build(cta_size=256, grid_size=4, params=(src, dst))
+        stats = simulate(kernel, mem, presets.baseline())
+        assert stats.dram_bytes >= n * 4  # fills + write-through
+        np.testing.assert_array_equal(mem.read_array(dst, n), np.arange(n))

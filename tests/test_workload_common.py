@@ -1,0 +1,95 @@
+"""Workload plumbing: deterministic RNG, LCG twins, size presets."""
+
+import numpy as np
+import pytest
+
+from repro.functional import MemoryImage, run_kernel
+from repro.isa import KernelBuilder
+from repro.workloads import common
+
+
+class TestRng:
+    def test_deterministic_per_name_and_size(self):
+        a = common.rng("x", "tiny").integers(0, 100, 8)
+        b = common.rng("x", "tiny").integers(0, 100, 8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_across_names(self):
+        a = common.rng("x", "tiny").integers(0, 1 << 30, 8)
+        b = common.rng("y", "tiny").integers(0, 1 << 30, 8)
+        assert not np.array_equal(a, b)
+
+    def test_distinct_across_sizes(self):
+        a = common.rng("x", "tiny").integers(0, 1 << 30, 8)
+        b = common.rng("x", "bench").integers(0, 1 << 30, 8)
+        assert not np.array_equal(a, b)
+
+    def test_size_validation(self):
+        common.check_size("tiny")
+        with pytest.raises(ValueError):
+            common.check_size("huge")
+
+
+class TestLcgTwins:
+    def test_kernel_lcg_matches_numpy(self):
+        """The in-kernel LCG and its numpy twin must agree bit-for-bit
+        (workload reference checks depend on it)."""
+        kb = KernelBuilder("lcg")
+        s, a = kb.regs("s", "a")
+        kb.mov(s, kb.tid)
+        for _ in range(5):
+            common.emit_lcg(kb, s)
+        kb.mul(a, kb.tid, 4)
+        kb.st(kb.param(0), s, index=a)
+        kb.exit_()
+        mem = MemoryImage()
+        out = mem.alloc(64 * 4)
+        kernel = kb.build(cta_size=64, grid_size=1, params=(out,))
+        run_kernel(kernel, mem)
+        state = np.arange(64, dtype=np.int64)
+        for _ in range(5):
+            state = common.lcg_next(state)
+        np.testing.assert_array_equal(mem.read_array(out, 64), state)
+
+    def test_lcg_stays_exact_in_float64(self):
+        # max(state) * A + C must stay below 2**53.
+        assert common.LCG_MASK * common.LCG_A + common.LCG_C < 2**53
+
+    def test_lcg_period_reasonable(self):
+        seen = set()
+        s = np.int64(1)
+        for _ in range(2000):
+            s = common.lcg_next(np.array([s]))[0]
+            seen.add(int(s))
+        assert len(seen) > 1000  # no tiny cycle
+
+
+class TestEmitHelpers:
+    def test_global_tid(self):
+        kb = KernelBuilder("gtid")
+        t, a = kb.regs("t", "a")
+        common.emit_global_tid(kb, t)
+        common.emit_byte_index(kb, a, t)
+        kb.st(kb.param(0), t, index=a)
+        kb.exit_()
+        mem = MemoryImage()
+        out = mem.alloc(128 * 4)
+        kernel = kb.build(cta_size=32, grid_size=4, params=(out,))
+        run_kernel(kernel, mem)
+        np.testing.assert_array_equal(mem.read_array(out, 128), np.arange(128))
+
+
+class TestSizePresets:
+    @pytest.mark.parametrize(
+        "name",
+        ["blackscholes", "histogram", "mandelbrot", "sortingnetworks"],
+    )
+    def test_bench_is_larger_than_tiny(self, name):
+        from repro.functional.interp import run_kernel as interp
+        from repro.workloads import get_workload
+
+        tiny = get_workload(name, "tiny")
+        bench = get_workload(name, "bench")
+        r_tiny = interp(tiny.kernel, tiny.memory)
+        r_bench = interp(bench.kernel, bench.memory)
+        assert r_bench.thread_instructions > r_tiny.thread_instructions
