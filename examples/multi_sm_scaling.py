@@ -1,0 +1,58 @@
+"""Multi-SM scaling study: device IPC as the SM count grows.
+
+Runs ``baseline`` and ``sbi_swi`` devices on bfs and matrixmul at
+sm_count in {1, 2, 4, 8}, all sharing a 2 MB sectored L2 over four
+DRAM partitions (device bandwidth scales with the SM count, keeping
+the paper's 10 B/cycle per-SM share).  Prints device IPC and the
+speedup over the 1-SM device.
+
+    PYTHONPATH=src python examples/multi_sm_scaling.py
+    PYTHONPATH=src python examples/multi_sm_scaling.py --size bench --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import experiments
+from repro.analysis.report import format_table
+from repro.core import presets
+
+
+def parse_args() -> argparse.Namespace:
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--size", default="tiny", choices=("tiny", "bench", "full"))
+    p.add_argument("--workloads", default="bfs,matrixmul")
+    p.add_argument("--modes", default="baseline,sbi_swi")
+    p.add_argument("--sm-counts", default="1,2,4,8")
+    p.add_argument("--jobs", type=int, default=None, help="parallel workers")
+    p.add_argument("--cache-dir", default=None, help="on-disk result cache")
+    return p.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    workloads = args.workloads.split(",")
+    modes = args.modes.split(",")
+    sm_counts = [int(n) for n in args.sm_counts.split(",")]
+
+    configs = {
+        "%s/x%d" % (mode, n): presets.device(mode, sm_count=n)
+        for mode in modes
+        for n in sm_counts
+    }
+    results = experiments.run_suite(
+        configs, workloads, args.size, jobs=args.jobs, cache_dir=args.cache_dir
+    )
+
+    headers = ["workload", "mode"] + ["x%d" % n for n in sm_counts] + ["speedup x%d" % sm_counts[-1]]
+    rows = []
+    for workload in workloads:
+        for mode in modes:
+            ipcs = [results[workload]["%s/x%d" % (mode, n)].ipc for n in sm_counts]
+            rows.append([workload, mode] + ipcs + [ipcs[-1] / ipcs[0]])
+    print(format_table(headers, rows, title="Device IPC vs SM count (size=%s)" % args.size))
+
+
+if __name__ == "__main__":
+    main()

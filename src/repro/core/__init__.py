@@ -1,15 +1,30 @@
-"""The paper's contribution: SBI/SWI schedulers, the SM pipeline, and
-the public simulation API.
+"""The paper's contribution: SBI/SWI schedulers, the SM pipeline, the
+multi-SM device layer, and the public simulation API.
 
 Typical use::
 
     from repro.core import presets, simulate
     stats = simulate(kernel, memory, presets.sbi_swi())
     print(stats.ipc)
+
+or, for a whole device::
+
+    from repro.core import presets, simulate_device
+    dstats = simulate_device(kernel, memory, presets.device("sbi_swi", sm_count=4))
+    print(dstats.ipc)
 """
 
 from repro.core import presets
+from repro.core.gpu import CTADispatcher, GPUDevice, simulate_device
 from repro.core.simulator import simulate, SimulationError
 from repro.core.sm import StreamingMultiprocessor
 
-__all__ = ["StreamingMultiprocessor", "SimulationError", "presets", "simulate"]
+__all__ = [
+    "CTADispatcher",
+    "GPUDevice",
+    "SimulationError",
+    "StreamingMultiprocessor",
+    "presets",
+    "simulate",
+    "simulate_device",
+]

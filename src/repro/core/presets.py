@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.timing.config import SMConfig
+from repro.timing.config import GPUConfig, SMConfig
 
 
 def baseline(**overrides) -> SMConfig:
@@ -110,6 +110,32 @@ def sbi_swi(
 
 #: Figure 7 configuration set, in presentation order.
 FIGURE7_CONFIGS = ("baseline", "sbi", "swi", "sbi_swi", "warp64")
+
+
+def device(
+    name: str = "sbi_swi",
+    sm_count: int = 4,
+    l2_size: int = 2 * 1024 * 1024,
+    dram_partitions: int = 4,
+    sm_overrides: Optional[dict] = None,
+    **gpu_overrides,
+) -> GPUConfig:
+    """Device-scale preset: N copies of a named SM preset behind a
+    shared 2 MB sectored L2 and address-partitioned DRAM.
+
+    ``l2_size=0`` drops the L2 and gives each SM a private channel
+    with its ``1/sm_count`` bandwidth share (the paper's per-SM
+    memory model, scaled out).
+    """
+    sm = by_name(name, **(sm_overrides or {}))
+    cfg = dict(
+        sm=sm,
+        sm_count=sm_count,
+        l2_size=l2_size,
+        dram_partitions=dram_partitions,
+    )
+    cfg.update(gpu_overrides)
+    return GPUConfig(**cfg)
 
 
 def by_name(name: str, **overrides) -> SMConfig:

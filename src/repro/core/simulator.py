@@ -1,4 +1,10 @@
-"""Public simulation entry point."""
+"""Public simulation entry points.
+
+``simulate`` runs one kernel on a single SM (the paper's evaluation
+setup); ``simulate_device`` — re-exported from
+:mod:`repro.core.gpu` — runs it on a whole multi-SM device with a
+shared memory hierarchy.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +12,7 @@ from typing import Optional
 
 from repro.functional.memory import MemoryImage
 from repro.isa.builder import Kernel
+from repro.core.gpu import simulate_device
 from repro.core.sm import SimulationError, StreamingMultiprocessor
 from repro.timing.config import SMConfig
 from repro.timing.stats import Stats
@@ -24,4 +31,4 @@ def simulate(kernel: Kernel, memory: MemoryImage, config: Optional[SMConfig] = N
     return sm.run()
 
 
-__all__ = ["simulate", "SimulationError"]
+__all__ = ["simulate", "simulate_device", "SimulationError"]

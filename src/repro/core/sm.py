@@ -54,27 +54,52 @@ class IssueRecord:
 
 
 class StreamingMultiprocessor:
-    """Cycle-level model of one SM running one kernel launch."""
+    """Cycle-level model of one SM running one kernel launch.
 
-    def __init__(self, kernel: Kernel, memory: MemoryImage, config: SMConfig) -> None:
+    By default the SM is a self-contained single-SM simulation: it
+    owns a private DRAM channel and pulls CTAs from a private
+    sequential dispatcher over the whole grid.  A
+    :class:`repro.core.gpu.GPUDevice` instead injects the shared
+    memory sink (L2 system or per-SM bandwidth slice) and the shared
+    GigaThread dispatcher, and drives many SMs in lock-step through
+    :meth:`step` / :meth:`next_event_cycle`.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        memory: MemoryImage,
+        config: SMConfig,
+        *,
+        dispatcher=None,
+        memory_sink=None,
+        sm_id: int = 0,
+    ) -> None:
         from repro.core.schedulers import make_scheduler  # cycle-free import
 
         self.kernel = kernel
         self.memory = memory
         self.config = config
+        self.sm_id = sm_id
         self.stats = Stats()
         self.executor = Executor(kernel, memory)
         self.backend = Backend(config)
         self.cache = L1Cache(config.l1_size, config.l1_ways, config.l1_block, config.l1_latency)
-        self.dram = DRAMChannel(config.dram_bandwidth, config.dram_latency)
+        if memory_sink is None:
+            memory_sink = DRAMChannel(config.dram_bandwidth, config.dram_latency)
+        self.dram = memory_sink
         self.lsu_logic = LoadStoreUnit(config, self.cache, self.dram, self.stats)
         hot_capacity = 2 if config.uses_sbi else 1
         self.fetch = FetchEngine(kernel.program, config.fetch_width, hot_capacity)
         self.scheduler = make_scheduler(config, self)
 
+        if dispatcher is None:
+            from repro.core.gpu import CTADispatcher  # cycle-free import
+
+            dispatcher = CTADispatcher(kernel.grid_size)
+        self.dispatcher = dispatcher
         self.warp_slots: List[Optional[TimingWarp]] = [None] * config.warp_count
         self.cta_warps: Dict[int, List[TimingWarp]] = {}
-        self.next_cta = 0
         self.pending_launches: List[Tuple[int, Tuple[int, ...]]] = []
         self._wb_heap: List[Tuple[int, int, TimingWarp, object]] = []
         self._seq = 0
@@ -101,9 +126,7 @@ class StreamingMultiprocessor:
     def _free_slots(self) -> List[int]:
         return [i for i, w in enumerate(self.warp_slots) if w is None]
 
-    def _launch_cta(self, slots: Tuple[int, ...], now: int) -> None:
-        cta = self.next_cta
-        self.next_cta += 1
+    def _launch_cta(self, cta: int, slots: Tuple[int, ...], now: int) -> None:
         shared = SharedMemory(max(self.kernel.shared_bytes, 4))
         warps = []
         width = self.config.warp_width
@@ -116,18 +139,31 @@ class StreamingMultiprocessor:
         self.stats.ctas_launched += 1
         self._live_cache = None
 
+    def try_launch_cta(self, now: int) -> bool:
+        """Accept one CTA from the dispatcher if a slot set is free."""
+        if not self.dispatcher.has_pending():
+            return False
+        free = self._free_slots()
+        if len(free) < self.warps_per_cta:
+            return False
+        cta = self.dispatcher.acquire()
+        if cta is None:
+            return False
+        self._launch_cta(cta, tuple(free[: self.warps_per_cta]), now)
+        return True
+
     def _initial_launch(self) -> None:
-        while self.next_cta < self.kernel.grid_size:
-            free = self._free_slots()
-            if len(free) < self.warps_per_cta:
-                break
-            self._launch_cta(tuple(free[: self.warps_per_cta]), 0)
+        while self.try_launch_cta(0):
+            pass
 
     def _launch_pending(self, now: int) -> None:
         while self.pending_launches and self.pending_launches[0][0] <= now:
             _, slots = heapq.heappop(self.pending_launches)
-            if self.next_cta < self.kernel.grid_size:
-                self._launch_cta(slots, now)
+            # Another SM may have drained the grid since the retire
+            # that scheduled this launch; the slots simply stay free.
+            cta = self.dispatcher.acquire()
+            if cta is not None:
+                self._launch_cta(cta, slots, now)
 
     def _retire_warp(self, warp: TimingWarp, now: int) -> None:
         warp.done = True
@@ -140,7 +176,7 @@ class StreamingMultiprocessor:
             for slot in slots:
                 self.warp_slots[slot] = None
             del self.cta_warps[warp.cta_id]
-            if self.next_cta < self.kernel.grid_size:
+            if self.dispatcher.has_pending():
                 heapq.heappush(
                     self.pending_launches,
                     (now + self.config.cta_launch_latency, slots),
@@ -287,7 +323,13 @@ class StreamingMultiprocessor:
             _, _, warp, sb_entry = heapq.heappop(heap)
             warp.scoreboard.release(sb_entry)
 
-    def _next_event(self, now: int) -> int:
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which anything can happen here.
+
+        ``None`` means this SM has no scheduled events — a deadlock in
+        a standalone run, and for a device either a finished SM or one
+        stuck until the whole device deadlocks.
+        """
         candidates: List[int] = []
         if self._wb_heap:
             candidates.append(self._wb_heap[0][0])
@@ -305,12 +347,19 @@ class StreamingMultiprocessor:
                 if s.ready_at > now:
                     candidates.append(s.ready_at)
         candidates = [c for c in candidates if c > now]
-        if not candidates:
+        return min(candidates) if candidates else None
+
+    def _next_event(self, now: int) -> int:
+        nxt = self.next_event_cycle(now)
+        if nxt is None:
             raise SimulationError(self._deadlock_report(now))
-        return min(candidates)
+        return nxt
 
     def _deadlock_report(self, now: int) -> str:
-        lines = ["deadlock at cycle %d in kernel %s" % (now, self.kernel.name)]
+        lines = [
+            "deadlock at cycle %d in kernel %s (SM %d)"
+            % (now, self.kernel.name, self.sm_id)
+        ]
         for warp in self.live_warps():
             splits = ", ".join(repr(s) for s in warp.model.all_splits())
             lines.append(
@@ -323,28 +372,34 @@ class StreamingMultiprocessor:
     # Main loop
     # ------------------------------------------------------------------
 
-    def _finished(self) -> bool:
+    @property
+    def finished(self) -> bool:
         return (
             not self.live_warps()
             and not self.pending_launches
-            and self.next_cta >= self.kernel.grid_size
+            and not self.dispatcher.has_pending()
         )
+
+    def step(self, now: int) -> bool:
+        """Simulate one cycle; True when any issue or fetch happened."""
+        self._launch_pending(now)
+        self._process_writebacks(now)
+        issued = self.scheduler.tick(now)
+        fetched = self.fetch.tick(now, self.live_warps())
+        if issued:
+            self.stats.busy_cycles += 1
+        return bool(issued or fetched)
 
     def run(self) -> Stats:
         self._initial_launch()
         now = 0
         max_cycles = self.config.max_cycles
         while now < max_cycles:
-            self._launch_pending(now)
-            self._process_writebacks(now)
-            issued = self.scheduler.tick(now)
-            fetched = self.fetch.tick(now, self.live_warps())
-            if issued:
-                self.stats.busy_cycles += 1
-            if self._finished():
+            progressed = self.step(now)
+            if self.finished:
                 self.stats.cycles = now + 1
                 return self.stats
-            if issued or fetched:
+            if progressed:
                 now += 1
             else:
                 now = self._next_event(now)

@@ -8,6 +8,8 @@ Modules
 ``lanes``       Lane-shuffling policies (paper Table 1).
 ``units``       SIMD execution groups with wave occupancy.
 ``cache``       L1 data cache (48 KB, 6-way, 128 B blocks).
+``l2``          Shared device L2: sectored, set-associative, address-
+                partitioned across per-partition DRAM channels.
 ``dram``        Throughput-limited constant-latency memory.
 ``lsu``         Load-store unit: coalescing, replay, bank conflicts.
 ``scoreboard``  Warp-granular / exact-mask / dependency-matrix scoreboards.
@@ -16,7 +18,7 @@ Modules
 ``fetch``       Instruction buffers and the fetch/decode engine.
 """
 
-from repro.timing.config import SMConfig
-from repro.timing.stats import Stats
+from repro.timing.config import GPUConfig, SMConfig
+from repro.timing.stats import DeviceStats, Stats
 
-__all__ = ["SMConfig", "Stats"]
+__all__ = ["DeviceStats", "GPUConfig", "SMConfig", "Stats"]

@@ -18,7 +18,7 @@ A configuration picks one of five scheduler *modes*:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 VALID_MODES = ("baseline", "warp64", "sbi", "swi", "sbi_swi")
@@ -163,4 +163,129 @@ class SMConfig:
                 self.lane_shuffle,
                 "full" if self.swi_ways is None else self.swi_ways,
             )
+        )
+
+
+@dataclass
+class GPUConfig:
+    """A whole device: ``sm_count`` SMs behind a shared memory system.
+
+    ``l2_size == 0`` disables the shared L2: each SM then owns a
+    private DRAM channel carrying its ``1/sm_count`` share of the
+    device bandwidth — with ``sm_count=1`` that is byte-for-byte the
+    single-SM model of :func:`repro.core.simulator.simulate`.  With an
+    L2, every SM's L1 misses and write-through traffic meet in a
+    sectored, set-associative cache that is partitioned by address
+    across ``dram_partitions`` independent DRAM channels.
+    """
+
+    sm: SMConfig = field(default_factory=SMConfig)
+    sm_count: int = 1
+
+    # Shared L2 (disabled by default so the device defaults reproduce
+    # the paper's per-SM memory model exactly).
+    l2_size: int = 0
+    l2_ways: int = 16
+    l2_block: int = 128
+    l2_sector: int = 32
+    l2_latency: int = 30
+
+    # Device DRAM.  ``None`` scales the paper's per-SM share with the
+    # SM count (10 B/cycle per SM), keeping per-SM pressure constant.
+    dram_partitions: int = 1
+    dram_bandwidth: Optional[float] = None
+    dram_latency: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        if not isinstance(self.sm, SMConfig):
+            raise ValueError("sm must be an SMConfig")
+        if self.sm_count < 1:
+            raise ValueError("sm_count must be >= 1")
+        if self.dram_partitions < 1:
+            raise ValueError("dram_partitions must be >= 1")
+        if self.dram_bandwidth is not None and self.dram_bandwidth <= 0:
+            raise ValueError("dram_bandwidth must be positive")
+        if self.l2_size < 0:
+            raise ValueError("l2_size must be >= 0")
+        if self.l2_size:
+            if self.l2_ways < 1 or self.l2_block < 1 or self.l2_sector < 1:
+                raise ValueError("l2_ways, l2_block and l2_sector must be >= 1")
+            if self.l2_block % self.l2_sector:
+                raise ValueError("l2_block must be a multiple of l2_sector")
+            if self.l2_block % self.sm.l1_block:
+                raise ValueError("l2_block must be a multiple of the L1 block")
+            if self.l2_size % self.dram_partitions:
+                raise ValueError("l2_size must split evenly across partitions")
+            slice_size = self.l2_size // self.dram_partitions
+            if slice_size % (self.l2_ways * self.l2_block):
+                raise ValueError(
+                    "per-partition L2 slice must be sets * ways * block"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+
+    @property
+    def uses_l2(self) -> bool:
+        return self.l2_size > 0
+
+    @property
+    def total_dram_bandwidth(self) -> float:
+        """Device bandwidth in bytes/cycle (default: per-SM share x N)."""
+        if self.dram_bandwidth is not None:
+            return self.dram_bandwidth
+        return self.sm.dram_bandwidth * self.sm_count
+
+    @property
+    def effective_dram_latency(self) -> int:
+        return self.sm.dram_latency if self.dram_latency is None else self.dram_latency
+
+    @property
+    def partition_bandwidth(self) -> float:
+        """Bytes/cycle on each DRAM partition behind the L2."""
+        return self.total_dram_bandwidth / self.dram_partitions
+
+    @property
+    def sm_dram_share(self) -> float:
+        """Private-channel bandwidth per SM when the L2 is disabled."""
+        return self.total_dram_bandwidth / self.sm_count
+
+    @property
+    def l2_slice_size(self) -> int:
+        """Bytes of L2 owned by one partition."""
+        return self.l2_size // self.dram_partitions if self.l2_size else 0
+
+    @property
+    def total_threads(self) -> int:
+        return self.sm_count * self.sm.total_threads
+
+    def replace(self, **kwargs) -> "GPUConfig":
+        """Copy with overrides (post-init re-validates)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        mem = (
+            "no L2"
+            if not self.uses_l2
+            else "L2 %dKB/%d-way/%dB (%dB sectors, %d partitions)"
+            % (
+                self.l2_size // 1024,
+                self.l2_ways,
+                self.l2_block,
+                self.l2_sector,
+                self.dram_partitions,
+            )
+        )
+        return "%d x [%s], %s, dram %.0f B/c %dc" % (
+            self.sm_count,
+            self.sm.describe(),
+            mem,
+            self.total_dram_bandwidth,
+            self.effective_dram_latency,
         )

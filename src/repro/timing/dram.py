@@ -23,15 +23,19 @@ class DRAMChannel:
         self.bytes_transferred = 0.0
         self.requests = 0
 
-    def request(self, nbytes: int, now: int) -> int:
-        """Schedule a transfer; returns the data-arrival cycle."""
+    def request(self, nbytes: int, now: int, addr: int = 0) -> int:
+        """Schedule a transfer; returns the data-arrival cycle.
+
+        ``addr`` is accepted for interface compatibility with the
+        address-partitioned L2 system and is ignored by a flat channel.
+        """
         start = max(float(now), self._free_at)
         self._free_at = start + nbytes / self.bandwidth
         self.bytes_transferred += nbytes
         self.requests += 1
         return int(self._free_at + self.latency) + 1
 
-    def post_write(self, nbytes: int, now: int) -> int:
+    def post_write(self, nbytes: int, now: int, addr: int = 0) -> int:
         """Write traffic: consumes bandwidth; completion is when the
         channel slot drains (stores are fire-and-forget through a
         store buffer)."""
@@ -40,6 +44,15 @@ class DRAMChannel:
         self.bytes_transferred += nbytes
         self.requests += 1
         return int(self._free_at) + 1
+
+    def post_write_segments(self, segments, seg_bytes: int, now: int) -> None:
+        """Write-through traffic for a set of touched store segments.
+
+        On a flat channel one aggregate transfer costs exactly the
+        same bandwidth as per-segment transfers, so collapse them; an
+        address-partitioned sink overrides this to route each segment.
+        """
+        self.post_write(len(segments) * seg_bytes, now)
 
     @property
     def busy_until(self) -> float:

@@ -1,0 +1,258 @@
+"""Shared L2 cache: sectored, set-associative, partitioned by address.
+
+The device-level memory system between the per-SM L1s and DRAM.  The
+L2 is split into ``dram_partitions`` independent slices, each owning a
+private DRAM channel; a request is routed to the slice of its line
+address (low-order line-interleaving, as GPUs stripe their L2 across
+memory controllers).  Lines are *sectored*: a line allocates tag state
+for ``l2_block`` bytes but fills only the ``l2_sector``-byte sectors a
+miss actually touches, so sparse access patterns do not pay full-line
+fill bandwidth.  Like the L1 it is write-through/no-write-allocate and
+therefore always clean — evictions are silent and no inclusion
+traffic back to the L1s is modelled.
+
+Timing mirrors :class:`repro.timing.cache.L1Cache`: each sector
+records the cycle its fill completes, so a hit under an in-flight fill
+waits for the data rather than the tag, and per-sector MSHRs merge
+concurrent misses from different SMs into one DRAM transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.timing.dram import DRAMChannel
+
+
+class L2Cache:
+    """One partition's sectored set-associative tag/sector store.
+
+    ``interleave`` is the device's partition count: a slice only ever
+    sees line indices congruent to its partition id, so the partition
+    bits must be stripped before set selection or only
+    ``n_sets / interleave`` sets would ever be used.
+    """
+
+    def __init__(
+        self, size: int, ways: int, block: int, sector: int, interleave: int = 1
+    ) -> None:
+        if block % sector:
+            raise ValueError("block must be a multiple of sector")
+        if size % (ways * block):
+            raise ValueError("cache size must be sets * ways * block")
+        if interleave < 1:
+            raise ValueError("interleave must be >= 1")
+        self.size = size
+        self.ways = ways
+        self.block = block
+        self.sector = sector
+        self.interleave = interleave
+        self.sectors_per_line = block // sector
+        self.n_sets = size // (ways * block)
+        # Per set: {line_addr: [last_use, {sector_index: ready_at}]}
+        self._sets: List[Dict[int, list]] = [dict() for _ in range(self.n_sets)]
+        self._use_counter = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def _set_of(self, line_addr: int) -> Dict[int, list]:
+        return self._sets[(line_addr // self.block // self.interleave) % self.n_sets]
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.block * self.block
+
+    def sectors_of(self, addr: int, nbytes: int) -> range:
+        """Sector indices (within the line) covering [addr, addr+nbytes)."""
+        offset = addr - self.line_of(addr)
+        first = offset // self.sector
+        last = (offset + max(nbytes, 1) - 1) // self.sector
+        return range(first, min(last, self.sectors_per_line - 1) + 1)
+
+    def _touch(self, entry: list) -> None:
+        self._use_counter += 1
+        entry[0] = self._use_counter
+
+    # ------------------------------------------------------------------
+
+    def probe(self, line_addr: int, sectors: range) -> Tuple[Optional[int], List[int]]:
+        """Look up ``sectors`` of one line.
+
+        Returns ``(ready_at, missing)``: the latest fill-complete cycle
+        over the present sectors (None when the line itself is absent)
+        and the list of absent sector indices.  Touches LRU state.
+        """
+        lines = self._set_of(line_addr)
+        entry = lines.get(line_addr)
+        if entry is None:
+            return None, list(sectors)
+        self._touch(entry)
+        present = entry[1]
+        ready = 0
+        missing: List[int] = []
+        for s in sectors:
+            if s in present:
+                ready = max(ready, present[s])
+            else:
+                missing.append(s)
+        return ready, missing
+
+    def fill(self, line_addr: int, sectors: List[int], ready_at: int) -> None:
+        """Install sectors whose data arrives at ``ready_at``.
+
+        Allocates the line (evicting the LRU way) if needed; refills of
+        a present sector keep the earliest ready time, as a second fill
+        can only be a merge of the same DRAM transfer.
+        """
+        lines = self._set_of(line_addr)
+        entry = lines.get(line_addr)
+        if entry is None:
+            if len(lines) >= self.ways:
+                victim = min(lines, key=lambda b: lines[b][0])
+                del lines[victim]
+                self.evictions += 1
+            self._use_counter += 1
+            entry = lines[line_addr] = [self._use_counter, {}]
+        else:
+            self._touch(entry)
+        present = entry[1]
+        for s in sectors:
+            if s in present:
+                present[s] = min(present[s], ready_at)
+            else:
+                present[s] = ready_at
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._set_of(line_addr)
+
+    def invalidate_all(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+
+class L2Partition:
+    """One L2 slice plus its private DRAM channel and sector MSHRs."""
+
+    def __init__(
+        self,
+        size: int,
+        ways: int,
+        block: int,
+        sector: int,
+        latency: int,
+        dram: DRAMChannel,
+        interleave: int = 1,
+    ) -> None:
+        self.cache = L2Cache(size, ways, block, sector, interleave)
+        self.dram = dram
+        self.latency = latency
+        # (line_addr, sector_index) -> cycle the in-flight fill lands.
+        self._pending: Dict[Tuple[int, int], int] = {}
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.sector_fills = 0
+
+    def read(self, addr: int, nbytes: int, now: int) -> int:
+        """Serve one read; returns the cycle data reaches the L1."""
+        self.accesses += 1
+        cache = self.cache
+        line = cache.line_of(addr)
+        sectors = cache.sectors_of(addr, nbytes)
+        present_ready, missing = cache.probe(line, sectors)
+        ready = now if present_ready is None else max(now, present_ready)
+        if not missing:
+            self.hits += 1
+            return ready + self.latency
+        self.misses += 1
+        to_fetch: List[int] = []
+        for s in missing:
+            pending = self._pending.get((line, s))
+            if pending is not None and pending > now:
+                ready = max(ready, pending)  # MSHR merge
+            else:
+                if pending is not None:
+                    del self._pending[(line, s)]  # fill landed: retire MSHR
+                to_fetch.append(s)
+        if to_fetch:
+            fill = self.dram.request(len(to_fetch) * cache.sector, now)
+            self.sector_fills += len(to_fetch)
+            for s in to_fetch:
+                self._pending[(line, s)] = fill
+            cache.fill(line, to_fetch, fill)
+            ready = max(ready, fill)
+        return ready + self.latency
+
+    def write(self, addr: int, nbytes: int, now: int) -> int:
+        """Write-through: spend DRAM bandwidth, never allocate."""
+        return self.dram.post_write(nbytes, now, addr)
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram.bytes_transferred
+
+
+class L2System:
+    """The shared memory side of a :class:`repro.core.gpu.GPUDevice`.
+
+    Implements the same ``request``/``post_write`` interface as
+    :class:`~repro.timing.dram.DRAMChannel`, so an SM's load-store unit
+    is agnostic to whether it talks to a private channel or the shared
+    hierarchy.  All SMs of a device hold the same ``L2System``.
+    """
+
+    def __init__(self, config) -> None:
+        if not config.uses_l2:
+            raise ValueError("L2System requires l2_size > 0")
+        self.block = config.l2_block
+        self.partitions = [
+            L2Partition(
+                config.l2_slice_size,
+                config.l2_ways,
+                config.l2_block,
+                config.l2_sector,
+                config.l2_latency,
+                DRAMChannel(config.partition_bandwidth, config.effective_dram_latency),
+                interleave=config.dram_partitions,
+            )
+            for _ in range(config.dram_partitions)
+        ]
+
+    def partition_of(self, addr: int) -> L2Partition:
+        return self.partitions[(addr // self.block) % len(self.partitions)]
+
+    def request(self, nbytes: int, now: int, addr: int = 0) -> int:
+        return self.partition_of(addr).read(addr, nbytes, now)
+
+    def post_write(self, nbytes: int, now: int, addr: int = 0) -> int:
+        return self.partition_of(addr).write(addr, nbytes, now)
+
+    def post_write_segments(self, segments, seg_bytes: int, now: int) -> None:
+        """Route each touched store segment to its partition's channel."""
+        for seg in segments:
+            addr = int(seg) * seg_bytes
+            self.post_write(seg_bytes, now, addr)
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return sum(p.accesses for p in self.partitions)
+
+    @property
+    def hits(self) -> int:
+        return sum(p.hits for p in self.partitions)
+
+    @property
+    def misses(self) -> int:
+        return sum(p.misses for p in self.partitions)
+
+    @property
+    def sector_fills(self) -> int:
+        return sum(p.sector_fills for p in self.partitions)
+
+    @property
+    def dram_bytes(self) -> float:
+        return sum(p.dram_bytes for p in self.partitions)

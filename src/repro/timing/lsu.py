@@ -35,7 +35,12 @@ from repro.timing.stats import Stats
 
 
 class LoadStoreUnit:
-    """Transaction generation and timing for one memory instruction."""
+    """Transaction generation and timing for one memory instruction.
+
+    ``dram`` is anything with the channel interface — a private
+    :class:`DRAMChannel` (the paper's single-SM model) or a shared
+    :class:`repro.timing.l2.L2System` injected by the device layer.
+    """
 
     def __init__(self, config, cache: L1Cache, dram: DRAMChannel, stats: Stats) -> None:
         self.config = config
@@ -101,17 +106,18 @@ class LoadStoreUnit:
         pending = self._pending_fills.get(block)
         if pending is not None and pending > at:
             return pending  # MSHR merge with an in-flight fill
-        fill = self.dram.request(self.config.l1_block, at)
+        block_addr = block * self.config.l1_block
+        fill = self.dram.request(self.config.l1_block, at, block_addr)
         self.stats.dram_bytes += self.config.l1_block
         self._pending_fills[block] = fill
-        self.cache.fill(block * self.config.l1_block, fill)
+        self.cache.fill(block_addr, fill)
         return fill
 
     def _store_traffic(self, addrs: np.ndarray, at: int) -> None:
-        segments = np.unique(addrs // self.config.store_segment)
-        nbytes = int(segments.size) * self.config.store_segment
-        self.dram.post_write(nbytes, at)
-        self.stats.dram_bytes += nbytes
+        seg_bytes = self.config.store_segment
+        segments = np.unique(addrs // seg_bytes)
+        self.dram.post_write_segments(segments, seg_bytes, at)
+        self.stats.dram_bytes += int(segments.size) * seg_bytes
 
     def _global(self, instr: Instruction, addrs: np.ndarray, now: int) -> Tuple[int, int]:
         blocks = self._blocks_of(addrs)

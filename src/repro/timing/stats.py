@@ -9,8 +9,8 @@ checks in the test suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List
 
 
 @dataclass
@@ -40,7 +40,10 @@ class Stats:
     swi_hits: int = 0
     scheduler_conflicts: int = 0
 
-    # Memory system.
+    # Memory system.  ``dram_bytes`` counts traffic *below this SM's
+    # L1* (miss fills + write-through); on a private channel that is
+    # DRAM traffic, but under a shared L2 some of it is absorbed —
+    # device-level DRAM bytes live in :class:`DeviceStats`.
     l1_accesses: int = 0
     l1_hits: int = 0
     l1_misses: int = 0
@@ -87,6 +90,33 @@ class Stats:
         else:
             raise ValueError("unknown issue origin %r" % origin)
 
+    def merge(self, other: "Stats") -> None:
+        """Accumulate another SM's counters into this one.
+
+        SMs run concurrently, so ``cycles`` (and the structural
+        high-water mark ``max_live_splits``) take the max while every
+        throughput counter sums; ``busy_cycles`` becomes total
+        SM-busy-cycles across the device.
+        """
+        for f in fields(self):
+            if f.name == "per_op_class":
+                continue
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            if f.name in ("cycles", "max_live_splits"):
+                setattr(self, f.name, max(mine, theirs))
+            else:
+                setattr(self, f.name, mine + theirs)
+        for op, count in other.per_op_class.items():
+            self.per_op_class[op] = self.per_op_class.get(op, 0) + count
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Stats":
+        return cls(**data)
+
     def summary(self) -> str:
         lines = [
             "cycles              %10d" % self.cycles,
@@ -101,7 +131,90 @@ class Stats:
             % (self.branches, self.divergent_branches, self.merges),
             "L1                  %d accesses, %.1f%% hits"
             % (self.l1_accesses, 100.0 * self.l1_hit_rate),
-            "DRAM traffic        %10.0f bytes" % self.dram_bytes,
+            "traffic below L1    %10.0f bytes" % self.dram_bytes,
             "CTAs launched       %10d" % self.ctas_launched,
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class DeviceStats:
+    """Statistics for one multi-SM device run.
+
+    ``sm_stats`` keeps the per-SM :class:`Stats` (each with its own
+    retire cycle); the ``total`` property aggregates them under the
+    device-level cycle count, so ``DeviceStats.ipc`` is whole-device
+    thread instructions per cycle.
+    """
+
+    cycles: int = 0
+    sm_stats: List[Stats] = field(default_factory=list)
+
+    # Shared memory system (zero when the L2 is disabled).
+    l2_accesses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l2_sector_fills: int = 0
+    dram_bytes: float = 0.0
+
+    @property
+    def sm_count(self) -> int:
+        return len(self.sm_stats)
+
+    @property
+    def total(self) -> Stats:
+        """All SM counters summed, under the device cycle count."""
+        merged = Stats()
+        for s in self.sm_stats:
+            merged.merge(s)
+        merged.cycles = self.cycles
+        return merged
+
+    @property
+    def thread_instructions(self) -> int:
+        return sum(s.thread_instructions for s in self.sm_stats)
+
+    @property
+    def instructions_issued(self) -> int:
+        return sum(s.instructions_issued for s in self.sm_stats)
+
+    @property
+    def ctas_launched(self) -> int:
+        return sum(s.ctas_launched for s in self.sm_stats)
+
+    @property
+    def ipc(self) -> float:
+        """Device thread instructions per cycle (Figure-7 metric x N)."""
+        return self.thread_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.l2_hits / self.l2_accesses if self.l2_accesses else 0.0
+
+    def to_dict(self) -> Dict:
+        data = asdict(self)
+        data["sm_stats"] = [s.to_dict() for s in self.sm_stats]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DeviceStats":
+        data = dict(data)
+        data["sm_stats"] = [Stats.from_dict(s) for s in data.get("sm_stats", [])]
+        return cls(**data)
+
+    def summary(self) -> str:
+        lines = [
+            "SMs                 %10d" % self.sm_count,
+            "device cycles       %10d" % self.cycles,
+            "thread instructions %10d" % self.thread_instructions,
+            "device IPC          %10.2f" % self.ipc,
+            "CTAs launched       %10d (%s per SM)"
+            % (
+                self.ctas_launched,
+                "/".join(str(s.ctas_launched) for s in self.sm_stats),
+            ),
+            "L2                  %d accesses, %.1f%% hits"
+            % (self.l2_accesses, 100.0 * self.l2_hit_rate),
+            "DRAM traffic        %10.0f bytes" % self.dram_bytes,
         ]
         return "\n".join(lines)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -60,8 +61,14 @@ def check_size(size: str) -> None:
 
 
 def rng(name: str, size: str) -> np.random.Generator:
-    """Deterministic per-(workload, size) random source."""
-    seed = abs(hash((name, size))) % (2**31)
+    """Deterministic per-(workload, size) random source.
+
+    Seeded by a stable digest — ``hash()`` is randomised per process,
+    which would rebuild different workload data in every session and
+    silently invalidate the on-disk experiment cache.
+    """
+    digest = hashlib.sha256(("%s/%s" % (name, size)).encode()).digest()
+    seed = int.from_bytes(digest[:4], "little")
     return np.random.default_rng(seed)
 
 

@@ -1,11 +1,14 @@
 """The analysis/experiments harness used by the benchmark tree."""
 
+import multiprocessing
 import os
 
 import pytest
 
 from repro.analysis import experiments
 from repro.core import presets
+from repro.timing.config import GPUConfig
+from repro.timing.stats import DeviceStats
 
 
 class TestRunOne:
@@ -32,6 +35,25 @@ class TestRunOne:
             "histogram", presets.baseline(), "tiny", verify=True, cache=False
         )
 
+    def test_verify_bypasses_warm_cache(self, monkeypatch):
+        """verify=True must simulate and check even when the cell is
+        already in the in-process cache."""
+        cfg = presets.baseline()
+        experiments.run_one("histogram", cfg, "tiny")  # warm the cache
+        calls = []
+        real = experiments.get_workload
+
+        def spy(name, size):
+            inst = real(name, size)
+            if inst.numpy_check is not None:
+                check = inst.numpy_check
+                inst.numpy_check = lambda mem: (calls.append(name), check(mem))
+            return inst
+
+        monkeypatch.setattr(experiments, "get_workload", spy)
+        experiments.run_one("histogram", cfg, "tiny", verify=True)
+        assert calls == ["histogram"]
+
     def test_config_key_distinguishes_options(self):
         keys = {
             experiments.config_key(presets.swi()),
@@ -40,6 +62,39 @@ class TestRunOne:
             experiments.config_key(presets.sbi(constraints=False)),
         }
         assert len(keys) == 4
+
+    def test_config_key_covers_every_field(self):
+        """Sweeps over scoreboard/CCT/L1/DRAM knobs must not collide
+        (the original key ignored them and served stale Stats)."""
+        variants = [
+            presets.baseline(),
+            presets.baseline(scoreboard_kind="mask"),
+            presets.baseline(scoreboard_entries=8),
+            presets.sbi(),
+            presets.sbi(cct_capacity=4),
+            presets.sbi(cct_insert_delay=1),
+            presets.baseline(l1_size=16 * 1024),
+            presets.baseline(l1_ways=2, l1_size=16 * 1024),
+            presets.baseline(dram_bandwidth=20.0),
+            presets.baseline(dram_latency=100),
+        ]
+        keys = {experiments.config_key(c) for c in variants}
+        assert len(keys) == len(variants)
+
+    def test_config_key_distinguishes_gpu_configs(self):
+        keys = {
+            experiments.config_key(presets.baseline()),
+            experiments.config_key(GPUConfig(sm=presets.baseline())),
+            experiments.config_key(GPUConfig(sm=presets.baseline(), sm_count=2)),
+            experiments.config_key(presets.device("baseline")),
+            experiments.config_key(presets.device("baseline", dram_partitions=2)),
+        }
+        assert len(keys) == 5
+
+    def test_config_hash_stable_and_field_sensitive(self):
+        a = experiments.config_hash(presets.baseline())
+        assert a == experiments.config_hash(presets.baseline())
+        assert a != experiments.config_hash(presets.baseline(dram_latency=100))
 
 
 class TestSuiteHelpers:
@@ -70,6 +125,12 @@ class TestSuiteHelpers:
         experiments.save_results(path, {"a": {"b": 1.0}})
         assert os.path.exists(path)
 
+    def test_save_results_bare_filename(self, tmp_path, monkeypatch):
+        """A path with no directory component must not crash makedirs."""
+        monkeypatch.chdir(tmp_path)
+        experiments.save_results("out.json", {"a": {"b": 1.0}})
+        assert os.path.exists("out.json")
+
     def test_determinism_across_instances(self):
         """Two fresh runs of the same cell give identical cycle counts —
         the simulator has no hidden global state."""
@@ -81,3 +142,140 @@ class TestSuiteHelpers:
             b.thread_instructions,
             b.instructions_issued,
         )
+
+
+class TestDiskCache:
+    @pytest.fixture(autouse=True)
+    def fresh_process_cache(self):
+        """Disk-cache behaviour must not depend on what earlier tests
+        left in the in-process cache."""
+        experiments.clear_cache()
+        yield
+        experiments.clear_cache()
+
+    def test_warm_cache_skips_simulation(self, tmp_path, monkeypatch):
+        cache_dir = str(tmp_path)
+        cfg = presets.baseline()
+        first = experiments.run_one("histogram", cfg, "tiny", cache_dir=cache_dir)
+        experiments.clear_cache()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("simulation re-ran despite warm disk cache")
+
+        monkeypatch.setattr(experiments, "simulate", boom)
+        monkeypatch.setattr(experiments, "simulate_device", boom)
+        second = experiments.run_one("histogram", cfg, "tiny", cache_dir=cache_dir)
+        assert first.to_dict() == second.to_dict()
+
+    def test_disk_key_distinguishes_configs(self, tmp_path):
+        cache_dir = str(tmp_path)
+        a = experiments.run_one(
+            "histogram", presets.baseline(), "tiny", cache_dir=cache_dir
+        )
+        experiments.clear_cache()
+        b = experiments.run_one(
+            "histogram",
+            presets.baseline(scoreboard_kind="mask"),
+            "tiny",
+            cache_dir=cache_dir,
+        )
+        assert len(os.listdir(cache_dir)) == 2
+        assert a.cycles != 0 and b.cycles != 0
+
+    def test_device_stats_round_trip(self, tmp_path, monkeypatch):
+        cache_dir = str(tmp_path)
+        cfg = presets.device("baseline", sm_count=2)
+        first = experiments.run_one("histogram", cfg, "tiny", cache_dir=cache_dir)
+        assert isinstance(first, DeviceStats)
+        experiments.clear_cache()
+        monkeypatch.setattr(
+            experiments, "simulate_device", lambda *a, **k: pytest.fail("re-ran")
+        )
+        second = experiments.run_one("histogram", cfg, "tiny", cache_dir=cache_dir)
+        assert isinstance(second, DeviceStats)
+        assert second.to_dict() == first.to_dict()
+
+    def test_env_var_names_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(experiments.CACHE_DIR_ENV, str(tmp_path))
+        experiments.clear_cache()
+        experiments.run_one("histogram", presets.baseline(), "tiny")
+        assert os.listdir(str(tmp_path))
+
+    def test_corrupt_entry_falls_back_to_simulation(self, tmp_path):
+        cache_dir = str(tmp_path)
+        cfg = presets.baseline()
+        experiments.run_one("histogram", cfg, "tiny", cache_dir=cache_dir)
+        (entry,) = os.listdir(cache_dir)
+        with open(os.path.join(cache_dir, entry), "w") as f:
+            f.write("{not json")
+        experiments.clear_cache()
+        stats = experiments.run_one("histogram", cfg, "tiny", cache_dir=cache_dir)
+        assert stats.cycles > 0
+
+
+class TestParallelSuite:
+    @pytest.fixture(autouse=True)
+    def fresh_process_cache(self):
+        experiments.clear_cache()
+        yield
+        experiments.clear_cache()
+
+    def _configs(self):
+        return {"baseline": presets.baseline(), "warp64": presets.warp64()}
+
+    def test_parallel_matches_sequential(self, tmp_path):
+        experiments.clear_cache()
+        par = experiments.run_suite(
+            self._configs(),
+            ["histogram", "sortingnetworks"],
+            "tiny",
+            jobs=2,
+            cache_dir=str(tmp_path),
+        )
+        experiments.clear_cache()
+        seq = experiments.run_suite(
+            self._configs(), ["histogram", "sortingnetworks"], "tiny"
+        )
+        assert experiments.suite_ipc_table(par) == experiments.suite_ipc_table(seq)
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="the monkeypatched simulate only propagates to forked workers",
+    )
+    def test_parallel_with_warm_disk_cache_never_simulates(
+        self, tmp_path, monkeypatch
+    ):
+        cache_dir = str(tmp_path)
+        experiments.run_suite(
+            self._configs(), ["histogram"], "tiny", jobs=2, cache_dir=cache_dir
+        )
+        experiments.clear_cache()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("simulation re-ran despite warm disk cache")
+
+        # Affects the workers too: ProcessPoolExecutor forks this process.
+        monkeypatch.setattr(experiments, "simulate", boom)
+        monkeypatch.setattr(experiments, "simulate_device", boom)
+        table = experiments.run_suite(
+            self._configs(), ["histogram"], "tiny", jobs=2, cache_dir=cache_dir
+        )
+        assert set(table["histogram"]) == {"baseline", "warp64"}
+
+    def test_parallel_results_fold_into_process_cache(self, tmp_path):
+        experiments.clear_cache()
+        experiments.run_suite(
+            self._configs(), ["histogram"], "tiny", jobs=2, cache_dir=str(tmp_path)
+        )
+        key = ("histogram", "tiny", experiments.config_key(presets.baseline()))
+        assert key in experiments._CACHE
+
+    def test_device_cells_in_suite(self):
+        experiments.clear_cache()
+        configs = {
+            "sm": presets.baseline(),
+            "device2": presets.device("baseline", sm_count=2),
+        }
+        table = experiments.run_suite(configs, ["histogram"], "tiny")
+        assert table["histogram"]["sm"].ipc > 0
+        assert table["histogram"]["device2"].ipc > 0

@@ -1,0 +1,220 @@
+"""The multi-SM device layer: dispatcher, equivalence, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core import presets
+from repro.core.gpu import CTADispatcher, GPUDevice, simulate_device
+from repro.core.simulator import simulate
+from repro.isa.builder import KernelBuilder
+from repro.timing.config import GPUConfig, SMConfig
+from repro.workloads import ALL_WORKLOADS, get_workload
+from repro.workloads.common import emit_byte_index, emit_global_tid
+
+
+def _saxpy_kernel(grid_size=8, cta_size=128):
+    """y[i] = 2*x[i] + y[i] over the whole grid (one CTA per slice)."""
+    kb = KernelBuilder("saxpy")
+    i, b, x, y = kb.regs("i", "b", "x", "y")
+    emit_global_tid(kb, i)
+    emit_byte_index(kb, b, i)
+    kb.ld(x, kb.param(0), index=b)
+    kb.ld(y, kb.param(1), index=b)
+    kb.mad(y, x, 2, y)
+    kb.st(kb.param(1), y, index=b)
+    kb.exit_()
+    return kb.build(cta_size=cta_size, grid_size=grid_size)
+
+
+def _saxpy_instance(grid_size=8, cta_size=128):
+    from repro.functional.memory import MemoryImage
+
+    n = grid_size * cta_size
+    mem = MemoryImage(1 << 20)
+    rng = np.random.default_rng(7)
+    x = rng.integers(0, 100, n).astype(np.float64)
+    y = rng.integers(0, 100, n).astype(np.float64)
+    ax = mem.alloc_array(x)
+    ay = mem.alloc_array(y)
+    kernel = _saxpy_kernel(grid_size, cta_size).with_params(ax, ay)
+    return kernel, mem, ay, 2 * x + y
+
+
+class TestCTADispatcher:
+    def test_sequential_order(self):
+        d = CTADispatcher(3)
+        assert [d.acquire() for _ in range(4)] == [0, 1, 2, None]
+
+    def test_has_pending(self):
+        d = CTADispatcher(1)
+        assert d.has_pending() and d.remaining == 1
+        d.acquire()
+        assert not d.has_pending() and d.remaining == 0
+
+    def test_empty_grid(self):
+        d = CTADispatcher(0)
+        assert not d.has_pending() and d.acquire() is None
+
+
+EQUIVALENCE_WORKLOADS = ("histogram", "bfs", "matrixmul", "transpose")
+
+
+class TestSingleSMEquivalence:
+    """A 1-SM device must be cycle- and byte-identical to simulate()."""
+
+    @pytest.mark.parametrize("workload", EQUIVALENCE_WORKLOADS)
+    @pytest.mark.parametrize("mode", ("baseline", "sbi_swi"))
+    def test_cycles_and_outputs_match(self, workload, mode):
+        ref = get_workload(workload, "tiny")
+        dev = get_workload(workload, "tiny")
+        sm_cfg = presets.by_name(mode)
+        s = simulate(ref.kernel, ref.memory, sm_cfg)
+        ds = simulate_device(dev.kernel, dev.memory, GPUConfig(sm=sm_cfg, sm_count=1))
+        assert ds.cycles == s.cycles
+        assert ds.sm_stats[0].to_dict() == s.to_dict()
+        for (_, a), (_, b) in zip(
+            sorted(ref.read_outputs().items()), sorted(dev.read_outputs().items())
+        ):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS)
+    def test_full_suite_equivalence(self, workload):
+        """Acceptance: a default 1-SM device reproduces simulate()
+        byte- and cycle-exactly on every tier-1 workload."""
+        ref = get_workload(workload, "tiny")
+        dev = get_workload(workload, "tiny")
+        s = simulate(ref.kernel, ref.memory, SMConfig())
+        ds = simulate_device(dev.kernel, dev.memory, GPUConfig())
+        assert ds.cycles == s.cycles
+        assert ds.sm_stats[0].to_dict() == s.to_dict()
+        for (_, a), (_, b) in zip(
+            sorted(ref.read_outputs().items()), sorted(dev.read_outputs().items())
+        ):
+            assert np.array_equal(a, b)
+
+    def test_device_ipc_matches_sm_ipc(self):
+        inst = get_workload("histogram", "tiny")
+        ds = simulate_device(inst.kernel, inst.memory, GPUConfig())
+        assert ds.ipc == pytest.approx(ds.sm_stats[0].ipc)
+
+
+class TestMultiSM:
+    def _device(self, sm_count, **overrides):
+        return presets.device("baseline", sm_count=sm_count, **overrides)
+
+    def test_grid_sharded_across_sms(self):
+        kernel, mem, _, _ = _saxpy_instance(grid_size=8)
+        ds = simulate_device(kernel, mem, self._device(4))
+        per_sm = [s.ctas_launched for s in ds.sm_stats]
+        assert sum(per_sm) == 8
+        assert all(c >= 1 for c in per_sm)  # breadth-first initial fill
+
+    def test_functional_output_correct(self):
+        kernel, mem, ay, expect = _saxpy_instance(grid_size=8)
+        simulate_device(kernel, mem, self._device(4))
+        assert np.array_equal(mem.read_array(ay, len(expect)), expect)
+
+    def test_workload_functional_check_multi_sm(self):
+        for workload in ("transpose", "histogram"):
+            inst = get_workload(workload, "tiny")
+            simulate_device(inst.kernel, inst.memory, presets.device("sbi_swi", sm_count=2))
+            assert inst.numpy_check is not None
+            inst.numpy_check(inst.memory)
+
+    def test_deterministic(self):
+        """Same seed/config -> bit-identical DeviceStats."""
+        runs = []
+        for _ in range(2):
+            inst = get_workload("transpose", "tiny")
+            ds = simulate_device(
+                inst.kernel, inst.memory, presets.device("sbi_swi", sm_count=4)
+            )
+            runs.append(ds.to_dict())
+        assert runs[0] == runs[1]
+
+    def test_more_sms_not_slower(self):
+        kernel, mem, _, _ = _saxpy_instance(grid_size=8)
+        one = simulate_device(*_saxpy_instance(grid_size=8)[:2], self._device(1))
+        four = simulate_device(kernel, mem, self._device(4))
+        assert four.cycles < one.cycles
+
+    def test_grid_smaller_than_device(self):
+        """SMs beyond the grid stay idle and the run still completes."""
+        inst = get_workload("matrixmul", "tiny")  # 1 CTA
+        ds = simulate_device(inst.kernel, inst.memory, self._device(4))
+        assert ds.ctas_launched == 1
+        assert sum(1 for s in ds.sm_stats if s.ctas_launched) == 1
+
+    def test_l2_shared_across_sms(self):
+        kernel, mem, _, _ = _saxpy_instance(grid_size=8)
+        ds = simulate_device(kernel, mem, self._device(4))
+        assert ds.l2_accesses > 0
+        assert ds.dram_bytes > 0
+
+    def test_no_l2_private_channels(self):
+        kernel, mem, _, _ = _saxpy_instance(grid_size=8)
+        ds = simulate_device(kernel, mem, self._device(4, l2_size=0))
+        assert ds.l2_accesses == 0
+        assert ds.dram_bytes > 0
+
+
+class TestDeviceStatsAggregation:
+    def test_totals_sum_over_sms(self):
+        kernel, mem, _, _ = _saxpy_instance(grid_size=8)
+        ds = simulate_device(kernel, mem, presets.device("baseline", sm_count=4))
+        assert ds.thread_instructions == sum(
+            s.thread_instructions for s in ds.sm_stats
+        )
+        total = ds.total
+        assert total.cycles == ds.cycles
+        assert total.thread_instructions == ds.thread_instructions
+        assert total.ctas_launched == 8
+
+    def test_round_trip_dict(self):
+        inst = get_workload("histogram", "tiny")
+        ds = simulate_device(inst.kernel, inst.memory, presets.device("baseline", sm_count=2))
+        from repro.timing.stats import DeviceStats
+
+        again = DeviceStats.from_dict(ds.to_dict())
+        assert again.to_dict() == ds.to_dict()
+        assert again.ipc == ds.ipc
+
+
+class TestGPUConfig:
+    def test_defaults_match_single_sm_model(self):
+        cfg = GPUConfig()
+        assert cfg.sm_count == 1 and not cfg.uses_l2
+        assert cfg.sm_dram_share == cfg.sm.dram_bandwidth
+
+    def test_bandwidth_scales_with_sm_count(self):
+        cfg = GPUConfig(sm_count=4)
+        assert cfg.total_dram_bandwidth == 4 * cfg.sm.dram_bandwidth
+
+    def test_explicit_bandwidth_partitions(self):
+        cfg = GPUConfig(
+            sm_count=2,
+            l2_size=1 << 20,
+            dram_partitions=4,
+            dram_bandwidth=32.0,
+        )
+        assert cfg.partition_bandwidth == 8.0
+        assert cfg.l2_slice_size == (1 << 20) // 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUConfig(sm_count=0)
+        with pytest.raises(ValueError):
+            GPUConfig(l2_size=1000)  # not sets * ways * block
+        with pytest.raises(ValueError):
+            GPUConfig(l2_size=1 << 20, l2_block=96)  # not multiple of sector
+        with pytest.raises(ValueError):
+            GPUConfig(l2_size=1 << 20, dram_partitions=3)
+
+    def test_replace_revalidates(self):
+        cfg = GPUConfig()
+        with pytest.raises(ValueError):
+            cfg.replace(sm_count=-1)
+
+    def test_describe_mentions_l2(self):
+        assert "no L2" in GPUConfig().describe()
+        assert "L2" in presets.device().describe()
