@@ -18,7 +18,10 @@ from __future__ import annotations
 import pytest
 
 from repro.core import presets
-from repro.analysis import experiments, report as rpt
+from repro.analysis import report as rpt
+from repro.api import Engine
+
+_ENGINE = Engine()
 
 WORKLOADS = ("mandelbrot", "eigenvalues", "tmd2")
 
@@ -26,7 +29,7 @@ _RESULTS = {}
 
 
 def _run(tag, workload, config, size):
-    stats = experiments.run_one(workload, config, size, cache=False)
+    stats = _ENGINE.run_cell(workload, size, config, cache=False)
     _RESULTS.setdefault(tag, {})[workload] = stats
     return stats
 

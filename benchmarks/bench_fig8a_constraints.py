@@ -12,9 +12,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core import presets
-from repro.analysis import experiments, report as rpt
+from repro.analysis import report as rpt
+from repro.api import Engine
 from repro.workloads.suite import IRREGULAR, MEAN_EXCLUDED, REGULAR
 
+_ENGINE = Engine()
 _RESULTS = {}
 
 
@@ -23,7 +25,7 @@ def _run(workload, mode, constrained, size):
         cfg = presets.sbi(constraints=constrained)
     else:
         cfg = presets.sbi_swi(constraints=constrained)
-    stats = experiments.run_one(workload, cfg, size)
+    stats = _ENGINE.run_cell(workload, size, cfg)
     _RESULTS.setdefault((mode, workload), {})[constrained] = stats
     return stats
 

@@ -11,8 +11,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core import presets
-from repro.analysis import experiments, report as rpt
+from repro.analysis import report as rpt
+from repro.api import Engine
 from repro.workloads.suite import IRREGULAR, MEAN_EXCLUDED
+
+_ENGINE = Engine()
 
 POLICIES = ("identity", "mirror_odd", "mirror_half", "xor", "xor_rev")
 
@@ -20,7 +23,7 @@ _RESULTS = {}
 
 
 def _run(workload, policy, size):
-    stats = experiments.run_one(workload, presets.swi(lane_shuffle=policy), size)
+    stats = _ENGINE.run_cell(workload, size, presets.swi(lane_shuffle=policy))
     _RESULTS.setdefault(workload, {})[policy] = stats
     return stats
 

@@ -11,8 +11,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core import presets
-from repro.analysis import experiments, report as rpt
+from repro.analysis import report as rpt
+from repro.api import Engine
 from repro.workloads.suite import IRREGULAR, MEAN_EXCLUDED
+
+_ENGINE = Engine()
 
 #: None = fully associative; the window sizes match the paper's sweep.
 WAYS = (None, 11, 3, 1)
@@ -22,7 +25,7 @@ _RESULTS = {}
 
 
 def _run(workload, ways, size):
-    stats = experiments.run_one(workload, presets.swi(ways=ways), size)
+    stats = _ENGINE.run_cell(workload, size, presets.swi(ways=ways))
     _RESULTS.setdefault(workload, {})[ways] = stats
     return stats
 

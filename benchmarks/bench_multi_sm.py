@@ -11,19 +11,21 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import experiments, report as rpt
+from repro.analysis import report as rpt
+from repro.api import Engine
 from repro.core import presets
 
 WORKLOADS = ("matrixmul", "transpose", "bfs", "histogram")
 MODES = ("baseline", "sbi_swi")
 SM_COUNTS = (1, 2, 4)
 
+_ENGINE = Engine()
 _RESULTS = {}
 
 
 def _run(workload: str, mode: str, sm_count: int, size: str):
     config = presets.device(mode, sm_count=sm_count)
-    stats = experiments.run_one(workload, config, size)
+    stats = _ENGINE.run_cell(workload, size, config)
     _RESULTS.setdefault(workload, {})[(mode, sm_count)] = stats
     return stats
 

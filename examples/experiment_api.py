@@ -1,0 +1,66 @@
+"""Tour of the experiment API: SweepSpec -> Engine -> ResultSet.
+
+Declares a small grid over two workloads and three paper configs,
+expands a device axis, runs it (twice — the second pass is pure cache
+hits), then slices the ResultSet a few ways and round-trips it
+through JSON, the exact artifact `repro sweep --save` writes.
+
+Run:  PYTHONPATH=src python examples/experiment_api.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.api import Engine, ResultSet, SweepSpec
+
+
+def main() -> None:
+    spec = SweepSpec.from_presets(
+        ["baseline", "sbi", "sbi_swi"],
+        workloads=["bfs", "sortingnetworks"],
+        size="tiny",
+    )
+    print("spec:", spec.describe())
+
+    events = {"sim": 0, "cached": 0}
+
+    def progress(event):
+        events["cached" if event.cached else "sim"] += 1
+
+    engine = Engine(progress=progress)
+    results = engine.run(spec)
+    print("first pass :", events)
+
+    events.update(sim=0, cached=0)
+    engine.run(spec)
+    print("second pass:", events, "(warm in-process cache)")
+
+    print("\nIPC (markdown):")
+    print(results.to_markdown())
+    print("\nspeedup of sbi_swi over baseline per workload:")
+    for workload, row in results.speedup_over("baseline").items():
+        print("  %-16s %.2fx" % (workload, row["sbi_swi"]))
+    print("suite gmean speedups:", {
+        name: round(value, 3)
+        for name, value in results.geo_mean(base="baseline").items()
+    })
+
+    # Axis expansion: the same workloads on 1/2/4-SM devices.
+    devices = spec.with_configs({"sbi_swi": spec.configs["sbi_swi"]}).with_axes(
+        sm_count=[1, 2, 4]
+    )
+    scaling = engine.run(devices)
+    print("\ndevice scaling (IPC):")
+    print(scaling.to_text(mean=None))
+
+    # Serialize, reload, merge — grids from different sessions compose.
+    path = os.path.join(tempfile.mkdtemp(prefix="repro-api-"), "results.json")
+    results.to_json(path)
+    merged = ResultSet.from_json(path).merge(scaling)
+    print("\nreloaded %s and merged: %r" % (path, merged))
+
+
+if __name__ == "__main__":
+    main()

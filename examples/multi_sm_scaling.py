@@ -6,6 +6,11 @@ DRAM partitions (device bandwidth scales with the SM count, keeping
 the paper's 10 B/cycle per-SM share).  Prints device IPC and the
 speedup over the 1-SM device.
 
+Written against the experiment API: a :class:`repro.api.SweepSpec`
+declares the grid, :class:`repro.api.Engine` runs it (optionally over
+worker processes and the on-disk cache), and the
+:class:`repro.api.ResultSet` answers the questions.
+
     PYTHONPATH=src python examples/multi_sm_scaling.py
     PYTHONPATH=src python examples/multi_sm_scaling.py --size bench --jobs 4
 """
@@ -14,8 +19,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro.analysis import experiments
 from repro.analysis.report import format_table
+from repro.api import Engine, SweepSpec
 from repro.core import presets
 
 
@@ -27,31 +32,38 @@ def parse_args() -> argparse.Namespace:
     p.add_argument("--sm-counts", default="1,2,4,8")
     p.add_argument("--jobs", type=int, default=None, help="parallel workers")
     p.add_argument("--cache-dir", default=None, help="on-disk result cache")
+    p.add_argument("--save", default=None, help="write the ResultSet as JSON")
     return p.parse_args()
 
 
 def main() -> None:
     args = parse_args()
-    workloads = args.workloads.split(",")
     modes = args.modes.split(",")
     sm_counts = [int(n) for n in args.sm_counts.split(",")]
 
-    configs = {
-        "%s/x%d" % (mode, n): presets.device(mode, sm_count=n)
-        for mode in modes
-        for n in sm_counts
-    }
-    results = experiments.run_suite(
-        configs, workloads, args.size, jobs=args.jobs, cache_dir=args.cache_dir
-    )
+    spec = SweepSpec(
+        workloads=args.workloads.split(","),
+        configs={mode: presets.device(mode, sm_count=1) for mode in modes},
+        sizes=args.size,
+    ).with_axes(sm_count=sm_counts)
+    results = Engine(jobs=args.jobs, cache_dir=args.cache_dir).run(spec)
+    if args.save:
+        results.to_json(args.save)
 
-    headers = ["workload", "mode"] + ["x%d" % n for n in sm_counts] + ["speedup x%d" % sm_counts[-1]]
+    ipc = results.ipc_table()
+    headers = (
+        ["workload", "mode"]
+        + ["x%d" % n for n in sm_counts]
+        + ["speedup x%d" % sm_counts[-1]]
+    )
     rows = []
-    for workload in workloads:
+    for workload in spec.workloads:
         for mode in modes:
-            ipcs = [results[workload]["%s/x%d" % (mode, n)].ipc for n in sm_counts]
+            ipcs = [ipc[workload]["%s/sm_count=%d" % (mode, n)] for n in sm_counts]
             rows.append([workload, mode] + ipcs + [ipcs[-1] / ipcs[0]])
-    print(format_table(headers, rows, title="Device IPC vs SM count (size=%s)" % args.size))
+    print(
+        format_table(headers, rows, title="Device IPC vs SM count (size=%s)" % args.size)
+    )
 
 
 if __name__ == "__main__":

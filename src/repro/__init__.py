@@ -15,6 +15,14 @@ Quick start::
     wl = get_workload("mandelbrot", size="tiny")
     stats = simulate(wl.kernel, wl.memory, presets.sbi_swi())
     print(stats.ipc)
+
+or, for whole grids, the experiment API (also behind the ``repro``
+command line)::
+
+    from repro import Engine, SweepSpec
+
+    rs = Engine(jobs=4).run(SweepSpec.figure7(size="bench"))
+    print(rs.to_markdown())
 """
 
 from repro.core import presets
@@ -22,13 +30,33 @@ from repro.core.simulator import SimulationError, simulate
 from repro.timing.config import SMConfig
 from repro.timing.stats import Stats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Engine",
+    "ResultSet",
     "SMConfig",
     "SimulationError",
     "Stats",
+    "SweepSpec",
+    "api",
     "presets",
     "simulate",
     "__version__",
 ]
+
+#: Experiment-API names resolve lazily: repro.api sits above the
+#: workload registry and analysis helpers, and eager loading here
+#: would drag the whole stack in for every ``import repro``.
+_API_NAMES = ("api", "Engine", "ResultSet", "SweepSpec")
+
+
+def __getattr__(name):
+    if name in _API_NAMES:
+        import importlib
+
+        api = importlib.import_module("repro.api")
+        if name == "api":
+            return api
+        return getattr(api, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

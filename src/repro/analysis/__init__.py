@@ -1,17 +1,36 @@
 """Analysis and reporting tools: pipeline traces (Figure 2), table
-formatting, and the experiment harness shared by the benchmarks."""
+formatting, and the legacy experiment shim shared by the benchmarks.
+
+``experiments`` is imported lazily: it sits on top of
+:mod:`repro.api`, whose result types import
+:mod:`repro.analysis.report` — loading it eagerly here would close an
+import cycle.
+"""
 
 from repro.analysis.pipeline_trace import trace_kernel, render_trace, figure2_example
-from repro.analysis.report import format_table, gmean, speedup_table
-from repro.analysis.experiments import run_suite, suite_ipc_table
+from repro.analysis.report import format_table, gmean, hmean, speedup_table
 
 __all__ = [
     "figure2_example",
     "format_table",
     "gmean",
+    "hmean",
     "render_trace",
     "run_suite",
     "speedup_table",
     "suite_ipc_table",
     "trace_kernel",
 ]
+
+_LAZY = ("experiments", "run_suite", "suite_ipc_table")
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        experiments = importlib.import_module("repro.analysis.experiments")
+        if name == "experiments":
+            return experiments
+        return getattr(experiments, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

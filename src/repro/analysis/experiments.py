@@ -1,179 +1,85 @@
-"""Experiment engine: parallel sweeps with process- and disk-level caches.
+"""Legacy experiment helpers — a thin shim over :mod:`repro.api`.
 
-Used by the ``benchmarks/`` tree (one module per table/figure) and by
-``examples``.  Every (workload, size, config) cell is memoised at two
-levels:
+This module predates the first-class experiment API and survives as a
+compatibility layer: ``run_one`` / ``run_suite`` / ``figure7_table``
+keep their original signatures and return values, but every call is
+routed through :class:`repro.api.Engine`, so both surfaces share one
+in-process memo (``repro.api.cache.MEMO``, aliased here as
+``_CACHE``) and one on-disk cache (``cache_dir`` argument or the
+``REPRO_CACHE_DIR`` environment variable).
 
-* an in-process cache, so a pytest-benchmark session reuses
-  simulations across reporting fixtures, and
-* an optional on-disk JSON cache (``cache_dir`` argument or the
-  ``REPRO_CACHE_DIR`` environment variable), so re-running a sweep
-  with a warm cache performs no simulation at all.
-
-Both caches key on *every* field of the configuration dataclass
-(nested :class:`~repro.timing.config.SMConfig` included), so sweeps
-over scoreboard kind, CCT capacity, L1 geometry or DRAM parameters
-never collide.  :func:`run_suite` can fan uncached cells out over a
-``ProcessPoolExecutor``; simulations are single-threaded and
-independent, so the Figure-7 grid parallelises embarrassingly.
+New code should use :class:`repro.api.SweepSpec` +
+:class:`repro.api.Engine` and work with :class:`repro.api.ResultSet`
+values directly — or the ``repro`` CLI.  Deprecation policy: these
+shims stay source-compatible while anything in-tree uses them; they
+will only be removed after every caller (and one release note) has
+migrated, never silently.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.api import cache as _api_cache
+from repro.api.cache import (
+    CACHE_DIR_ENV,
+    CACHE_VERSION,
+    AnyConfig,
+    AnyStats,
+    config_hash,
+    config_key,
+)
+from repro.api.engine import Engine
+from repro.api.spec import SweepSpec
 from repro.core import presets
 from repro.core.gpu import simulate_device
 from repro.core.simulator import simulate
-from repro.timing.config import GPUConfig, SMConfig
-from repro.timing.stats import DeviceStats, Stats
+from repro.timing.config import SMConfig
 from repro.workloads import get_workload
 from repro.workloads.suite import IRREGULAR, MEAN_EXCLUDED, REGULAR
 
-AnyConfig = Union[SMConfig, GPUConfig]
-AnyStats = Union[Stats, DeviceStats]
+#: In-process memo: (workload, size, config_key) -> stats.  The very
+#: dict the api-level Engine uses — warming one surface warms both.
+_CACHE = _api_cache.MEMO
 
-#: In-process memo: (workload, size, config_key) -> stats.
-_CACHE: Dict[Tuple, AnyStats] = {}
-
-#: Environment variable naming the persistent on-disk cache directory.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-
-#: Bump when the result schema or simulator semantics change; stale
-#: disk entries are ignored rather than mis-loaded.
-CACHE_VERSION = 1
-
-
-# ----------------------------------------------------------------------
-# Cache keys
-# ----------------------------------------------------------------------
-
-
-def _freeze(value):
-    if isinstance(value, dict):
-        return tuple((k, _freeze(v)) for k, v in sorted(value.items()))
-    if isinstance(value, (list, tuple)):
-        return tuple(_freeze(v) for v in value)
-    return value
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_VERSION",
+    "clear_cache",
+    "config_hash",
+    "config_key",
+    "figure7_configs",
+    "figure7_table",
+    "included",
+    "run_one",
+    "run_suite",
+    "save_results",
+    "suite_ipc_table",
+]
 
 
-def config_key(config: AnyConfig) -> Tuple:
-    """Hashable key covering every field of ``config``.
-
-    Derived from ``dataclasses.asdict``, so new fields are picked up
-    automatically and nested configs (``GPUConfig.sm``) are included.
-    """
-    return (type(config).__name__,) + _freeze(dataclasses.asdict(config))
+def clear_cache(disk_dir: Optional[str] = None) -> int:
+    """Drop the in-process cache; with ``disk_dir``, purge that on-disk
+    cache directory too (opt-in — never defaulted from the
+    environment).  Returns the number of disk entries removed."""
+    return _api_cache.clear(disk_dir=disk_dir)
 
 
-def config_hash(config: AnyConfig) -> str:
-    """Stable hex digest of the complete configuration."""
-    payload = {
-        "type": type(config).__name__,
-        "fields": dataclasses.asdict(config),
-    }
-    blob = json.dumps(payload, sort_keys=True, default=repr)
-    return hashlib.sha256(blob.encode()).hexdigest()
-
-
-def _cell_hash(workload: str, size: str, config: AnyConfig) -> str:
-    payload = {
-        "version": CACHE_VERSION,
-        "workload": workload,
-        "size": size,
-        "config": config_hash(config),
-    }
-    blob = json.dumps(payload, sort_keys=True)
-    return hashlib.sha256(blob.encode()).hexdigest()
-
-
-# ----------------------------------------------------------------------
-# Disk cache
-# ----------------------------------------------------------------------
-
-
-def _resolve_cache_dir(cache_dir: Optional[str]) -> Optional[str]:
-    if cache_dir is None:
-        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
-    return cache_dir
-
-
-def _cache_path(cache_dir: str, workload: str, size: str, config: AnyConfig) -> str:
-    name = "%s-%s-%s.json" % (workload, size, _cell_hash(workload, size, config)[:20])
-    return os.path.join(cache_dir, name)
-
-
-def _stats_to_payload(stats: AnyStats) -> Dict:
-    kind = "device" if isinstance(stats, DeviceStats) else "sm"
-    return {"kind": kind, "data": stats.to_dict()}
-
-
-def _stats_from_payload(payload: Dict) -> AnyStats:
-    if payload["kind"] == "device":
-        return DeviceStats.from_dict(payload["data"])
-    return Stats.from_dict(payload["data"])
-
-
-def _disk_load(
-    cache_dir: str, workload: str, size: str, config: AnyConfig
-) -> Optional[AnyStats]:
-    path = _cache_path(cache_dir, workload, size, config)
-    try:
-        with open(path) as f:
-            entry = json.load(f)
-    except (OSError, ValueError):
-        return None
-    if entry.get("version") != CACHE_VERSION:
-        return None
-    try:
-        return _stats_from_payload(entry["stats"])
-    except (KeyError, TypeError):
-        return None
-
-
-def _disk_store(
-    cache_dir: str, workload: str, size: str, config: AnyConfig, stats: AnyStats
-) -> None:
-    os.makedirs(cache_dir, exist_ok=True)
-    entry = {
-        "version": CACHE_VERSION,
-        "workload": workload,
-        "size": size,
-        "config": {
-            "type": type(config).__name__,
-            "fields": dataclasses.asdict(config),
-        },
-        "stats": _stats_to_payload(stats),
-    }
-    path = _cache_path(cache_dir, workload, size, config)
-    tmp = path + ".tmp.%d" % os.getpid()
-    with open(tmp, "w") as f:
-        json.dump(entry, f, indent=1, sort_keys=True, default=repr)
-    os.replace(tmp, path)  # atomic under concurrent writers
-
-
-def clear_cache() -> None:
-    """Drop the in-process cache (tests; the disk cache is untouched)."""
-    _CACHE.clear()
-
-
-# ----------------------------------------------------------------------
-# Single cells
-# ----------------------------------------------------------------------
-
-
-def _simulate_cell(workload: str, size: str, config: AnyConfig) -> Tuple[AnyStats, object]:
-    inst = get_workload(workload, size)
-    if isinstance(config, GPUConfig):
-        stats: AnyStats = simulate_device(inst.kernel, inst.memory, config)
-    else:
-        stats = simulate(inst.kernel, inst.memory, config)
-    return stats, inst
+def _engine(jobs: Optional[int] = None, cache_dir: Optional[str] = None) -> Engine:
+    # The lambdas late-bind this module's globals, so tests that
+    # monkeypatch ``experiments.simulate`` / ``experiments.get_workload``
+    # keep intercepting the inline execution path.
+    return Engine(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        workload_factory=lambda name, size: get_workload(name, size),
+        simulate_fn=lambda kernel, memory, config: simulate(kernel, memory, config),
+        simulate_device_fn=lambda kernel, memory, config: simulate_device(
+            kernel, memory, config
+        ),
+    )
 
 
 def run_one(
@@ -190,28 +96,9 @@ def run_one(
     :class:`GPUConfig` (whole device).  ``verify=True`` always
     simulates so the functional outputs exist to be checked.
     """
-    key = (workload, size, config_key(config))
-    if cache and not verify and key in _CACHE:
-        return _CACHE[key]
-    disk_dir = _resolve_cache_dir(cache_dir) if cache else None
-    if disk_dir and not verify:
-        stats = _disk_load(disk_dir, workload, size, config)
-        if stats is not None:
-            _CACHE[key] = stats
-            return stats
-    stats, inst = _simulate_cell(workload, size, config)
-    if verify and inst.numpy_check is not None:
-        inst.numpy_check(inst.memory)
-    if cache:
-        _CACHE[key] = stats
-        if disk_dir:
-            _disk_store(disk_dir, workload, size, config, stats)
-    return stats
-
-
-# ----------------------------------------------------------------------
-# Suites
-# ----------------------------------------------------------------------
+    return _engine(cache_dir=cache_dir).run_cell(
+        workload, size, config, verify=verify, cache=cache
+    )
 
 
 def run_suite(
@@ -228,40 +115,8 @@ def run_suite(
     and results are folded back into this process's cache so later
     sequential calls are free.
     """
-    results: Dict[str, Dict[str, AnyStats]] = {w: {} for w in workloads}
-    cells = [(w, name) for w in workloads for name in configs]
-    if jobs is None or jobs <= 1:
-        for w, name in cells:
-            results[w][name] = run_one(w, configs[name], size, cache_dir=cache_dir)
-        return results
-
-    disk_dir = _resolve_cache_dir(cache_dir)
-    pending: List[Tuple[str, str, Tuple]] = []
-    for w, name in cells:
-        key = (w, size, config_key(configs[name]))
-        if key not in _CACHE and disk_dir:
-            stats = _disk_load(disk_dir, w, size, configs[name])
-            if stats is not None:
-                _CACHE[key] = stats
-        if key in _CACHE:
-            results[w][name] = _CACHE[key]
-        else:
-            pending.append((w, name, key))
-    if pending:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            # One future per distinct cell: aliased config names (or a
-            # repeated workload) share a simulation, as sequentially.
-            futures: Dict[Tuple, object] = {}
-            for w, name, key in pending:
-                if key not in futures:
-                    futures[key] = pool.submit(
-                        run_one, w, configs[name], size, False, True, disk_dir
-                    )
-            for w, name, key in pending:
-                stats = futures[key].result()
-                _CACHE[key] = stats
-                results[w][name] = stats
-    return results
+    spec = SweepSpec(workloads=workloads, configs=configs, sizes=size)
+    return _engine(jobs=jobs, cache_dir=cache_dir).run(spec).nested()
 
 
 def suite_ipc_table(
@@ -273,13 +128,7 @@ def suite_ipc_table(
 
 
 def figure7_configs() -> Dict[str, SMConfig]:
-    return {
-        "baseline": presets.baseline(),
-        "sbi": presets.sbi(),
-        "swi": presets.swi(),
-        "sbi_swi": presets.sbi_swi(),
-        "warp64": presets.warp64(),
-    }
+    return {name: presets.by_name(name) for name in presets.FIGURE7_CONFIGS}
 
 
 def figure7_table(

@@ -16,6 +16,16 @@ def gmean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
+def hmean(values: Iterable[float]) -> float:
+    """Harmonic mean (rate-style aggregation, e.g. per-cell IPC)."""
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("hmean requires positive values")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
 def format_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],

@@ -1,0 +1,257 @@
+"""Two-level result cache shared by every execution backend.
+
+A *cell* is one (workload, size, config) simulation.  Results are
+memoised
+
+* in process (``MEMO``), so a pytest/benchmark session reuses
+  simulations across fixtures, and
+* optionally on disk as one JSON file per cell (``disk_dir`` argument
+  or the ``REPRO_CACHE_DIR`` environment variable), so re-running a
+  sweep with a warm cache performs no simulation at all.
+
+Both levels key on *every* field of the configuration dataclass
+(nested :class:`~repro.timing.config.SMConfig` included), so sweeps
+over scoreboard kind, CCT capacity, L1 geometry or DRAM parameters
+never collide.  Disk entries are written strictly — a stats field that
+json cannot encode raises :class:`CacheSerializationError` at store
+time instead of being stringified and corrupting a later reload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+from typing import Dict, Optional, Tuple, Union
+
+from repro.timing.config import GPUConfig, SMConfig
+from repro.timing.stats import DeviceStats, Stats
+
+AnyConfig = Union[SMConfig, GPUConfig]
+AnyStats = Union[Stats, DeviceStats]
+
+#: Environment variable naming the persistent on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump when the result schema or simulator semantics change; stale
+#: disk entries are ignored rather than mis-loaded.
+CACHE_VERSION = 1
+
+#: Default in-process memo: (workload, size, config_key) -> stats.
+#: ``repro.analysis.experiments._CACHE`` aliases this same dict.
+MEMO: Dict[Tuple, AnyStats] = {}
+
+#: Disk entries are named <workload>-<size>-<20 hex digest chars>.json;
+#: cache maintenance only ever touches files matching this shape.
+_ENTRY_RE = re.compile(r"^.+-[0-9a-f]{20}\.json$")
+
+
+class CacheSerializationError(ValueError):
+    """A stats object produced a field json cannot encode strictly."""
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+
+
+def _freeze(value):
+    if isinstance(value, dict):
+        return tuple((k, _freeze(v)) for k, v in sorted(value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def config_key(config: AnyConfig) -> Tuple:
+    """Hashable key covering every field of ``config``.
+
+    Derived from ``dataclasses.asdict``, so new fields are picked up
+    automatically and nested configs (``GPUConfig.sm``) are included.
+    """
+    return (type(config).__name__,) + _freeze(dataclasses.asdict(config))
+
+
+def config_hash(config: AnyConfig) -> str:
+    """Stable hex digest of the complete configuration."""
+    payload = {
+        "type": type(config).__name__,
+        "fields": dataclasses.asdict(config),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def cell_key(workload: str, size: str, config: AnyConfig) -> Tuple:
+    """In-process memo key for one cell."""
+    return (workload, size, config_key(config))
+
+
+def cell_hash(workload: str, size: str, config: AnyConfig) -> str:
+    payload = {
+        "version": CACHE_VERSION,
+        "workload": workload,
+        "size": size,
+        "config": config_hash(config),
+    }
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Stats payloads (shared with ResultSet serialization)
+# ----------------------------------------------------------------------
+
+
+def stats_to_payload(stats: AnyStats) -> Dict:
+    kind = "device" if isinstance(stats, DeviceStats) else "sm"
+    return {"kind": kind, "data": stats.to_dict()}
+
+
+def stats_from_payload(payload: Dict) -> AnyStats:
+    if payload["kind"] == "device":
+        return DeviceStats.from_dict(payload["data"])
+    return Stats.from_dict(payload["data"])
+
+
+# ----------------------------------------------------------------------
+# Disk level
+# ----------------------------------------------------------------------
+
+
+def resolve_dir(disk_dir: Optional[str]) -> Optional[str]:
+    """Explicit directory, else ``$REPRO_CACHE_DIR``, else None."""
+    if disk_dir is None:
+        disk_dir = os.environ.get(CACHE_DIR_ENV) or None
+    return disk_dir
+
+
+def entry_path(disk_dir: str, workload: str, size: str, config: AnyConfig) -> str:
+    name = "%s-%s-%s.json" % (workload, size, cell_hash(workload, size, config)[:20])
+    return os.path.join(disk_dir, name)
+
+
+def disk_load(
+    disk_dir: str, workload: str, size: str, config: AnyConfig
+) -> Optional[AnyStats]:
+    path = entry_path(disk_dir, workload, size, config)
+    try:
+        with open(path) as f:
+            entry = json.load(f)
+    except (OSError, ValueError):
+        return None
+    if entry.get("version") != CACHE_VERSION:
+        return None
+    try:
+        return stats_from_payload(entry["stats"])
+    except (KeyError, TypeError):
+        return None
+
+
+def disk_store(
+    disk_dir: str, workload: str, size: str, config: AnyConfig, stats: AnyStats
+) -> None:
+    entry = {
+        "version": CACHE_VERSION,
+        "workload": workload,
+        "size": size,
+        "config": {
+            "type": type(config).__name__,
+            "fields": dataclasses.asdict(config),
+        },
+        "stats": stats_to_payload(stats),
+    }
+    # Serialize strictly *before* touching the filesystem: a default=
+    # fallback would stringify unknown field types, which either fails
+    # or silently corrupts the entry on a later from_dict reload.
+    try:
+        blob = json.dumps(entry, indent=1, sort_keys=True, allow_nan=True)
+    except (TypeError, ValueError) as exc:
+        raise CacheSerializationError(
+            "cannot cache %s result for %s/%s: %s — every Stats field must "
+            "be JSON-serializable (add an explicit encoding to "
+            "to_dict/from_dict rather than relying on repr)"
+            % (type(stats).__name__, workload, size, exc)
+        ) from exc
+    os.makedirs(disk_dir, exist_ok=True)
+    path = entry_path(disk_dir, workload, size, config)
+    tmp = path + ".tmp.%d" % os.getpid()
+    with open(tmp, "w") as f:
+        f.write(blob)
+    os.replace(tmp, path)  # atomic under concurrent writers
+
+
+# ----------------------------------------------------------------------
+# Maintenance
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheInfo:
+    """One snapshot of both cache levels (``repro cache info``)."""
+
+    memo_entries: int
+    disk_dir: Optional[str]
+    disk_entries: int
+    disk_bytes: int
+
+    def describe(self) -> str:
+        lines = ["in-process : %d entries" % self.memo_entries]
+        if self.disk_dir is None:
+            lines.append("on-disk    : disabled (set %s or pass --dir)" % CACHE_DIR_ENV)
+        else:
+            lines.append(
+                "on-disk    : %s — %d entries, %.1f KiB"
+                % (self.disk_dir, self.disk_entries, self.disk_bytes / 1024.0)
+            )
+        return "\n".join(lines)
+
+
+def _disk_entries(disk_dir: str):
+    try:
+        names = sorted(os.listdir(disk_dir))
+    except OSError:
+        return
+    for name in names:
+        if _ENTRY_RE.match(name):
+            yield os.path.join(disk_dir, name)
+
+
+def info(disk_dir: Optional[str] = None, memo: Optional[Dict] = None) -> CacheInfo:
+    """Entry counts and on-disk footprint of both cache levels."""
+    memo = MEMO if memo is None else memo
+    disk_dir = resolve_dir(disk_dir)
+    entries = 0
+    total = 0
+    if disk_dir is not None:
+        for path in _disk_entries(disk_dir):
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                continue
+            entries += 1
+    return CacheInfo(len(memo), disk_dir, entries, total)
+
+
+def clear(disk_dir: Optional[str] = None, memo: Optional[Dict] = None) -> int:
+    """Drop the in-process memo; with ``disk_dir``, purge disk entries too.
+
+    Unlike lookups, ``disk_dir`` is *not* defaulted from
+    ``$REPRO_CACHE_DIR`` — deleting files stays opt-in and explicit.
+    Only files matching the cache naming scheme are removed (the
+    directory itself, and anything else in it, is left alone).
+    Returns the number of disk entries removed.
+    """
+    memo = MEMO if memo is None else memo
+    memo.clear()
+    removed = 0
+    if disk_dir is not None:
+        for path in _disk_entries(disk_dir):
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            removed += 1
+    return removed

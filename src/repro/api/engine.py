@@ -1,0 +1,336 @@
+"""The experiment engine: runs a :class:`SweepSpec` through a backend.
+
+The :class:`Engine` owns the two-level result cache
+(:mod:`repro.api.cache`) and delegates uncached cells to a pluggable
+execution backend:
+
+``inline``
+    simulate in this process, one cell at a time;
+``process``
+    fan uncached cells out over a ``ProcessPoolExecutor`` (simulations
+    are single-threaded and independent, so grids parallelise
+    embarrassingly; every worker honours the same disk cache).
+
+Progress callbacks see every cell as it resolves (with a ``cached``
+flag), and the error policy picks fail-fast (``errors="raise"``) or
+collect-and-continue (``errors="collect"``, failed cells end up in
+``ResultSet.errors``)::
+
+    engine = Engine(jobs=4, cache_dir=".repro_cache")
+    rs = engine.run(SweepSpec.figure7(size="smoke"))
+    print(rs.to_markdown())
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.api import cache as result_cache
+from repro.api.cache import AnyConfig, AnyStats
+from repro.api.results import CellError, Result, ResultSet
+from repro.api.spec import Cell, SweepSpec
+from repro.core.gpu import simulate_device
+from repro.core.simulator import simulate
+from repro.timing.config import GPUConfig
+from repro.workloads import get_workload, normalize_size
+
+#: Error policies of :meth:`Engine.run`.
+ERROR_POLICIES = ("raise", "collect")
+
+
+@dataclass(frozen=True)
+class Progress:
+    """One progress event: the ``done``-th of ``total`` unique cells."""
+
+    done: int
+    total: int
+    workload: str
+    size: str
+    config_name: str
+    cached: bool
+    error: Optional[str] = None
+
+
+ProgressFn = Callable[[Progress], None]
+
+
+def _simulate_instance(inst, config: AnyConfig) -> AnyStats:
+    if isinstance(config, GPUConfig):
+        return simulate_device(inst.kernel, inst.memory, config)
+    return simulate(inst.kernel, inst.memory, config)
+
+
+def _worker_cell(
+    workload: str,
+    size: str,
+    config: AnyConfig,
+    disk_dir: Optional[str],
+    verify: bool = False,
+) -> AnyStats:
+    """Process-pool entry point: one disk-cache-aware cell.
+
+    Module-level so it pickles; workers re-check the disk cache (a
+    sibling may have stored the cell meanwhile) and store their own
+    results, exactly like the in-process path.  ``verify`` bypasses
+    the cache read and checks the outputs against the numpy
+    reference, as in :meth:`Engine.run_cell`.
+    """
+    if disk_dir and not verify:
+        stats = result_cache.disk_load(disk_dir, workload, size, config)
+        if stats is not None:
+            return stats
+    inst = get_workload(workload, size)
+    stats = _simulate_instance(inst, config)
+    if verify and inst.numpy_check is not None:
+        inst.numpy_check(inst.memory)
+    if disk_dir:
+        result_cache.disk_store(disk_dir, workload, size, config, stats)
+    return stats
+
+
+class Engine:
+    """Executes sweeps through the two-level cache and a backend.
+
+    ``workload_factory`` / ``simulate_fn`` / ``simulate_device_fn``
+    override how *inline* cells are built and simulated (tests and the
+    legacy ``repro.analysis.experiments`` shim use this to stay
+    monkeypatch-compatible); the ``process`` backend always runs the
+    real functions in its workers.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[str] = None,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        memo: Optional[Dict] = None,
+        progress: Optional[ProgressFn] = None,
+        errors: str = "raise",
+        workload_factory=None,
+        simulate_fn=None,
+        simulate_device_fn=None,
+    ):
+        if backend is None:
+            backend = "process" if jobs is not None and jobs > 1 else "inline"
+        if backend not in ("inline", "process"):
+            raise ValueError("backend must be 'inline' or 'process', got %r" % backend)
+        if errors not in ERROR_POLICIES:
+            raise ValueError("errors must be one of %s" % (ERROR_POLICIES,))
+        self.backend = backend
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.memo = result_cache.MEMO if memo is None else memo
+        self.progress = progress
+        self.errors = errors
+        self._get_workload = workload_factory or get_workload
+        self._simulate = simulate_fn or simulate
+        self._simulate_device = simulate_device_fn or simulate_device
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    def _disk_dir(self, cache: bool) -> Optional[str]:
+        return result_cache.resolve_dir(self.cache_dir) if cache else None
+
+    def _lookup(self, workload, size, config, disk_dir) -> Optional[AnyStats]:
+        key = result_cache.cell_key(workload, size, config)
+        if key in self.memo:
+            return self.memo[key]
+        if disk_dir:
+            stats = result_cache.disk_load(disk_dir, workload, size, config)
+            if stats is not None:
+                self.memo[key] = stats
+                return stats
+        return None
+
+    def _store(self, workload, size, config, stats, cache, disk_dir) -> None:
+        if not cache:
+            return
+        self.memo[result_cache.cell_key(workload, size, config)] = stats
+        if disk_dir:
+            result_cache.disk_store(disk_dir, workload, size, config, stats)
+
+    # ------------------------------------------------------------------
+    # Single cells
+    # ------------------------------------------------------------------
+
+    def _compute_inline(self, workload, size, config, verify) -> AnyStats:
+        inst = self._get_workload(workload, size)
+        if isinstance(config, GPUConfig):
+            stats = self._simulate_device(inst.kernel, inst.memory, config)
+        else:
+            stats = self._simulate(inst.kernel, inst.memory, config)
+        if verify and inst.numpy_check is not None:
+            inst.numpy_check(inst.memory)
+        return stats
+
+    def run_cell(
+        self,
+        workload: str,
+        size: str,
+        config: AnyConfig,
+        verify: bool = False,
+        cache: bool = True,
+    ) -> AnyStats:
+        """One (workload, size, config) cell through the caches.
+
+        ``verify=True`` always simulates (the functional outputs must
+        exist to be checked against the numpy reference) but still
+        stores the result when ``cache`` is on.
+        """
+        size = normalize_size(size)
+        disk_dir = self._disk_dir(cache)
+        if cache and not verify:
+            stats = self._lookup(workload, size, config, disk_dir)
+            if stats is not None:
+                return stats
+        stats = self._compute_inline(workload, size, config, verify)
+        self._store(workload, size, config, stats, cache, disk_dir)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        spec: SweepSpec,
+        verify: bool = False,
+        progress: Optional[ProgressFn] = None,
+        errors: Optional[str] = None,
+    ) -> ResultSet:
+        """Execute every cell of ``spec`` and return a ResultSet.
+
+        Cells whose configs alias (identical key under different
+        names) simulate once.  Progress fires once per *unique* cell;
+        under ``errors="collect"`` failed cells are reported in
+        ``ResultSet.errors`` instead of aborting the sweep.
+        """
+        progress = progress if progress is not None else self.progress
+        errors = self.errors if errors is None else errors
+        if errors not in ERROR_POLICIES:
+            raise ValueError("errors must be one of %s" % (ERROR_POLICIES,))
+
+        cells = spec.cells()
+        # Unique work items: aliased configs share one simulation.
+        unique: Dict[Tuple, Cell] = {}
+        for cell in cells:
+            key = result_cache.cell_key(cell.workload, cell.size, cell.config)
+            unique.setdefault(key, cell)
+
+        outcome: Dict[Tuple, object] = {}  # key -> AnyStats | CellError
+        total = len(unique)
+        done = 0
+
+        def emit(cell: Cell, cached: bool, error: Optional[str] = None) -> None:
+            nonlocal done
+            done += 1
+            if progress is not None:
+                progress(
+                    Progress(
+                        done, total, cell.workload, cell.size, cell.config_name,
+                        cached, error,
+                    )
+                )
+
+        disk_dir = self._disk_dir(cache=True)
+        pending: List[Tuple[Tuple, Cell]] = []
+        for key, cell in unique.items():
+            stats = (
+                None
+                if verify
+                else self._lookup(cell.workload, cell.size, cell.config, disk_dir)
+            )
+            if stats is not None:
+                outcome[key] = stats
+                emit(cell, cached=True)
+            else:
+                pending.append((key, cell))
+
+        if pending and self.backend == "process":
+            self._run_process(pending, disk_dir, verify, errors, outcome, emit)
+        else:
+            self._run_inline(pending, disk_dir, verify, errors, outcome, emit)
+
+        results: List[Result] = []
+        cell_errors: List[CellError] = []
+        for cell in cells:
+            key = result_cache.cell_key(cell.workload, cell.size, cell.config)
+            got = outcome.get(key)
+            if got is None:
+                continue  # unresolved under fail-fast abort
+            if isinstance(got, CellError):
+                cell_errors.append(
+                    CellError(cell.workload, cell.size, cell.config_name, got.error)
+                )
+            else:
+                results.append(Result(cell.workload, cell.size, cell.config_name, got))
+        return ResultSet(results, errors=cell_errors)
+
+    # -- backends ------------------------------------------------------
+
+    def _run_inline(self, pending, disk_dir, verify, errors, outcome, emit) -> None:
+        for key, cell in pending:
+            try:
+                stats = self._compute_inline(
+                    cell.workload, cell.size, cell.config, verify
+                )
+            except Exception as exc:
+                if errors == "raise":
+                    raise
+                outcome[key] = CellError(
+                    cell.workload, cell.size, cell.config_name, str(exc)
+                )
+                emit(cell, cached=False, error=str(exc))
+                continue
+            self._store(cell.workload, cell.size, cell.config, stats, True, disk_dir)
+            outcome[key] = stats
+            emit(cell, cached=False)
+
+    def _run_process(self, pending, disk_dir, verify, errors, outcome, emit) -> None:
+        jobs = self.jobs if self.jobs is not None and self.jobs > 1 else None
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(
+                    _worker_cell,
+                    cell.workload,
+                    cell.size,
+                    cell.config,
+                    disk_dir,
+                    verify,
+                ): (key, cell)
+                for key, cell in pending
+            }
+            # Consume in completion order so progress never stalls
+            # behind a slow early cell.
+            try:
+                for future in as_completed(futures):
+                    key, cell = futures[future]
+                    try:
+                        stats = future.result()
+                    except Exception as exc:
+                        if errors == "raise":
+                            raise
+                        outcome[key] = CellError(
+                            cell.workload, cell.size, cell.config_name, str(exc)
+                        )
+                        emit(cell, cached=False, error=str(exc))
+                        continue
+                    # Workers wrote the disk level themselves; fold into
+                    # this process's memo so later lookups are free.
+                    self.memo[key] = stats
+                    outcome[key] = stats
+                    emit(cell, cached=False)
+            except BaseException:
+                # Fail fast: drop every queued cell; only cells already
+                # running finish (and still land in the disk cache).
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
+
+
+def run(spec: SweepSpec, **engine_kwargs) -> ResultSet:
+    """One-shot convenience: ``Engine(**engine_kwargs).run(spec)``."""
+    return Engine(**engine_kwargs).run(spec)

@@ -1,0 +1,345 @@
+"""The ``repro`` command line — a veneer over :mod:`repro.api`.
+
+Subcommands::
+
+    repro workloads [--category regular|irregular] [--json]
+    repro figure7   [--size bench] [--jobs N] [--format markdown|json|table]
+    repro sweep     --workloads bfs,matrixmul --configs baseline,sbi_swi
+                    [--axis sm_count=1,2,4,8] ... [--size tiny] [--jobs N]
+    repro cache     info|clear [--dir DIR]
+
+Tables go to stdout; a one-line cell accounting (``# N cells: M
+simulated, K cached``) goes to stderr so scripted runs can assert a
+warm cache performed no simulation.  ``--cache-dir`` (or the
+``REPRO_CACHE_DIR`` environment variable) enables the on-disk result
+cache shared with the Python API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.api import Engine, SweepSpec
+from repro.api import cache as result_cache
+from repro.workloads import SIZE_ALIASES, SIZES, list_workloads
+
+FORMATS = ("table", "markdown", "json", "csv")
+
+
+def _parse_axis_value(token: str):
+    lowered = token.lower()
+    if lowered == "none":
+        return None
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for parse in (int, float):
+        try:
+            return parse(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _parse_axes(tokens: Optional[List[str]]) -> dict:
+    axes = {}
+    for token in tokens or ():
+        field, eq, values = token.partition("=")
+        if not eq or not values:
+            raise SystemExit(
+                "error: --axis wants FIELD=V1,V2,..., got %r" % token
+            )
+        axes[field] = [_parse_axis_value(v) for v in values.split(",")]
+    return axes
+
+
+def _render(rs, fmt: str, metric: str) -> str:
+    if fmt == "csv":
+        extra = () if metric == "ipc" else (metric,)
+        return rs.to_csv(extra_metrics=extra)
+    sizes = rs.sizes
+    if fmt == "json":
+        if len(sizes) > 1:
+            payload = {
+                size: rs.filter(size=size).pivot("workload", "config", metric)
+                for size in sizes
+            }
+        else:
+            payload = rs.pivot("workload", "config", metric)
+        return json.dumps(payload, indent=1, sort_keys=True)
+
+    def one(sub):
+        if fmt == "markdown":
+            return sub.to_markdown(metric=metric)
+        return sub.to_text(metric=metric)
+
+    if len(sizes) <= 1:
+        return one(rs)
+    # Multi-size sweeps render one table per size.
+    parts = []
+    for size in sizes:
+        header = "### size=%s" % size if fmt == "markdown" else "== size=%s ==" % size
+        parts.append(header + "\n" + one(rs.filter(size=size)))
+    return "\n\n".join(parts)
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w") as f:
+            f.write(text + "\n")
+        print("wrote %s" % output, file=sys.stderr)
+    else:
+        print(text)
+
+
+def _validate_metric(spec: SweepSpec, metric: str) -> None:
+    """Reject a bad --metric before any simulation runs."""
+    import dataclasses
+
+    from repro.timing.config import GPUConfig
+    from repro.timing.stats import DeviceStats, Stats
+
+    kinds = {
+        DeviceStats if isinstance(cfg, GPUConfig) else Stats
+        for cfg in spec.configs.values()
+    }
+    for kind in kinds:
+        names = {f.name for f in dataclasses.fields(kind)} | {
+            name
+            for name, value in vars(kind).items()
+            if isinstance(value, property)
+        }
+        if metric not in names:
+            raise ValueError(
+                "unknown metric %r for %s runs: choose from %s"
+                % (metric, kind.__name__, ", ".join(sorted(names)))
+            )
+
+
+def _run_spec(spec: SweepSpec, args) -> int:
+    _validate_metric(spec, args.metric)
+    counts = {"simulated": 0, "cached": 0, "failed": 0}
+
+    def progress(event):
+        if event.error is not None:
+            counts["failed"] += 1
+        elif event.cached:
+            counts["cached"] += 1
+        else:
+            counts["simulated"] += 1
+        if args.progress:
+            state = "cached" if event.cached else "sim"
+            if event.error is not None:
+                state = "FAILED: %s" % event.error
+            print(
+                "[%d/%d] %s/%s @%s (%s)"
+                % (
+                    event.done,
+                    event.total,
+                    event.workload,
+                    event.config_name,
+                    event.size,
+                    state,
+                ),
+                file=sys.stderr,
+            )
+
+    engine = Engine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        progress=progress,
+        errors="collect" if getattr(args, "keep_going", False) else "raise",
+    )
+    rs = engine.run(spec, verify=getattr(args, "verify", False))
+    if args.save:
+        rs.to_json(args.save)
+        print("saved ResultSet to %s" % args.save, file=sys.stderr)
+    print(
+        "# %d cells: %d simulated, %d cached%s"
+        % (
+            counts["simulated"] + counts["cached"] + counts["failed"],
+            counts["simulated"],
+            counts["cached"],
+            ", %d FAILED" % counts["failed"] if counts["failed"] else "",
+        ),
+        file=sys.stderr,
+    )
+    try:
+        text = _render(rs, args.format, args.metric)
+    except AttributeError as exc:
+        # A metric that passed _validate_metric for one stats kind can
+        # still miss on the other in mixed sweeps; keep it a usage
+        # error rather than a traceback.
+        raise ValueError("metric %r: %s" % (args.metric, exc)) from exc
+    _emit(text, args.output)
+    for err in rs.errors:
+        print(
+            "failed: %s/%s @%s: %s" % (err.workload, err.config, err.size, err.error),
+            file=sys.stderr,
+        )
+    return 1 if rs.errors else 0
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def _cmd_workloads(args) -> int:
+    infos = list_workloads(category=args.category)
+    if args.json:
+        import dataclasses
+
+        print(json.dumps([dataclasses.asdict(i) for i in infos], indent=1))
+        return 0
+    for info in infos:
+        flags = " (excluded from suite means)" if info.mean_excluded else ""
+        print("%-22s %-10s%s" % (info.name, info.category, flags))
+    print(
+        "\nsizes: %s (aliases: %s)"
+        % (
+            ", ".join(SIZES),
+            ", ".join("%s=%s" % kv for kv in sorted(SIZE_ALIASES.items())),
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_figure7(args) -> int:
+    spec = SweepSpec.figure7(size=args.size)
+    if args.workloads:
+        spec = spec.with_workloads(args.workloads.split(","))
+    return _run_spec(spec, args)
+
+
+def _cmd_sweep(args) -> int:
+    spec = SweepSpec(
+        workloads=args.workloads.split(","),
+        configs=args.configs.split(","),
+        sizes=args.size.split(","),
+    )
+    axes = _parse_axes(args.axis)
+    if axes:
+        spec = spec.with_axes(**axes)
+    print("sweep: %s" % spec.describe(), file=sys.stderr)
+    return _run_spec(spec, args)
+
+
+def _cmd_cache(args) -> int:
+    if args.action == "info":
+        print(result_cache.info(disk_dir=args.dir).describe())
+        return 0
+    # Unlike the Python API (where disk purge never defaults from the
+    # environment), the CLI's explicit `clear` acts on the configured
+    # cache: --dir if given, else $REPRO_CACHE_DIR.
+    disk_dir = result_cache.resolve_dir(args.dir)
+    removed = result_cache.clear(disk_dir=disk_dir)
+    if disk_dir is None:
+        print("cleared in-process cache (no disk cache configured)")
+    else:
+        print("cleared in-process cache and %d entries under %s" % (removed, disk_dir))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def _add_run_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=None, help="parallel worker processes")
+    p.add_argument(
+        "--cache-dir", default=None, help="on-disk result cache (or $REPRO_CACHE_DIR)"
+    )
+    p.add_argument("--format", choices=FORMATS, default="table")
+    p.add_argument("--metric", default="ipc", help="stats attribute to tabulate")
+    p.add_argument("--output", default=None, help="write the table to a file")
+    p.add_argument(
+        "--save",
+        default=None,
+        metavar="PATH",
+        help="also write the full ResultSet as JSON "
+        "(reload with repro.api.ResultSet.from_json, merge across runs)",
+    )
+    p.add_argument(
+        "--progress", action="store_true", help="report each cell on stderr"
+    )
+    p.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="collect per-cell failures instead of aborting the sweep",
+    )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="always simulate and check outputs against the numpy references",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SBI/SWI (ISCA 2012) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("workloads", help="list the registered workloads")
+    p.add_argument("--category", choices=("regular", "irregular"), default=None)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=_cmd_workloads)
+
+    p = sub.add_parser("figure7", help="the paper's headline IPC grid")
+    p.add_argument("--size", default="bench", help="workload size (e.g. smoke, bench)")
+    p.add_argument(
+        "--workloads", default=None, help="comma list restricting the grid (default all)"
+    )
+    _add_run_options(p)
+    p.set_defaults(fn=_cmd_figure7)
+
+    p = sub.add_parser("sweep", help="run an arbitrary workloads x configs grid")
+    p.add_argument(
+        "--workloads",
+        default="all",
+        help="comma list of names or groups (all, regular, irregular)",
+    )
+    p.add_argument(
+        "--configs",
+        default="baseline,sbi,swi,sbi_swi,warp64",
+        help="comma list of preset names",
+    )
+    p.add_argument("--size", default="bench", help="comma list of sizes")
+    p.add_argument(
+        "--axis",
+        action="append",
+        metavar="FIELD=V1,V2,...",
+        help="expand every config along a field (repeatable), "
+        "e.g. --axis sm_count=1,2,4,8",
+    )
+    _add_run_options(p)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("cache", help="inspect or purge the result caches")
+    p.add_argument("action", choices=("info", "clear"))
+    p.add_argument(
+        "--dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    p.set_defaults(fn=_cmd_cache)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ValueError, KeyError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

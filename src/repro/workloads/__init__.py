@@ -17,13 +17,16 @@ Each module exposes ``build(size)`` returning a
 ``bench`` (figures) and ``full``.
 """
 
-from repro.workloads.common import Instance
+from repro.workloads.common import SIZE_ALIASES, SIZES, Instance, normalize_size
 from repro.workloads.suite import (
     ALL_WORKLOADS,
     IRREGULAR,
     MEAN_EXCLUDED,
     REGULAR,
+    WorkloadInfo,
+    category_of,
     get_workload,
+    list_workloads,
 )
 
 __all__ = [
@@ -32,5 +35,11 @@ __all__ = [
     "Instance",
     "MEAN_EXCLUDED",
     "REGULAR",
+    "SIZES",
+    "SIZE_ALIASES",
+    "WorkloadInfo",
+    "category_of",
     "get_workload",
+    "list_workloads",
+    "normalize_size",
 ]

@@ -15,6 +15,11 @@ from repro.isa.builder import Kernel, KernelBuilder
 #: Valid workload sizes.
 SIZES = ("tiny", "bench", "full")
 
+#: Accepted spellings that map onto a canonical size.  ``smoke`` is
+#: the CI / CLI name for the smallest grids; normalising it up front
+#: keeps the experiment caches keyed on one canonical string.
+SIZE_ALIASES = {"smoke": "tiny"}
+
 
 @dataclass
 class Instance:
@@ -55,7 +60,26 @@ class Instance:
         }
 
 
+def normalize_size(size: str) -> str:
+    """Canonical size name, resolving aliases (``smoke`` -> ``tiny``).
+
+    Raises a ValueError naming every accepted spelling, so a CLI typo
+    surfaces as a one-line fix rather than a KeyError deep in a
+    workload builder.
+    """
+    canonical = SIZE_ALIASES.get(size, size)
+    if canonical not in SIZES:
+        accepted = list(SIZES) + sorted(SIZE_ALIASES)
+        raise ValueError(
+            "unknown size %r: choose one of %s" % (size, ", ".join(accepted))
+        )
+    return canonical
+
+
 def check_size(size: str) -> None:
+    """Builders take canonical sizes only (their parameter tables are
+    keyed on them); aliases are resolved earlier by
+    :func:`repro.workloads.get_workload` via :func:`normalize_size`."""
     if size not in SIZES:
         raise ValueError("size must be one of %s, got %r" % (SIZES, size))
 

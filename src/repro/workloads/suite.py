@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import importlib
-from repro.workloads.common import Instance
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.workloads.common import SIZE_ALIASES, SIZES, Instance, normalize_size
 
 #: Regular applications (Figure 7a), paper order.
 REGULAR = (
@@ -46,10 +49,58 @@ _MODULE_OF["tmd1"] = "tmd"
 _MODULE_OF["tmd2"] = "tmd"
 
 
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """One registry entry, as reported by :func:`list_workloads`."""
+
+    name: str
+    category: str            # "regular" | "irregular"
+    module: str              # implementing module under repro.workloads
+    sizes: Tuple[str, ...]   # canonical sizes every workload supports
+    mean_excluded: bool      # left out of suite means (paper: TMD)
+
+
+def list_workloads(category: Optional[str] = None) -> List[WorkloadInfo]:
+    """The public workload registry, in paper (Figure 7) order.
+
+    ``category`` filters to ``"regular"`` or ``"irregular"``; the CLI
+    (``repro workloads``) and :class:`repro.api.SweepSpec` validation
+    are both built on this.
+    """
+    if category not in (None, "regular", "irregular"):
+        raise ValueError(
+            "category must be 'regular', 'irregular' or None, got %r" % (category,)
+        )
+    infos = [
+        WorkloadInfo(
+            name=name,
+            category=category_of(name),
+            module="repro.workloads." + _MODULE_OF[name],
+            sizes=SIZES,
+            mean_excluded=name in MEAN_EXCLUDED,
+        )
+        for name in ALL_WORKLOADS
+    ]
+    if category is not None:
+        infos = [info for info in infos if info.category == category]
+    return infos
+
+
 def get_workload(name: str, size: str = "bench") -> Instance:
-    """Build a fresh instance of one workload."""
+    """Build a fresh instance of one workload.
+
+    ``size`` accepts aliases (``smoke`` -> ``tiny``); unknown names
+    and sizes raise errors that list every valid choice.
+    """
     if name not in _MODULE_OF:
-        raise KeyError("unknown workload %r (have %s)" % (name, sorted(_MODULE_OF)))
+        raise KeyError(
+            "unknown workload %r: regular workloads are %s; irregular are %s"
+            % (name, ", ".join(REGULAR), ", ".join(IRREGULAR))
+        )
+    try:
+        size = normalize_size(size)
+    except ValueError as exc:
+        raise ValueError("workload %r: %s" % (name, exc)) from None
     module = importlib.import_module("repro.workloads." + _MODULE_OF[name])
     if name in ("tmd1", "tmd2"):
         return module.build(size, variant=name)

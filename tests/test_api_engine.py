@@ -1,0 +1,232 @@
+"""Engine execution: backends, caching, policies, legacy parity."""
+
+import os
+
+import pytest
+
+from repro.analysis import experiments
+from repro.api import (
+    CacheSerializationError,
+    Engine,
+    Progress,
+    ResultSet,
+    SweepSpec,
+)
+from repro.api import cache as result_cache
+from repro.core import presets
+from repro.timing.stats import Stats
+
+SMALL = SweepSpec.from_presets(
+    ["baseline", "warp64"], workloads=["histogram", "sortingnetworks"], size="tiny"
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    """Engine behaviour must not depend on earlier tests' cache state."""
+    result_cache.clear()
+    yield
+    result_cache.clear()
+
+
+class TestRunCell:
+    def test_memoised(self):
+        engine = Engine()
+        a = engine.run_cell("histogram", "tiny", presets.baseline())
+        b = engine.run_cell("histogram", "tiny", presets.baseline())
+        assert a is b
+
+    def test_smoke_alias_shares_cache_with_tiny(self):
+        engine = Engine()
+        a = engine.run_cell("histogram", "tiny", presets.baseline())
+        b = engine.run_cell("histogram", "smoke", presets.baseline())
+        assert a is b
+
+    def test_cache_false(self):
+        engine = Engine()
+        a = engine.run_cell("histogram", "tiny", presets.baseline(), cache=False)
+        b = engine.run_cell("histogram", "tiny", presets.baseline(), cache=False)
+        assert a is not b and a.cycles == b.cycles
+
+    def test_verify_simulates_and_checks(self):
+        calls = []
+
+        def factory(name, size):
+            from repro.workloads import get_workload
+
+            inst = get_workload(name, size)
+            check = inst.numpy_check
+            inst.numpy_check = lambda mem: (calls.append(name), check(mem))
+            return inst
+
+        engine = Engine(workload_factory=factory)
+        engine.run_cell("histogram", "tiny", presets.baseline())
+        engine.run_cell("histogram", "tiny", presets.baseline(), verify=True)
+        assert calls == ["histogram"]
+
+
+class TestRun:
+    def test_result_shape(self):
+        rs = Engine().run(SMALL)
+        assert len(rs) == 4
+        assert rs.workloads == ["histogram", "sortingnetworks"]
+        assert rs.configs == ["baseline", "warp64"]
+        assert not rs.errors
+
+    def test_matches_legacy_run_suite(self):
+        rs = Engine().run(SMALL)
+        legacy = experiments.run_suite(
+            dict(SMALL.configs), list(SMALL.workloads), "tiny"
+        )
+        assert rs.ipc_table() == experiments.suite_ipc_table(legacy)
+        assert rs.nested() == legacy  # memoised: identical objects
+
+    def test_aliased_configs_simulate_once(self):
+        events = []
+        spec = SweepSpec(
+            workloads=["histogram"],
+            configs={"a": presets.baseline(), "b": presets.baseline()},
+            sizes="tiny",
+        )
+        rs = Engine(progress=events.append).run(spec)
+        assert len(events) == 1  # one unique cell
+        assert len(rs) == 2      # both names reported
+        assert rs.get("histogram", "a") is rs.get("histogram", "b")
+
+    def test_progress_events(self):
+        events = []
+        Engine(progress=events.append).run(SMALL)
+        assert [e.done for e in events] == [1, 2, 3, 4]
+        assert all(e.total == 4 and not e.cached for e in events)
+        assert isinstance(events[0], Progress)
+        again = []
+        Engine(progress=again.append).run(SMALL)
+        assert all(e.cached for e in again)
+
+
+class TestBackendParity:
+    def test_inline_and_process_identical(self, tmp_path):
+        inline = Engine(cache_dir=str(tmp_path / "a")).run(SMALL)
+        result_cache.clear()
+        fanned = Engine(jobs=2, cache_dir=str(tmp_path / "b")).run(SMALL)
+        assert inline == fanned
+        assert inline.ipc_table() == fanned.ipc_table()
+
+    def test_verify_runs_through_process_backend(self, tmp_path):
+        """verify=True must not silently fall back to serial inline."""
+        rs = Engine(jobs=2, cache_dir=str(tmp_path)).run(SMALL, verify=True)
+        result_cache.clear()
+        assert rs == Engine().run(SMALL)
+
+    def test_process_folds_into_memo_and_disk(self, tmp_path):
+        cache_dir = str(tmp_path)
+        Engine(jobs=2, cache_dir=cache_dir).run(SMALL)
+        assert len(os.listdir(cache_dir)) == 4
+        key = result_cache.cell_key("histogram", "tiny", presets.baseline())
+        assert key in result_cache.MEMO
+        # A fresh engine run is now pure cache hits.
+        events = []
+        Engine(jobs=2, cache_dir=cache_dir, progress=events.append).run(SMALL)
+        assert all(e.cached for e in events)
+
+
+class TestErrorPolicies:
+    def _failing_engine(self, errors):
+        def factory(name, size):
+            from repro.workloads import get_workload
+
+            if name == "histogram":
+                raise RuntimeError("injected failure")
+            return get_workload(name, size)
+
+        return Engine(workload_factory=factory, errors=errors)
+
+    def test_fail_fast_raises(self):
+        with pytest.raises(RuntimeError, match="injected"):
+            self._failing_engine("raise").run(SMALL)
+
+    def test_collect_keeps_going(self):
+        rs = self._failing_engine("collect").run(SMALL)
+        assert len(rs) == 2  # sortingnetworks cells survive
+        assert len(rs.errors) == 2  # histogram x 2 configs
+        assert {e.workload for e in rs.errors} == {"histogram"}
+        assert "injected failure" in rs.errors[0].error
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(errors="ignore")
+        with pytest.raises(ValueError):
+            Engine().run(SMALL, errors="ignore")
+
+    def _doomed_spec(self):
+        """max_cycles=8 makes the simulator itself fail in workers."""
+        return SweepSpec(
+            workloads=["histogram", "sortingnetworks"],
+            configs={
+                "ok": presets.baseline(),
+                "doomed": presets.baseline(max_cycles=8),
+            },
+            sizes="tiny",
+        )
+
+    def test_process_backend_fail_fast_raises(self):
+        with pytest.raises(Exception, match="cycle|simulation|exceeded|limit"):
+            Engine(jobs=2).run(self._doomed_spec())
+
+    def test_process_backend_collects_errors(self):
+        rs = Engine(jobs=2).run(self._doomed_spec(), errors="collect")
+        assert len(rs) == 2
+        assert {e.config for e in rs.errors} == {"doomed"}
+        assert len(rs.errors) == 2
+
+
+class TestStrictDiskSerialization:
+    def test_unserializable_stats_raise_clearly(self, tmp_path):
+        bad = Stats(cycles=10, thread_instructions=10)
+        bad.per_op_class["weird"] = object()  # json cannot encode this
+        engine = Engine(
+            cache_dir=str(tmp_path),
+            simulate_fn=lambda kernel, memory, config: bad,
+        )
+        with pytest.raises(CacheSerializationError, match="histogram"):
+            engine.run_cell("histogram", "tiny", presets.baseline())
+        assert os.listdir(str(tmp_path)) == []  # nothing half-written
+
+
+class TestCacheMaintenance:
+    def test_info_and_clear(self, tmp_path):
+        cache_dir = str(tmp_path)
+        Engine(cache_dir=cache_dir).run(SMALL)
+        # A foreign file must survive cache maintenance.
+        foreign = os.path.join(cache_dir, "notes.txt")
+        with open(foreign, "w") as f:
+            f.write("keep me")
+        info = result_cache.info(disk_dir=cache_dir)
+        assert info.memo_entries == 4
+        assert info.disk_entries == 4
+        assert info.disk_bytes > 0
+        assert "4 entries" in info.describe()
+        removed = experiments.clear_cache(disk_dir=cache_dir)
+        assert removed == 4
+        assert result_cache.info(disk_dir=cache_dir).disk_entries == 0
+        assert result_cache.info(disk_dir=cache_dir).memo_entries == 0
+        assert os.path.exists(foreign)
+
+    def test_clear_without_dir_leaves_disk(self, tmp_path):
+        cache_dir = str(tmp_path)
+        Engine(cache_dir=cache_dir).run(SMALL)
+        experiments.clear_cache()
+        assert result_cache.info(disk_dir=cache_dir).disk_entries == 4
+
+
+class TestFigure7Equivalence:
+    """Acceptance: Engine.run(SweepSpec.figure7) == figure7_table, both
+    through the new API and the unchanged legacy shim (size=smoke)."""
+
+    def test_full_grid_smoke(self):
+        rs = Engine().run(SweepSpec.figure7(size="smoke"))
+        assert len(rs) == 105
+        legacy = experiments.figure7_table(size="smoke")
+        assert rs.ipc_table() == legacy
+        # And the legacy grid order/content survives a JSON round trip.
+        assert ResultSet.from_json(rs.to_json()).ipc_table() == legacy

@@ -1,0 +1,219 @@
+"""ResultSet: queries, aggregation, serialization, merge semantics."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.api import CellError, Result, ResultSet
+from repro.timing.stats import DeviceStats, Stats
+
+
+def _stats(cycles, ti):
+    return Stats(cycles=cycles, thread_instructions=ti, instructions_issued=ti // 2)
+
+
+def _rs():
+    return ResultSet(
+        [
+            Result("bfs", "tiny", "baseline", _stats(100, 1000)),
+            Result("bfs", "tiny", "sbi_swi", _stats(100, 2000)),
+            Result("lud", "tiny", "baseline", _stats(200, 1000)),
+            Result("lud", "tiny", "sbi_swi", _stats(100, 1000)),
+            Result("tmd1", "tiny", "baseline", _stats(100, 100)),
+            Result("tmd1", "tiny", "sbi_swi", _stats(100, 10000)),
+        ]
+    )
+
+
+class TestQueries:
+    def test_axes(self):
+        rs = _rs()
+        assert rs.workloads == ["bfs", "lud", "tmd1"]
+        assert rs.configs == ["baseline", "sbi_swi"]
+        assert rs.sizes == ["tiny"]
+        assert len(rs) == 6
+
+    def test_get(self):
+        assert _rs().get("bfs", "sbi_swi").ipc == 20.0
+        assert _rs().get("bfs", "sbi_swi", size="tiny").ipc == 20.0
+        with pytest.raises(KeyError):
+            _rs().get("bfs", "nope")
+
+    def test_get_ambiguous_size(self):
+        rs = _rs().merge(
+            ResultSet([Result("bfs", "bench", "baseline", _stats(10, 10))])
+        )
+        with pytest.raises(KeyError, match="size"):
+            rs.get("bfs", "baseline")
+
+    def test_filter(self):
+        rs = _rs().filter(workload=["bfs", "lud"], config="baseline")
+        assert len(rs) == 2
+        assert rs.configs == ["baseline"]
+
+    def test_filter_predicate(self):
+        rs = _rs().filter(predicate=lambda r: r.stats.ipc >= 10.0)
+        assert len(rs) == 4
+
+    def test_filter_keeps_matching_errors(self):
+        rs = ResultSet(
+            [Result("bfs", "tiny", "baseline", _stats(10, 10))],
+            errors=[
+                CellError("bfs", "tiny", "sbi_swi", "boom"),
+                CellError("lud", "bench", "baseline", "other"),
+            ],
+        )
+        tiny = rs.filter(size="tiny")
+        assert tiny.errors == [CellError("bfs", "tiny", "sbi_swi", "boom")]
+        assert rs.filter(workload="lud").errors[0].error == "other"
+        assert rs.filter(config="baseline", size="tiny").errors == []
+
+    def test_pivot_and_ipc_table(self):
+        table = _rs().ipc_table()
+        assert table["bfs"] == {"baseline": 10.0, "sbi_swi": 20.0}
+        cycles = _rs().pivot("workload", "config", "cycles")
+        assert cycles["lud"]["baseline"] == 200
+
+    def test_pivot_callable_metric(self):
+        table = _rs().pivot("workload", "config", lambda s: s.cycles * 2)
+        assert table["bfs"]["baseline"] == 200
+
+    def test_pivot_rejects_ambiguous_collapsed_axis(self):
+        rs = _rs().merge(
+            ResultSet([Result("bfs", "bench", "baseline", _stats(10, 10))])
+        )
+        with pytest.raises(ValueError, match="size"):
+            rs.ipc_table()
+
+    def test_speedup_over(self):
+        speedups = _rs().speedup_over("baseline")
+        assert speedups["bfs"]["sbi_swi"] == 2.0
+        assert speedups["bfs"]["baseline"] == 1.0
+        assert speedups["lud"]["sbi_swi"] == 2.0
+
+
+class TestMeans:
+    def test_geo_mean_excludes_tmd(self):
+        means = _rs().geo_mean()
+        # bfs 10, lud 5 -> gmean ~7.07; tmd1 (ipc 1) excluded.
+        assert means["baseline"] == pytest.approx(50**0.5)
+
+    def test_geo_mean_speedup(self):
+        means = _rs().geo_mean(base="baseline")
+        assert means["sbi_swi"] == pytest.approx(2.0)
+        assert means["baseline"] == pytest.approx(1.0)
+
+    def test_harmonic_mean(self):
+        means = _rs().harmonic_mean()
+        assert means["baseline"] == pytest.approx(2 / (1 / 10.0 + 1 / 5.0))
+
+    def test_custom_exclusion(self):
+        means = _rs().geo_mean(exclude=("bfs", "lud"))
+        assert means["baseline"] == pytest.approx(1.0)  # only tmd1 left
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        rs = _rs()
+        again = ResultSet.from_json(rs.to_json())
+        assert again == rs
+        assert again.ipc_table() == rs.ipc_table()
+
+    def test_json_round_trip_device_stats(self):
+        dstats = DeviceStats(cycles=100, sm_stats=[_stats(90, 500), _stats(100, 700)])
+        rs = ResultSet([Result("bfs", "tiny", "dev", dstats)])
+        again = ResultSet.from_json(rs.to_json())
+        assert isinstance(again.get("bfs", "dev"), DeviceStats)
+        assert again.get("bfs", "dev").to_dict() == dstats.to_dict()
+
+    def test_json_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "rs.json")
+        rs = _rs()
+        rs.to_json(path)
+        assert ResultSet.from_json(path) == rs
+
+    def test_errors_survive_round_trip(self):
+        rs = ResultSet(
+            [Result("bfs", "tiny", "baseline", _stats(10, 10))],
+            errors=[CellError("lud", "tiny", "baseline", "boom")],
+        )
+        again = ResultSet.from_json(rs.to_json())
+        assert again.errors == [CellError("lud", "tiny", "baseline", "boom")]
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError, match="version"):
+            ResultSet.from_dict({"version": 99, "results": []})
+
+    def test_csv(self):
+        rows = list(csv.DictReader(io.StringIO(_rs().to_csv())))
+        assert len(rows) == 6
+        bfs = [r for r in rows if r["workload"] == "bfs" and r["config"] == "baseline"]
+        assert float(bfs[0]["ipc"]) == 10.0
+        assert int(bfs[0]["cycles"]) == 100
+
+    def test_csv_extra_metrics(self):
+        rows = list(
+            csv.DictReader(
+                io.StringIO(_rs().to_csv(extra_metrics=["busy_cycles", "ipc"]))
+            )
+        )
+        assert "busy_cycles" in rows[0]
+        assert float(rows[0]["busy_cycles"]) == 0.0
+        # Duplicates of headline columns are not repeated.
+        assert list(rows[0]).count("ipc") == 1
+
+    def test_markdown(self):
+        text = _rs().to_markdown()
+        lines = text.splitlines()
+        assert lines[0] == "| workload | baseline | sbi_swi |"
+        assert "| bfs | 10.00 | 20.00 |" in lines
+        assert lines[-1].startswith("| geo_mean |")
+
+    def test_text_table(self):
+        assert "workload" in _rs().to_text(mean=None)
+
+
+class TestMerge:
+    def test_union(self):
+        a = ResultSet([Result("bfs", "tiny", "baseline", _stats(10, 10))])
+        b = ResultSet([Result("lud", "tiny", "baseline", _stats(20, 20))])
+        merged = a.merge(b)
+        assert len(merged) == 2 and len(a) == 1 and len(b) == 1
+
+    def test_identical_duplicates_dedupe(self):
+        a = ResultSet([Result("bfs", "tiny", "baseline", _stats(10, 10))])
+        b = ResultSet([Result("bfs", "tiny", "baseline", _stats(10, 10))])
+        assert len(a.merge(b)) == 1
+
+    def test_conflict_raises(self):
+        a = ResultSet([Result("bfs", "tiny", "baseline", _stats(10, 10))])
+        b = ResultSet([Result("bfs", "tiny", "baseline", _stats(99, 10))])
+        with pytest.raises(ValueError, match="conflict"):
+            a.merge(b)
+
+    def test_conflict_keep_and_replace(self):
+        a = ResultSet([Result("bfs", "tiny", "baseline", _stats(10, 10))])
+        b = ResultSet([Result("bfs", "tiny", "baseline", _stats(99, 10))])
+        assert a.merge(b, on_conflict="keep").get("bfs", "baseline").cycles == 10
+        assert a.merge(b, on_conflict="replace").get("bfs", "baseline").cycles == 99
+
+    def test_add_conflict_raises(self):
+        rs = ResultSet([Result("bfs", "tiny", "baseline", _stats(10, 10))])
+        with pytest.raises(ValueError, match="conflict"):
+            rs.add(Result("bfs", "tiny", "baseline", _stats(11, 10)))
+
+
+class TestNested:
+    def test_legacy_shape(self):
+        nested = _rs().nested()
+        assert set(nested) == {"bfs", "lud", "tmd1"}
+        assert nested["bfs"]["sbi_swi"].ipc == 20.0
+
+    def test_nested_rejects_multi_size(self):
+        rs = _rs().merge(
+            ResultSet([Result("bfs", "bench", "baseline", _stats(10, 10))])
+        )
+        with pytest.raises(ValueError, match="size"):
+            rs.nested()

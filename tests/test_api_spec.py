@@ -1,0 +1,171 @@
+"""SweepSpec construction, validation and axis expansion."""
+
+import pytest
+
+from repro.api import SweepSpec, apply_override
+from repro.core import presets
+from repro.timing.config import GPUConfig, SMConfig
+from repro.workloads import ALL_WORKLOADS, IRREGULAR, REGULAR
+
+
+class TestConstruction:
+    def test_from_presets(self):
+        spec = SweepSpec.from_presets(
+            ["baseline", "sbi_swi"], workloads=["bfs"], size="tiny"
+        )
+        assert spec.workloads == ("bfs",)
+        assert set(spec.configs) == {"baseline", "sbi_swi"}
+        assert isinstance(spec.configs["baseline"], SMConfig)
+        assert spec.sizes == ("tiny",)
+
+    def test_config_names_resolve(self):
+        spec = SweepSpec(workloads=["bfs"], configs=["baseline", "warp64"])
+        assert spec.configs["warp64"].mode == "warp64"
+
+    def test_explicit_config_objects(self):
+        spec = SweepSpec(
+            workloads=["bfs"],
+            configs={"dev": presets.device("baseline", sm_count=2)},
+        )
+        assert isinstance(spec.configs["dev"], GPUConfig)
+
+    def test_workload_groups(self):
+        assert SweepSpec(workloads="regular", configs=["baseline"]).workloads == REGULAR
+        assert (
+            SweepSpec(workloads="irregular", configs=["baseline"]).workloads
+            == IRREGULAR
+        )
+        assert SweepSpec(workloads="all", configs=["baseline"]).workloads == tuple(
+            ALL_WORKLOADS
+        )
+
+    def test_default_workloads_is_all(self):
+        assert SweepSpec(configs=["baseline"]).workloads == tuple(ALL_WORKLOADS)
+
+    def test_duplicate_workloads_dedupe(self):
+        spec = SweepSpec(workloads=["bfs", "bfs", "lud"], configs=["baseline"])
+        assert spec.workloads == ("bfs", "lud")
+
+    def test_smoke_alias_normalises(self):
+        assert SweepSpec(workloads=["bfs"], configs=["baseline"], size="smoke").sizes == (
+            "tiny",
+        )
+
+    def test_multi_size(self):
+        spec = SweepSpec(
+            workloads=["bfs"], configs=["baseline"], sizes=("tiny", "bench")
+        )
+        assert spec.sizes == ("tiny", "bench")
+        assert spec.total_cells == 2
+
+    def test_unknown_workload_lists_choices(self):
+        with pytest.raises(ValueError, match="bfs"):
+            SweepSpec(workloads=["nope"], configs=["baseline"])
+
+    def test_unknown_size(self):
+        with pytest.raises(ValueError, match="smoke"):
+            SweepSpec(workloads=["bfs"], configs=["baseline"], size="huge")
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            SweepSpec(workloads=["bfs"], configs=["warp128"])
+
+    def test_bad_config_value(self):
+        with pytest.raises(ValueError, match="SMConfig"):
+            SweepSpec(workloads=["bfs"], configs={"x": 42})
+
+    def test_config_objects_in_sequence_get_helpful_error(self):
+        with pytest.raises(ValueError, match="mapping"):
+            SweepSpec(workloads=["bfs"], configs=[presets.baseline()])
+
+    def test_empty_configs(self):
+        with pytest.raises(ValueError):
+            SweepSpec(workloads=["bfs"], configs={})
+
+
+class TestFigure7:
+    def test_grid_shape(self):
+        spec = SweepSpec.figure7(size="smoke")
+        assert spec.workloads == tuple(ALL_WORKLOADS)
+        assert list(spec.configs) == list(presets.FIGURE7_CONFIGS)
+        assert spec.total_cells == 21 * 5
+        assert len(spec.cells()) == 105
+
+    def test_cells_are_workload_major(self):
+        cells = SweepSpec.figure7(size="tiny").cells()
+        assert [c.workload for c in cells[:5]] == [ALL_WORKLOADS[0]] * 5
+        assert [c.config_name for c in cells[:5]] == list(presets.FIGURE7_CONFIGS)
+
+
+class TestAxes:
+    def test_device_axis_on_sm_config(self):
+        spec = SweepSpec(
+            workloads=["bfs"], configs=["baseline"], size="tiny"
+        ).with_axes(sm_count=[1, 2, 4])
+        assert list(spec.configs) == [
+            "baseline/sm_count=1",
+            "baseline/sm_count=2",
+            "baseline/sm_count=4",
+        ]
+        for config in spec.configs.values():
+            assert isinstance(config, GPUConfig)
+        assert spec.configs["baseline/sm_count=4"].sm_count == 4
+
+    def test_sm_axis_on_gpu_config(self):
+        spec = SweepSpec(
+            workloads=["bfs"],
+            configs={"dev": presets.device("baseline", sm_count=2)},
+        ).with_axes(warp_count=[8, 16])
+        assert spec.configs["dev/warp_count=8"].sm.warp_count == 8
+        assert spec.configs["dev/warp_count=8"].sm_count == 2
+
+    def test_cartesian_axes(self):
+        spec = SweepSpec(
+            workloads=["bfs"], configs=["baseline", "sbi_swi"]
+        ).with_axes(sm_count=[1, 2], dram_partitions=[1, 2])
+        assert len(spec.configs) == 2 * 2 * 2
+
+    def test_unknown_field_lists_choices(self):
+        with pytest.raises(ValueError, match="sm_count"):
+            SweepSpec(workloads=["bfs"], configs=["baseline"]).with_axes(
+                warp_size=[32]
+            )
+
+    def test_empty_axis(self):
+        with pytest.raises(ValueError, match="no values"):
+            SweepSpec(workloads=["bfs"], configs=["baseline"]).with_axes(sm_count=[])
+
+    def test_original_spec_unchanged(self):
+        spec = SweepSpec(workloads=["bfs"], configs=["baseline"])
+        spec.with_axes(sm_count=[1, 2])
+        assert list(spec.configs) == ["baseline"]
+
+
+class TestApplyOverride:
+    def test_sm_field_on_sm(self):
+        cfg = apply_override(presets.baseline(), "warp_count", 8)
+        assert isinstance(cfg, SMConfig) and cfg.warp_count == 8
+
+    def test_gpu_field_promotes(self):
+        cfg = apply_override(presets.baseline(), "sm_count", 2)
+        assert isinstance(cfg, GPUConfig) and cfg.sm_count == 2
+        assert cfg.sm.mode == "baseline"
+
+    def test_invalid_value_rejected_by_config_validation(self):
+        with pytest.raises(ValueError):
+            apply_override(presets.baseline(), "sm_count", 0)
+
+    def test_shared_field_names_resolve_at_the_config_level(self):
+        """dram_bandwidth/dram_latency exist at both levels; on a
+        GPUConfig the device copy must win (the SM copy is ignored
+        whenever the device one is set)."""
+        dev = presets.device("baseline", sm_count=2)
+        swept = apply_override(dev, "dram_bandwidth", 40.0)
+        assert swept.dram_bandwidth == 40.0
+        assert swept.total_dram_bandwidth == 40.0
+        assert swept.sm.dram_bandwidth == dev.sm.dram_bandwidth  # untouched
+        lat = apply_override(dev, "dram_latency", 100)
+        assert lat.effective_dram_latency == 100
+        # On a bare SMConfig the same name stays an SM field.
+        sm = apply_override(presets.baseline(), "dram_bandwidth", 40.0)
+        assert isinstance(sm, SMConfig) and sm.dram_bandwidth == 40.0

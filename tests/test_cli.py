@@ -1,0 +1,231 @@
+"""End-to-end smoke tests of the ``repro`` CLI (via ``python -m repro``)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+
+def run_cli(*args, env_extra=None, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_CACHE_DIR", None)
+    env.update(env_extra or {})
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro"] + list(args),
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            "repro %s failed (%d):\n%s" % (" ".join(args), proc.returncode, proc.stderr)
+        )
+    return proc
+
+
+class TestAxisParsing:
+    """Unit-level checks of the CLI helpers (no subprocess needed)."""
+
+    def test_axis_value_types(self):
+        from repro.cli import _parse_axis_value
+
+        assert _parse_axis_value("4") == 4
+        assert _parse_axis_value("2.5") == 2.5
+        assert _parse_axis_value("none") is None
+        assert _parse_axis_value("true") is True
+        assert _parse_axis_value("False") is False
+        assert _parse_axis_value("xor_rev") == "xor_rev"
+
+    def test_boolean_axis_actually_flips_the_config(self):
+        from repro.api import SweepSpec
+        from repro.cli import _parse_axes
+
+        axes = _parse_axes(["sbi_constraints=true,false"])
+        spec = SweepSpec(
+            workloads=["bfs"], configs=["sbi"], sizes="tiny"
+        ).with_axes(**axes)
+        assert spec.configs["sbi/sbi_constraints=False"].sbi_constraints is False
+        assert spec.configs["sbi/sbi_constraints=True"].sbi_constraints is True
+
+    def test_multi_size_render(self):
+        from repro.api import Result, ResultSet
+        from repro.cli import _render
+        from repro.timing.stats import Stats
+
+        rs = ResultSet(
+            [
+                Result("bfs", "tiny", "baseline", Stats(cycles=10, thread_instructions=100)),
+                Result("bfs", "bench", "baseline", Stats(cycles=10, thread_instructions=200)),
+            ]
+        )
+        text = _render(rs, "table", "ipc")
+        assert "== size=tiny ==" in text and "== size=bench ==" in text
+        md = _render(rs, "markdown", "ipc")
+        assert "### size=tiny" in md and "### size=bench" in md
+        payload = json.loads(_render(rs, "json", "ipc"))
+        assert payload["tiny"]["bfs"]["baseline"] == 10.0
+        assert payload["bench"]["bfs"]["baseline"] == 20.0
+        csv_text = _render(rs, "csv", "ipc")
+        assert csv_text.count("\n") == 3  # header + 2 rows
+
+    def test_csv_render_honours_metric(self):
+        from repro.api import Result, ResultSet
+        from repro.cli import _render
+        from repro.timing.stats import Stats
+
+        rs = ResultSet(
+            [Result("bfs", "tiny", "baseline", Stats(cycles=10, busy_cycles=7))]
+        )
+        assert "busy_cycles" in _render(rs, "csv", "busy_cycles").splitlines()[0]
+
+
+class TestWorkloads:
+    def test_plain_listing(self):
+        out = run_cli("workloads").stdout
+        assert "bfs" in out and "matrixmul" in out and "irregular" in out
+
+    def test_json_listing(self):
+        infos = json.loads(run_cli("workloads", "--json").stdout)
+        assert len(infos) == 21
+        byname = {i["name"]: i for i in infos}
+        assert byname["tmd1"]["mean_excluded"] is True
+        assert byname["bfs"]["category"] == "irregular"
+
+    def test_category_filter(self):
+        infos = json.loads(
+            run_cli("workloads", "--json", "--category", "regular").stdout
+        )
+        assert len(infos) == 10
+
+
+class TestSweep:
+    def test_json_output_and_cache_accounting(self, tmp_path):
+        cache = {"REPRO_CACHE_DIR": str(tmp_path)}
+        args = (
+            "sweep",
+            "--workloads", "histogram",
+            "--configs", "baseline,warp64",
+            "--size", "smoke",
+            "--format", "json",
+        )
+        cold = run_cli(*args, env_extra=cache)
+        table = json.loads(cold.stdout)
+        assert set(table["histogram"]) == {"baseline", "warp64"}
+        assert "# 2 cells: 2 simulated, 0 cached" in cold.stderr
+        warm = run_cli(*args, env_extra=cache)
+        assert "# 2 cells: 0 simulated, 2 cached" in warm.stderr
+        assert json.loads(warm.stdout) == table
+
+    def test_axis_sweep(self):
+        proc = run_cli(
+            "sweep",
+            "--workloads", "histogram",
+            "--configs", "baseline",
+            "--size", "smoke",
+            "--axis", "sm_count=1,2",
+            "--format", "json",
+        )
+        table = json.loads(proc.stdout)
+        assert set(table["histogram"]) == {
+            "baseline/sm_count=1",
+            "baseline/sm_count=2",
+        }
+
+    def test_output_file_and_csv(self, tmp_path):
+        out = str(tmp_path / "table.csv")
+        run_cli(
+            "sweep",
+            "--workloads", "histogram",
+            "--configs", "baseline",
+            "--size", "smoke",
+            "--format", "csv",
+            "--output", out,
+        )
+        with open(out) as f:
+            text = f.read()
+        assert text.startswith("workload,size,config,")
+        assert "histogram,tiny,baseline," in text
+
+    def test_save_writes_reloadable_resultset(self, tmp_path):
+        from repro.api import ResultSet
+
+        path = str(tmp_path / "rs.json")
+        run_cli(
+            "sweep",
+            "--workloads", "histogram",
+            "--configs", "baseline",
+            "--size", "smoke",
+            "--save", path,
+        )
+        rs = ResultSet.from_json(path)
+        assert len(rs) == 1
+        assert rs.get("histogram", "baseline", size="tiny").ipc > 0
+
+    def test_unknown_workload_fails_helpfully(self):
+        proc = run_cli("sweep", "--workloads", "nope", check=False)
+        assert proc.returncode == 2
+        assert "unknown workload" in proc.stderr and "bfs" in proc.stderr
+
+    def test_unknown_size_fails_helpfully(self):
+        proc = run_cli(
+            "sweep", "--workloads", "bfs", "--size", "huge", check=False
+        )
+        assert proc.returncode == 2
+        assert "smoke" in proc.stderr
+
+    def test_unknown_metric_fails_before_simulating(self):
+        # bench size would take minutes if the sweep ran; the early
+        # metric validation must reject the typo in well under that.
+        proc = run_cli(
+            "sweep",
+            "--workloads", "all",
+            "--configs", "baseline",
+            "--size", "bench",
+            "--metric", "ipcs",
+            check=False,
+        )
+        assert proc.returncode == 2
+        assert "unknown metric" in proc.stderr and "ipc" in proc.stderr
+
+
+class TestFigure7:
+    def test_restricted_grid_markdown(self, tmp_path):
+        proc = run_cli(
+            "figure7",
+            "--size", "smoke",
+            "--workloads", "histogram,bfs",
+            "--format", "markdown",
+            env_extra={"REPRO_CACHE_DIR": str(tmp_path)},
+        )
+        lines = proc.stdout.splitlines()
+        assert lines[0] == "| workload | baseline | sbi | swi | sbi_swi | warp64 |"
+        assert any(line.startswith("| histogram |") for line in lines)
+        assert "# 10 cells: 10 simulated, 0 cached" in proc.stderr
+
+
+class TestCache:
+    def test_info_and_clear(self, tmp_path):
+        cache = {"REPRO_CACHE_DIR": str(tmp_path)}
+        run_cli(
+            "sweep", "--workloads", "histogram", "--configs", "baseline",
+            "--size", "smoke", env_extra=cache,
+        )
+        info = run_cli("cache", "info", env_extra=cache).stdout
+        assert "1 entries" in info
+        cleared = run_cli("cache", "clear", env_extra=cache).stdout
+        assert "1 entries" in cleared
+        info = run_cli("cache", "info", env_extra=cache).stdout
+        assert "0 entries" in info
+
+    def test_info_without_dir(self):
+        out = run_cli("cache", "info").stdout
+        assert "disabled" in out

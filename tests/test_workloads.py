@@ -43,6 +43,37 @@ class TestRegistry:
         with pytest.raises(ValueError):
             get_workload("bfs", "enormous")
 
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="bfs"):
+            get_workload("nope")
+
+    def test_unknown_size_lists_choices(self):
+        with pytest.raises(ValueError, match="smoke"):
+            get_workload("bfs", "enormous")
+
+    def test_smoke_alias(self):
+        from repro.workloads import normalize_size
+
+        assert normalize_size("smoke") == "tiny"
+        inst = get_workload("histogram", "smoke")
+        assert inst.name == get_workload("histogram", "tiny").name
+
+    def test_list_workloads_registry(self):
+        from repro.workloads import list_workloads
+
+        infos = list_workloads()
+        assert [i.name for i in infos] == list(ALL_WORKLOADS)
+        byname = {i.name: i for i in infos}
+        assert byname["tmd1"].mean_excluded and byname["tmd1"].module.endswith(".tmd")
+        assert byname["3dfd"].module.endswith(".threedfd")
+        assert not byname["bfs"].mean_excluded
+        assert byname["bfs"].sizes == ("tiny", "bench", "full")
+        regular = list_workloads(category="regular")
+        assert len(regular) == 10
+        assert all(i.category == "regular" for i in regular)
+        with pytest.raises(ValueError):
+            list_workloads(category="medium")
+
 
 @pytest.mark.parametrize("name", ALL_WORKLOADS)
 def test_reference_interpreter_matches_numpy(name):
