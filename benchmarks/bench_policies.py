@@ -1,0 +1,54 @@
+"""Registered-policy shoot-out: the paper machines vs the exploration
+policies shipped with the registry.
+
+Sweeps every SWI-capable policy (``swi``, ``swi_greedy``, ``swi_rr``,
+``dwr``) plus the ``warp64`` reference over divergent workloads — the
+shapes where arbiter choice and warp resizing matter — and reports the
+IPC table Figure-7 style.  Third-party policies registered before the
+run would appear automatically: the sweep is driven off the registry,
+not a hard-coded list.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import report as rpt
+from repro.api import Engine
+from repro.core import presets
+
+POLICY_SET = ("warp64", "swi", "swi_greedy", "swi_rr", "dwr")
+WORKLOADS = ("mandelbrot", "eigenvalues", "bfs", "lud")
+
+_ENGINE = Engine()
+_RESULTS = {}
+
+
+def _run(policy, workload, size):
+    stats = _ENGINE.run_cell(workload, size, presets.by_name(policy), cache=False)
+    _RESULTS.setdefault(policy, {})[workload] = stats
+    return stats
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("policy", POLICY_SET)
+def test_policy(benchmark, policy, workload, bench_size):
+    stats = benchmark.pedantic(
+        _run, args=(policy, workload, bench_size), rounds=1, iterations=1
+    )
+    assert stats.cycles > 0
+
+
+def test_policy_report(benchmark, report, bench_size):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for workload in WORKLOADS:
+        row = [workload]
+        for policy in POLICY_SET:
+            stats = _RESULTS.get(policy, {}).get(workload)
+            row.append(stats.ipc if stats else None)
+        rows.append(row)
+    report.add(
+        "Registered policies (IPC @ %s)" % bench_size,
+        rpt.format_table(["workload"] + list(POLICY_SET), rows),
+    )

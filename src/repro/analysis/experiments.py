@@ -10,17 +10,26 @@ in-process memo (``repro.api.cache.MEMO``, aliased here as
 
 New code should use :class:`repro.api.SweepSpec` +
 :class:`repro.api.Engine` and work with :class:`repro.api.ResultSet`
-values directly — or the ``repro`` CLI.  Deprecation policy: these
-shims stay source-compatible while anything in-tree uses them; they
-will only be removed after every caller (and one release note) has
-migrated, never silently.
+values directly — or the ``repro`` CLI.  Importing this module emits a
+:class:`DeprecationWarning`; nothing in-tree imports it any more
+(benchmarks, examples and the API tests all use :mod:`repro.api`), and
+it will be removed once out-of-tree callers have had a release to
+migrate.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Dict, Iterable, List, Optional, Sequence
+
+warnings.warn(
+    "repro.analysis.experiments is deprecated: use repro.api "
+    "(SweepSpec/Engine/ResultSet) or the `repro` CLI instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.api import cache as _api_cache
 from repro.api.cache import (

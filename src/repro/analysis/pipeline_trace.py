@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.policy import OBSERVERS, Observer
 from repro.core.sm import StreamingMultiprocessor
 from repro.functional.memory import MemoryImage
 from repro.isa.builder import Kernel, KernelBuilder
@@ -24,14 +25,28 @@ from repro.timing.stats import Stats
 IssueEvent = Tuple[int, int, int, str, int, str]
 
 
+@OBSERVERS.register("issue_trace")
+class IssueTrace(Observer):
+    """Records every issue as a legacy trace tuple — the first in-tree
+    consumer of the cycle-level observer hooks."""
+
+    def __init__(self) -> None:
+        self.events: List[IssueEvent] = []
+
+    def on_issue(self, event) -> None:
+        self.events.append(
+            (event.cycle, event.wid, event.pc, event.origin, event.mask, event.group)
+        )
+
+
 def trace_kernel(
     kernel: Kernel, memory: MemoryImage, config: SMConfig
 ) -> Tuple[Stats, List[IssueEvent]]:
     """Run a kernel and capture every instruction issue."""
-    sm = StreamingMultiprocessor(kernel, memory, config)
-    sm.trace = []
+    trace = IssueTrace()
+    sm = StreamingMultiprocessor(kernel, memory, config, observers=[trace])
     stats = sm.run()
-    return stats, sm.trace
+    return stats, trace.events
 
 
 def render_trace(

@@ -62,6 +62,16 @@ def _simulate_instance(inst, config: AnyConfig) -> AnyStats:
     return simulate(inst.kernel, inst.memory, config)
 
 
+def _worker_init(plugins: Tuple[str, ...]) -> None:
+    """Pool initializer: import plugin modules so policies they
+    register exist in the worker even under spawn/forkserver start
+    methods (under fork the parent's registry is inherited anyway)."""
+    import importlib
+
+    for name in plugins:
+        importlib.import_module(name)
+
+
 def _worker_cell(
     workload: str,
     size: str,
@@ -108,6 +118,7 @@ class Engine:
         memo: Optional[Dict] = None,
         progress: Optional[ProgressFn] = None,
         errors: str = "raise",
+        plugins: Optional[List[str]] = None,
         workload_factory=None,
         simulate_fn=None,
         simulate_device_fn=None,
@@ -120,6 +131,9 @@ class Engine:
             raise ValueError("errors must be one of %s" % (ERROR_POLICIES,))
         self.backend = backend
         self.jobs = jobs
+        #: Module names imported in every process-pool worker (policy
+        #: plugins must be registered there too, not just here).
+        self.plugins = tuple(plugins or ())
         self.cache_dir = cache_dir
         self.memo = result_cache.MEMO if memo is None else memo
         self.progress = progress
@@ -292,7 +306,9 @@ class Engine:
 
     def _run_process(self, pending, disk_dir, verify, errors, outcome, emit) -> None:
         jobs = self.jobs if self.jobs is not None and self.jobs > 1 else None
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=_worker_init, initargs=(self.plugins,)
+        ) as pool:
             futures = {
                 pool.submit(
                     _worker_cell,

@@ -53,7 +53,27 @@ def apply_override(config: AnyConfig, field: str, value) -> AnyConfig:
     fields on a ``GPUConfig`` reach through to ``config.sm``, and
     device fields (``sm_count``, ``l2_size``, ...) on an ``SMConfig``
     promote it to a single-SM ``GPUConfig`` first.
+
+    The virtual ``policy`` axis swaps the whole *SM microarchitecture*:
+    the value names a registered policy whose preset replaces the SM
+    config (device-level fields are kept).  This differs from the
+    ``mode`` field axis, which changes only the mode string and keeps
+    every other SM knob — sweeping ``policy`` compares machines on
+    their own terms (each policy's warp geometry, latencies and
+    scoreboard), which is what ``repro sweep --policy`` exposes.
     """
+    if field == "policy":
+        from repro.core import presets
+
+        sm = presets.by_name(value) if isinstance(value, str) else value
+        if not isinstance(sm, SMConfig):
+            raise ValueError(
+                "policy axis values must be registered policy names or "
+                "SMConfig objects, got %r" % (value,)
+            )
+        if isinstance(config, GPUConfig):
+            return config.replace(sm=sm)
+        return sm
     if isinstance(config, GPUConfig):
         if field in _GPU_FIELDS:
             return config.replace(**{field: value})
@@ -65,7 +85,8 @@ def apply_override(config: AnyConfig, field: str, value) -> AnyConfig:
         if field in _GPU_FIELDS:
             return GPUConfig(sm=config, **{field: value})
     raise ValueError(
-        "unknown config field %r: SM fields are %s; device fields are %s"
+        "unknown config field %r: SM fields are %s; device fields are %s "
+        "(or the virtual axis 'policy', naming registered policies)"
         % (field, ", ".join(sorted(_SM_FIELDS)), ", ".join(sorted(_GPU_FIELDS)))
     )
 
@@ -182,12 +203,21 @@ class SweepSpec:
     def with_workloads(self, workloads) -> "SweepSpec":
         return SweepSpec(workloads=workloads, configs=self.configs, sizes=self.sizes)
 
+    def with_policies(self, names: Sequence[str]) -> "SweepSpec":
+        """Expand every config along registered policy presets
+        (sugar for ``with_axes(policy=names)``)."""
+        return self.with_axes(policy=list(names))
+
     def with_axes(self, **axes: Sequence) -> "SweepSpec":
         """Expand every config along the given field axes.
 
         ``spec.with_axes(sm_count=[1, 2, 4])`` turns each named config
         into one variant per value, named ``<base>/sm_count=<v>``.
-        Several axes expand as a cartesian product.
+        Several axes expand as a cartesian product, applied in keyword
+        order.  The virtual ``policy`` axis swaps in a whole registered
+        policy preset (see :func:`apply_override`) — list it *first* so
+        field axes compose on top of each policy rather than being
+        overwritten by the preset swap.
         """
         configs: Dict[str, AnyConfig] = dict(self.configs)
         for field, values in axes.items():

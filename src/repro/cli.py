@@ -3,30 +3,42 @@
 Subcommands::
 
     repro workloads [--category regular|irregular] [--json]
+    repro policies  [NAME] [--json]
     repro figure7   [--size bench] [--jobs N] [--format markdown|json|table]
     repro sweep     --workloads bfs,matrixmul --configs baseline,sbi_swi
-                    [--axis sm_count=1,2,4,8] ... [--size tiny] [--jobs N]
+                    [--policy swi_greedy,dwr] [--axis sm_count=1,2,4,8] ...
+                    [--size tiny] [--jobs N]
+    repro merge     A.json B.json ... [--save OUT.json] [--on-conflict keep]
     repro cache     info|clear [--dir DIR]
 
 Tables go to stdout; a one-line cell accounting (``# N cells: M
 simulated, K cached``) goes to stderr so scripted runs can assert a
 warm cache performed no simulation.  ``--cache-dir`` (or the
 ``REPRO_CACHE_DIR`` environment variable) enables the on-disk result
-cache shared with the Python API.
+cache shared with the Python API.  ``--plugin MOD`` imports a module
+first, so third-party policies registered at import time are available
+to ``policies``, ``--configs`` and ``--policy``.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import json
 import sys
 from typing import List, Optional
 
-from repro.api import Engine, SweepSpec
+from repro.api import Engine, ResultSet, SweepSpec
 from repro.api import cache as result_cache
 from repro.workloads import SIZE_ALIASES, SIZES, list_workloads
 
 FORMATS = ("table", "markdown", "json", "csv")
+
+
+def _load_plugins(args) -> None:
+    """Import ``--plugin`` modules (they register policies on import)."""
+    for name in getattr(args, "plugin", None) or ():
+        importlib.import_module(name)
 
 
 def _parse_axis_value(token: str):
@@ -151,6 +163,7 @@ def _run_spec(spec: SweepSpec, args) -> int:
         cache_dir=args.cache_dir,
         progress=progress,
         errors="collect" if getattr(args, "keep_going", False) else "raise",
+        plugins=getattr(args, "plugin", None),
     )
     rs = engine.run(spec, verify=getattr(args, "verify", False))
     if args.save:
@@ -208,7 +221,64 @@ def _cmd_workloads(args) -> int:
     return 0
 
 
+def _cmd_policies(args) -> int:
+    # Populate the scheduler registry so specs can be cross-checked.
+    import repro.core.schedulers  # noqa: F401
+    from repro.core import presets
+    from repro.core.policy import DIVERGENCE, OBSERVERS, POLICIES, SCHEDULERS
+
+    _load_plugins(args)
+    if args.name:
+        spec = POLICIES.get(args.name)
+        if args.json:
+            import dataclasses
+
+            print(json.dumps(dataclasses.asdict(spec), indent=1, sort_keys=True))
+            return 0
+        print(spec.describe())
+        for kind, name, registry in (
+            ("scheduler", spec.scheduler, SCHEDULERS),
+            ("divergence model", spec.divergence, DIVERGENCE),
+        ):
+            if name not in registry:
+                print(
+                    "warning: %s %r is not registered (import its module "
+                    "with --plugin)" % (kind, name),
+                    file=sys.stderr,
+                )
+        print("preset    : %s" % presets.by_name(args.name).describe())
+        return 0
+    if args.json:
+        import dataclasses
+
+        print(
+            json.dumps(
+                [dataclasses.asdict(spec) for _, spec in POLICIES.items()],
+                indent=1,
+                sort_keys=True,
+            )
+        )
+        return 0
+    for name, spec in POLICIES.items():
+        print(
+            "%-12s sched=%-16s div=%-9s issue=%d  %s"
+            % (name, spec.scheduler, spec.divergence, spec.issue_width,
+               spec.description)
+        )
+    print(
+        "\nschedulers: %s\ndivergence: %s\nobservers : %s"
+        % (
+            ", ".join(SCHEDULERS.names()),
+            ", ".join(DIVERGENCE.names()),
+            ", ".join(OBSERVERS.names()),
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_figure7(args) -> int:
+    _load_plugins(args)
     spec = SweepSpec.figure7(size=args.size)
     if args.workloads:
         spec = spec.with_workloads(args.workloads.split(","))
@@ -216,16 +286,46 @@ def _cmd_figure7(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    _load_plugins(args)
     spec = SweepSpec(
         workloads=args.workloads.split(","),
         configs=args.configs.split(","),
         sizes=args.size.split(","),
     )
-    axes = _parse_axes(args.axis)
+    # The policy axis swaps the whole SM preset, so it expands first;
+    # --axis field overrides then compose on top of each policy.
+    axes = {"policy": args.policy.split(",")} if args.policy else {}
+    axes.update(_parse_axes(args.axis))
     if axes:
         spec = spec.with_axes(**axes)
     print("sweep: %s" % spec.describe(), file=sys.stderr)
     return _run_spec(spec, args)
+
+
+def _cmd_merge(args) -> int:
+    merged = ResultSet()
+    for path in args.inputs:
+        rs = ResultSet.from_json(path)
+        merged = merged.merge(rs, on_conflict=args.on_conflict)
+    print(
+        "# merged %d files -> %d cells%s"
+        % (
+            len(args.inputs),
+            len(merged),
+            ", %d errors" % len(merged.errors) if merged.errors else "",
+        ),
+        file=sys.stderr,
+    )
+    if args.save:
+        merged.to_json(args.save)
+        print("saved ResultSet to %s" % args.save, file=sys.stderr)
+    # Render when asked for explicitly, or when there is no --save (a
+    # bare merge should show *something*); `merge --save out.json`
+    # alone stays quiet on stdout for scripted pipelines.
+    fmt = args.format if args.format is not None else (None if args.save else "table")
+    if fmt is not None:
+        _emit(_render(merged, fmt, args.metric), args.output)
+    return 0
 
 
 def _cmd_cache(args) -> int:
@@ -249,7 +349,18 @@ def _cmd_cache(args) -> int:
 # ----------------------------------------------------------------------
 
 
+def _add_plugin_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--plugin",
+        action="append",
+        metavar="MODULE",
+        help="import MODULE first (repeatable) — third-party policies "
+        "register themselves at import time",
+    )
+
+
 def _add_run_options(p: argparse.ArgumentParser) -> None:
+    _add_plugin_option(p)
     p.add_argument("--jobs", type=int, default=None, help="parallel worker processes")
     p.add_argument(
         "--cache-dir", default=None, help="on-disk result cache (or $REPRO_CACHE_DIR)"
@@ -291,6 +402,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     p.set_defaults(fn=_cmd_workloads)
 
+    p = sub.add_parser("policies", help="list or describe registered policies")
+    p.add_argument("name", nargs="?", default=None, help="describe one policy")
+    p.add_argument("--json", action="store_true")
+    _add_plugin_option(p)
+    p.set_defaults(fn=_cmd_policies)
+
     p = sub.add_parser("figure7", help="the paper's headline IPC grid")
     p.add_argument("--size", default="bench", help="workload size (e.g. smoke, bench)")
     p.add_argument(
@@ -318,8 +435,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="expand every config along a field (repeatable), "
         "e.g. --axis sm_count=1,2,4,8",
     )
+    p.add_argument(
+        "--policy",
+        default=None,
+        metavar="P1,P2,...",
+        help="expand every config along registered policy presets "
+        "(the 'policy' axis; see repro policies)",
+    )
     _add_run_options(p)
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "merge", help="combine ResultSet JSON artifacts (repro sweep --save)"
+    )
+    p.add_argument("inputs", nargs="+", metavar="RESULTS.json")
+    p.add_argument(
+        "--on-conflict",
+        choices=("error", "keep", "replace"),
+        default="error",
+        help="what to do when two files disagree on one cell",
+    )
+    p.add_argument("--save", default=None, metavar="PATH", help="write merged JSON")
+    p.add_argument(
+        "--format",
+        choices=FORMATS,
+        default=None,
+        help="render the merged set (default: table, unless --save is given)",
+    )
+    p.add_argument("--metric", default="ipc", help="stats attribute to tabulate")
+    p.add_argument("--output", default=None, help="write the table to a file")
+    p.set_defaults(fn=_cmd_merge)
 
     p = sub.add_parser("cache", help="inspect or purge the result caches")
     p.add_argument("action", choices=("info", "clear"))

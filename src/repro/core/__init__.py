@@ -14,6 +14,7 @@ or, for a whole device::
     print(dstats.ipc)
 """
 
+from repro.core import policy
 from repro.core import presets
 from repro.core.gpu import CTADispatcher, GPUDevice, simulate_device
 from repro.core.simulator import simulate, SimulationError
@@ -24,6 +25,7 @@ __all__ = [
     "GPUDevice",
     "SimulationError",
     "StreamingMultiprocessor",
+    "policy",
     "presets",
     "simulate",
     "simulate_device",

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 from repro.functional.memory import MemoryImage
 from repro.isa.builder import Kernel
+from repro.core.policy import MemEvent
 from repro.core.sm import SimulationError, StreamingMultiprocessor
 from repro.timing.config import GPUConfig
 from repro.timing.dram import DRAMChannel
@@ -65,12 +66,21 @@ class CTADispatcher:
 class GPUDevice:
     """Cycle-level model of one GPU running one kernel launch."""
 
-    def __init__(self, kernel: Kernel, memory: MemoryImage, config: GPUConfig) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        memory: MemoryImage,
+        config: GPUConfig,
+        observers=None,
+    ) -> None:
         self.kernel = kernel
         self.memory = memory
         self.config = config
         self.dispatcher = CTADispatcher(kernel.grid_size)
         self.l2: Optional[L2System] = L2System(config) if config.uses_l2 else None
+        #: Cycle-level observers: shared with every SM (issue/retire/
+        #: split/L1 events); the device itself reports L2 misses.
+        self.observers = list(observers or ())
         self.sms: List[StreamingMultiprocessor] = []
         for i in range(config.sm_count):
             if self.l2 is not None:
@@ -85,6 +95,7 @@ class GPUDevice:
                     dispatcher=self.dispatcher,
                     memory_sink=sink,
                     sm_id=i,
+                    observers=self.observers,
                 )
             )
 
@@ -119,6 +130,7 @@ class GPUDevice:
         # sleeps instead of burning a no-op step every device cycle.
         # None = no scheduled events at all.
         wake: List[Optional[int]] = [0] * len(self.sms)
+        l2_misses_seen = 0
         while now < max_cycles:
             progressed = False
             for i, sm in enumerate(self.sms):
@@ -129,6 +141,13 @@ class GPUDevice:
                     wake[i] = now + 1
                 else:
                     wake[i] = sm.next_event_cycle(now)
+                if self.observers and self.l2 is not None:
+                    new_misses = self.l2.misses - l2_misses_seen
+                    if new_misses:
+                        l2_misses_seen = self.l2.misses
+                        event = MemEvent(now, sm.sm_id, "l2", new_misses)
+                        for observer in self.observers:
+                            observer.on_l2_miss(event)
                 if sm.finished:
                     done[i] = True
                     sm.stats.cycles = now + 1
@@ -168,17 +187,21 @@ class GPUDevice:
 
 
 def simulate_device(
-    kernel: Kernel, memory: MemoryImage, config: Optional[GPUConfig] = None
+    kernel: Kernel,
+    memory: MemoryImage,
+    config: Optional[GPUConfig] = None,
+    observers=None,
 ) -> DeviceStats:
     """Run ``kernel`` on a whole device and return its :class:`DeviceStats`.
 
     ``memory`` is mutated, exactly as with :func:`simulate`; with the
     default ``GPUConfig()`` (one SM, no L2) the run is cycle-identical
-    to ``simulate(kernel, memory, config.sm)``.
+    to ``simulate(kernel, memory, config.sm)``.  ``observers`` attaches
+    cycle-level listeners to every SM (and to the shared L2).
     """
     if config is None:
         config = GPUConfig()
-    device = GPUDevice(kernel, memory, config)
+    device = GPUDevice(kernel, memory, config, observers=observers)
     return device.run()
 
 

@@ -1,0 +1,100 @@
+"""Generic name -> object registries backing the policy API.
+
+Every extension point of the simulator — scheduler policies,
+divergence (reconvergence) models, cycle-level observers, and the
+:class:`~repro.core.policy.spec.PolicySpec` bundles that tie them to a
+configuration — is a :class:`Registry`.  Registration is explicit and
+duplicate names are errors, so two plugins can never silently shadow
+each other; lookups of unknown names fail with the full list of
+registered names, mirroring the eager-validation style of
+:class:`repro.api.SweepSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class PolicyLookupError(ValueError):
+    """An unregistered name was looked up (message lists known names)."""
+
+
+class DuplicateNameError(ValueError):
+    """A name was registered twice without ``replace=True``."""
+
+
+class Registry(Generic[T]):
+    """An ordered, write-once mapping of names to policy objects."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self, name: str, obj: Optional[T] = None, *, replace: bool = False
+    ):
+        """Register ``obj`` under ``name``; usable as a decorator::
+
+            @SCHEDULERS.register("my_arbiter")
+            class MyArbiter(CascadedScheduler): ...
+
+        Re-registering a name raises :class:`DuplicateNameError` unless
+        ``replace=True`` (or the object is identical, which is a no-op
+        so module reloads stay harmless).
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError("%s name must be a non-empty string" % self.kind)
+
+        def _add(value: T) -> T:
+            existing = self._entries.get(name)
+            if existing is not None and not replace and existing is not value:
+                raise DuplicateNameError(
+                    "%s %r is already registered (to %r); pick another name "
+                    "or pass replace=True" % (self.kind, name, existing)
+                )
+            self._entries[name] = value
+            return value
+
+        if obj is None:
+            return _add
+        return _add(obj)
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (missing names are ignored; test cleanup)."""
+        self._entries.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise PolicyLookupError(
+                "unknown %s %r: registered names are %s (register your own "
+                "via repro.core.policy, or import the module that defines "
+                "it first)"
+                % (self.kind, name, ", ".join(self.names()) or "(none)")
+            ) from None
+
+    def names(self) -> List[str]:
+        return list(self._entries)
+
+    def items(self) -> Iterator[Tuple[str, T]]:
+        return iter(list(self._entries.items()))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return "Registry(%s: %s)" % (self.kind, ", ".join(self.names()))

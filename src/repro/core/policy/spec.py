@@ -1,0 +1,102 @@
+"""The structured description of one microarchitecture policy.
+
+A :class:`PolicySpec` is what an :class:`~repro.timing.config.SMConfig`
+``mode`` string resolves to: it names the scheduler policy and the
+divergence model (both registry keys), carries the front-end shape the
+pipeline derives from the mode today (issue width, hot-split
+capacity, SBI/SWI capabilities), and optionally a ``preset`` mapping
+of configuration defaults so ``presets.by_name``/``SweepSpec`` can
+build a ready-to-run machine from just the name.
+
+The spec is pure data — registering one never imports a simulator
+module — so third-party policies can be declared before (or without)
+constructing any machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One registered microarchitecture policy.
+
+    ``scheduler`` and ``divergence`` are names in the
+    :data:`~repro.core.policy.SCHEDULERS` and
+    :data:`~repro.core.policy.DIVERGENCE` registries; they are resolved
+    when a machine is constructed, not at registration, so a spec can
+    reference a scheduler whose module has not been imported yet.
+    """
+
+    name: str
+    scheduler: str
+    divergence: str
+
+    #: Instructions the front end may issue per cycle (1 or 2).
+    issue_width: int = 2
+    #: Runnable warp-splits exposed to fetch/decode (2 for SBI's
+    #: dual front-end, 1 otherwise).
+    hot_capacity: int = 1
+
+    #: Capability flags the pipeline and schedulers key off.
+    uses_sbi: bool = False
+    uses_swi: bool = False
+    two_pools: bool = False
+    #: Peak IPC is bounded by the execution units (SBI/SWI fill idle
+    #: lanes) rather than by issue slots alone (baseline/warp64).
+    unit_bound_peak: bool = False
+
+    description: str = ""
+    #: SMConfig field defaults applied by ``presets.by_name(name)``.
+    preset: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("PolicySpec.name must be a non-empty string")
+        if self.issue_width not in (1, 2):
+            raise ValueError("issue_width must be 1 or 2")
+        if self.hot_capacity not in (1, 2):
+            raise ValueError("hot_capacity must be 1 or 2")
+        # Freeze the preset mapping into a plain dict copy so a caller
+        # mutating their dict later cannot skew registered defaults —
+        # and fail on typo'd keys *now*, not at the first by_name().
+        preset = dict(self.preset)
+        import dataclasses
+
+        from repro.timing.config import SMConfig
+
+        valid = {f.name for f in dataclasses.fields(SMConfig)} - {"mode"}
+        bad = sorted(set(preset) - valid)
+        if bad:
+            raise ValueError(
+                "PolicySpec %r preset has unknown SMConfig fields %s "
+                "('mode' is implied by the spec name); valid fields: %s"
+                % (self.name, ", ".join(bad), ", ".join(sorted(valid)))
+            )
+        object.__setattr__(self, "preset", preset)
+
+    def describe(self) -> str:
+        caps = [
+            flag
+            for flag, on in (
+                ("sbi", self.uses_sbi),
+                ("swi", self.uses_swi),
+                ("two-pools", self.two_pools),
+            )
+            if on
+        ]
+        return "%s: scheduler=%s divergence=%s issue=%d hot=%d%s%s" % (
+            self.name,
+            self.scheduler,
+            self.divergence,
+            self.issue_width,
+            self.hot_capacity,
+            " [%s]" % ",".join(caps) if caps else "",
+            " — %s" % self.description if self.description else "",
+        )
+
+    def preset_dict(self) -> Dict[str, Any]:
+        """A fresh copy of the preset defaults."""
+        return dict(self.preset)

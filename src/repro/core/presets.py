@@ -1,4 +1,4 @@
-"""Configuration presets — paper Table 2.
+"""Configuration presets — registry entries with paper Table 2 defaults.
 
 ===================  =========  =======  =======  =========
 Parameter            Baseline   SBI      SWI      SBI+SWI
@@ -13,77 +13,51 @@ Reconvergence        stack      HCT/CCT  frontier HCT/CCT
 
 ``warp64`` is the Figure 7 reference: thread frontiers with 64-wide
 warps and a single conventional scheduler.
+
+Every preset is a :class:`~repro.core.policy.PolicySpec` in
+:data:`repro.core.policy.POLICIES` carrying these defaults; the
+functions below are thin conveniences over :func:`from_policy`, which
+works for *any* registered policy — including third-party ones — so
+``by_name`` needs no edits when a new microarchitecture is registered.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.policy import POLICIES
 from repro.timing.config import GPUConfig, SMConfig
+
+
+def from_policy(name: str, **overrides) -> SMConfig:
+    """An :class:`SMConfig` for any registered policy: the spec's
+    preset defaults, with ``overrides`` applied on top."""
+    spec = POLICIES.get(name)
+    cfg = spec.preset_dict()
+    cfg.update(overrides)
+    return SMConfig(mode=spec.name, **cfg)
 
 
 def baseline(**overrides) -> SMConfig:
     """Fermi-like baseline: 32 x 32 warps, two pools, IPDOM stack."""
-    cfg = dict(
-        mode="baseline",
-        warp_count=32,
-        warp_width=32,
-        scheduler_latency=1,
-        delivery_latency=0,
-        scoreboard_kind="warp",
-        lane_shuffle="identity",
-    )
-    cfg.update(overrides)
-    return SMConfig(**cfg)
+    return from_policy("baseline", **overrides)
 
 
 def warp64(**overrides) -> SMConfig:
     """Thread-frontier 64-wide reference point (Figure 7)."""
-    cfg = dict(
-        mode="warp64",
-        warp_count=16,
-        warp_width=64,
-        scheduler_latency=1,
-        delivery_latency=0,
-        scoreboard_kind="warp",
-        lane_shuffle="identity",
-    )
-    cfg.update(overrides)
-    return SMConfig(**cfg)
+    return from_policy("warp64", **overrides)
 
 
 def sbi(constraints: bool = True, **overrides) -> SMConfig:
     """Simultaneous Branch Interweaving."""
-    cfg = dict(
-        mode="sbi",
-        warp_count=16,
-        warp_width=64,
-        scheduler_latency=1,
-        delivery_latency=1,
-        scoreboard_kind="matrix",
-        sbi_constraints=constraints,
-        lane_shuffle="identity",
-    )
-    cfg.update(overrides)
-    return SMConfig(**cfg)
+    return from_policy("sbi", sbi_constraints=constraints, **overrides)
 
 
 def swi(
     lane_shuffle: str = "xor_rev", ways: Optional[int] = None, **overrides
 ) -> SMConfig:
     """Simultaneous Warp Interweaving (``ways=None`` = fully assoc.)."""
-    cfg = dict(
-        mode="swi",
-        warp_count=16,
-        warp_width=64,
-        scheduler_latency=2,
-        delivery_latency=1,
-        scoreboard_kind="warp",
-        lane_shuffle=lane_shuffle,
-        swi_ways=ways,
-    )
-    cfg.update(overrides)
-    return SMConfig(**cfg)
+    return from_policy("swi", lane_shuffle=lane_shuffle, swi_ways=ways, **overrides)
 
 
 def sbi_swi(
@@ -93,23 +67,27 @@ def sbi_swi(
     **overrides,
 ) -> SMConfig:
     """Combined SBI + SWI (the paper's headline configuration)."""
-    cfg = dict(
-        mode="sbi_swi",
-        warp_count=16,
-        warp_width=64,
-        scheduler_latency=2,
-        delivery_latency=1,
-        scoreboard_kind="matrix",
+    return from_policy(
+        "sbi_swi",
         sbi_constraints=constraints,
         lane_shuffle=lane_shuffle,
         swi_ways=ways,
+        **overrides,
     )
-    cfg.update(overrides)
-    return SMConfig(**cfg)
 
 
 #: Figure 7 configuration set, in presentation order.
 FIGURE7_CONFIGS = ("baseline", "sbi", "swi", "sbi_swi", "warp64")
+
+#: Convenience wrappers keeping their historical keyword aliases
+#: (``constraints``/``ways``); other names go straight to from_policy.
+_ALIASED = {
+    "baseline": baseline,
+    "warp64": warp64,
+    "sbi": sbi,
+    "swi": swi,
+    "sbi_swi": sbi_swi,
+}
 
 
 def device(
@@ -139,13 +117,8 @@ def device(
 
 
 def by_name(name: str, **overrides) -> SMConfig:
-    factory = {
-        "baseline": baseline,
-        "warp64": warp64,
-        "sbi": sbi,
-        "swi": swi,
-        "sbi_swi": sbi_swi,
-    }.get(name)
-    if factory is None:
-        raise ValueError("unknown preset %r" % name)
-    return factory(**overrides)
+    """Resolve any registered policy name to a preset configuration."""
+    factory = _ALIASED.get(name)
+    if factory is not None:
+        return factory(**overrides)
+    return from_policy(name, **overrides)

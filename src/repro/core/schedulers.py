@@ -1,21 +1,35 @@
-"""Instruction schedulers for the five configurations.
+"""Instruction scheduler policies (the ``SCHEDULERS`` registry).
 
-* :class:`BaselineScheduler` — two warp pools (even/odd ids), each
-  issuing its oldest ready instruction per cycle (paper section 2).
-* :class:`Warp64Scheduler` — single pool, single issue (the "Warp 64"
-  thread-frontier reference of Figure 7).
-* :class:`SBIScheduler` — one warp selected per cycle; its ``CPC1``
-  and ``CPC2`` warp-splits issue simultaneously through the dual
-  front-end.  Enforces the selective synchronization barrier and the
-  one-divergence-per-cycle HCT restriction.
-* :class:`CascadedScheduler` — SWI and SBI+SWI: a primary pick spends
-  one extra pipeline stage (Table 2's 2-cycle scheduler latency)
-  during which the secondary scheduler fills the remaining lanes —
-  from the same warp's ``CPC2`` (SBI+SWI) or from another warp whose
-  lane mask fits (best-fit, pseudo-random tie-break, set-associative
-  candidate window).  Conflicts between the two decoupled pickers are
-  detected a posteriori and the primary copy is discarded, as in the
-  paper (section 4).
+Built-ins, registered under the names the
+:class:`~repro.core.policy.PolicySpec` entries reference:
+
+* ``two_pool`` :class:`BaselineScheduler` — two warp pools (even/odd
+  ids), each issuing its oldest ready instruction per cycle (paper
+  section 2).
+* ``single_issue`` :class:`Warp64Scheduler` — single pool, single
+  issue (the "Warp 64" thread-frontier reference of Figure 7).
+* ``sbi_dual`` :class:`SBIScheduler` — one warp selected per cycle;
+  its ``CPC1`` and ``CPC2`` warp-splits issue simultaneously through
+  the dual front-end.  Enforces the selective synchronization barrier
+  and the one-divergence-per-cycle HCT restriction.
+* ``cascaded`` :class:`CascadedScheduler` — SWI and SBI+SWI: a primary
+  pick spends one extra pipeline stage (Table 2's 2-cycle scheduler
+  latency) during which the secondary scheduler fills the remaining
+  lanes — from the same warp's ``CPC2`` (SBI+SWI) or from another warp
+  whose lane mask fits (best-fit, pseudo-random tie-break,
+  set-associative candidate window).  Conflicts between the two
+  decoupled pickers are detected a posteriori and the primary copy is
+  discarded, as in the paper (section 4).
+* ``cascaded_greedy`` :class:`GreedyCascadedScheduler` — the cascaded
+  machine with a deterministic greedy-then-oldest secondary arbiter.
+* ``cascaded_rr`` :class:`LooseRoundRobinScheduler` — the cascaded
+  machine with a loose-round-robin primary warp arbiter.
+
+Custom schedulers subclass any of these (the extension hooks are
+:meth:`CascadedScheduler._secondary_key` and
+:meth:`CascadedScheduler._pick_primary`) and register under a new
+name; a :class:`~repro.core.policy.PolicySpec` then makes them
+selectable by mode string everywhere.
 """
 
 from __future__ import annotations
@@ -23,6 +37,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.isa.instructions import Instruction
+from repro.core.policy import SCHEDULERS
 from repro.core.sm import IssueRecord, StreamingMultiprocessor
 from repro.core.warp import TimingWarp
 from repro.timing.divergence import Split
@@ -93,6 +108,7 @@ class SchedulerBase:
         return min(candidates, default=None, key=lambda c: c[0])
 
 
+@SCHEDULERS.register("two_pool")
 class BaselineScheduler(SchedulerBase):
     """Two independent pools of 32-wide warps, oldest-first."""
 
@@ -125,6 +141,7 @@ class BaselineScheduler(SchedulerBase):
         return issued
 
 
+@SCHEDULERS.register("single_issue")
 class Warp64Scheduler(SchedulerBase):
     """Single pool, one issue per cycle (thread-frontier reference)."""
 
@@ -149,6 +166,7 @@ class Warp64Scheduler(SchedulerBase):
         return 1 if record is not None else 0
 
 
+@SCHEDULERS.register("sbi_dual")
 class SBIScheduler(SchedulerBase):
     """Dual front-end on one warp: co-issue CPC1 and CPC2 splits."""
 
@@ -199,8 +217,15 @@ class SBIScheduler(SchedulerBase):
         return issued
 
 
+@SCHEDULERS.register("cascaded")
 class CascadedScheduler(SchedulerBase):
-    """SWI / SBI+SWI two-phase scheduler with conflict detection."""
+    """SWI / SBI+SWI two-phase scheduler with conflict detection.
+
+    Subclass hooks: :meth:`_pick_primary` chooses the warp whose CPC1
+    issues next cycle (oldest-first here), :meth:`_secondary_key`
+    ranks same-cycle lane-filling candidates (best-fit with a
+    pseudo-random tie-break here, maximising is better).
+    """
 
     def __init__(self, sm: StreamingMultiprocessor) -> None:
         super().__init__(sm)
@@ -208,30 +233,39 @@ class CascadedScheduler(SchedulerBase):
 
     # -- picks -----------------------------------------------------------
 
+    def _primary_ready(self, warp: TimingWarp, now: int) -> Optional[Candidate]:
+        """This warp's CPC1 as a primary candidate, if eligible."""
+        hot = warp.model.hot_splits(now)
+        if not hot:
+            return None
+        split = hot[0]
+        entry = self._ready_entry(warp, 0, split, now)
+        if entry is None:
+            return None
+        # The group must plausibly be free at the issue stage.
+        group = self.sm.backend.pick_group(
+            entry.instr.op_class, now, split.lane_mask, co_issue=False
+        )
+        if group is None and not any(
+            g.free_at <= now + 1
+            for g in self.sm.backend.candidates(entry.instr.op_class)
+        ):
+            return None
+        return ((entry.fetch_cycle, warp.wid), warp, 0, split, entry)
+
     def _pick_primary(self, now: int) -> Optional[Candidate]:
         """Oldest ready CPC1 instruction (issues next cycle)."""
         best: Optional[Candidate] = None
         for warp in self.sm.live_warps():
-            hot = warp.model.hot_splits(now)
-            if not hot:
-                continue
-            split = hot[0]
-            entry = self._ready_entry(warp, 0, split, now)
-            if entry is None:
-                continue
-            # The group must plausibly be free at the issue stage.
-            group = self.sm.backend.pick_group(
-                entry.instr.op_class, now, split.lane_mask, co_issue=False
-            )
-            if group is None and not any(
-                g.free_at <= now + 1
-                for g in self.sm.backend.candidates(entry.instr.op_class)
-            ):
-                continue
-            key = (entry.fetch_cycle, warp.wid)
-            if best is None or key < best[0]:
-                best = (key, warp, 0, split, entry)
+            cand = self._primary_ready(warp, now)
+            if cand is not None and (best is None or cand[0] < best[0]):
+                best = cand
         return best
+
+    def _secondary_key(self, warp: TimingWarp, split: Split, entry: IBufEntry):
+        """Ranking key of one SWI candidate (higher wins): best lane
+        fit, pseudo-random among equals (paper section 4)."""
+        return (popcount(split.mask), -self._rand())
 
     def _candidate_warps(self, primary: Optional[IssueRecord]) -> List[TimingWarp]:
         """Set-associative lookup window (paper section 4).
@@ -283,7 +317,7 @@ class CascadedScheduler(SchedulerBase):
                 continue
             if not self._group_free(entry.instr, split, now, co_issue=primary is not None):
                 continue
-            key = (popcount(split.mask), -self._rand())
+            key = self._secondary_key(warp, split, entry)
             if best_key is None or key > best_key:
                 best_key = key
                 best = ("swi" if primary is not None else "primary", warp, 0, split, entry)
@@ -346,13 +380,50 @@ class CascadedScheduler(SchedulerBase):
         return issued
 
 
+class GreedyCascadedScheduler(CascadedScheduler):
+    """Cascaded scheduler with a greedy-then-oldest secondary arbiter.
+
+    Where the paper's SWI arbiter breaks best-fit ties pseudo-randomly
+    (cheap in hardware), this variant is fully deterministic: widest
+    split first, then the *oldest* fetched instruction, then the
+    lowest warp id — trading arbiter wiring for starvation-freedom.
+    """
+
+    def _secondary_key(self, warp: TimingWarp, split: Split, entry: IBufEntry):
+        return (popcount(split.mask), -entry.fetch_cycle, -warp.wid)
+
+
+class LooseRoundRobinScheduler(CascadedScheduler):
+    """Cascaded scheduler with a loose-round-robin primary arbiter.
+
+    Instead of oldest-first, the primary pick rotates: scanning starts
+    at the warp after the last picked one and takes the first ready
+    CPC1 ("loose" because stalled warps are skipped, as in WaSP-style
+    LRR scheduling).  The secondary arbiter is unchanged.
+    """
+
+    def __init__(self, sm: StreamingMultiprocessor) -> None:
+        super().__init__(sm)
+        self._last_wid = -1
+
+    def _pick_primary(self, now: int) -> Optional[Candidate]:
+        count = self.config.warp_count
+        order = sorted(
+            self.sm.live_warps(),
+            key=lambda w: (w.wid - self._last_wid - 1) % count,
+        )
+        for warp in order:
+            cand = self._primary_ready(warp, now)
+            if cand is not None:
+                self._last_wid = warp.wid
+                return cand
+        return None
+
+
+SCHEDULERS.register("cascaded_greedy", GreedyCascadedScheduler)
+SCHEDULERS.register("cascaded_rr", LooseRoundRobinScheduler)
+
+
 def make_scheduler(config, sm: StreamingMultiprocessor) -> SchedulerBase:
-    if config.mode == "baseline":
-        return BaselineScheduler(sm)
-    if config.mode == "warp64":
-        return Warp64Scheduler(sm)
-    if config.mode == "sbi":
-        return SBIScheduler(sm)
-    if config.mode in ("swi", "sbi_swi"):
-        return CascadedScheduler(sm)
-    raise ValueError("unknown mode %r" % config.mode)
+    """Instantiate the scheduler policy named by ``config.policy``."""
+    return SCHEDULERS.get(config.policy.scheduler)(sm)

@@ -18,16 +18,23 @@ from repro.timing.config import SMConfig
 from repro.timing.stats import Stats
 
 
-def simulate(kernel: Kernel, memory: MemoryImage, config: Optional[SMConfig] = None) -> Stats:
+def simulate(
+    kernel: Kernel,
+    memory: MemoryImage,
+    config: Optional[SMConfig] = None,
+    observers=None,
+) -> Stats:
     """Run ``kernel`` on one SM and return its :class:`Stats`.
 
     ``memory`` is mutated — read results back with
     :meth:`MemoryImage.read_array`.  The functional outcome is
     identical for every configuration; only the timing differs.
+    ``observers`` attaches cycle-level listeners
+    (:class:`repro.core.policy.Observer`), which never affect timing.
     """
     if config is None:
         config = SMConfig()
-    sm = StreamingMultiprocessor(kernel, memory, config)
+    sm = StreamingMultiprocessor(kernel, memory, config, observers=observers)
     return sm.run()
 
 

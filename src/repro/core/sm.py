@@ -23,6 +23,7 @@ from repro.functional.executor import Executor
 from repro.functional.memory import MemoryImage, SharedMemory
 from repro.isa.builder import Kernel
 from repro.isa.instructions import Instruction, Op, OpClass
+from repro.core.policy import IssueEvent, MemEvent, RetireEvent, SplitEvent
 from repro.core.warp import TimingWarp
 from repro.timing.cache import L1Cache
 from repro.timing.config import SMConfig
@@ -74,6 +75,7 @@ class StreamingMultiprocessor:
         dispatcher=None,
         memory_sink=None,
         sm_id: int = 0,
+        observers=None,
     ) -> None:
         from repro.core.schedulers import make_scheduler  # cycle-free import
 
@@ -89,9 +91,13 @@ class StreamingMultiprocessor:
             memory_sink = DRAMChannel(config.dram_bandwidth, config.dram_latency)
         self.dram = memory_sink
         self.lsu_logic = LoadStoreUnit(config, self.cache, self.dram, self.stats)
-        hot_capacity = 2 if config.uses_sbi else 1
-        self.fetch = FetchEngine(kernel.program, config.fetch_width, hot_capacity)
+        self.fetch = FetchEngine(
+            kernel.program, config.fetch_width, config.policy.hot_capacity
+        )
         self.scheduler = make_scheduler(config, self)
+        #: Attached cycle-level observers (see :mod:`repro.core.policy`).
+        #: Event construction is skipped entirely when the list is empty.
+        self.observers = list(observers or ())
 
         if dispatcher is None:
             from repro.core.gpu import CTADispatcher  # cycle-free import
@@ -170,6 +176,10 @@ class StreamingMultiprocessor:
         self.stats.warps_retired += 1
         self.stats.merges += warp.model.merge_count
         self.fetch.flush_warp(warp.wid)
+        if self.observers:
+            event = RetireEvent(now, self.sm_id, warp.wid, warp.cta_id)
+            for observer in self.observers:
+                observer.on_retire(event)
         cta_warps = self.cta_warps[warp.cta_id]
         if all(w.done for w in cta_warps):
             slots = tuple(w.wid for w in cta_warps)
@@ -233,10 +243,24 @@ class StreamingMultiprocessor:
             self.trace.append(
                 (now, warp.wid, entry.pc, origin, split.mask, group.name)
             )
+        if self.observers:
+            event = IssueEvent(
+                now, self.sm_id, warp.wid, entry.pc, origin,
+                split.mask, group.name, popcount(active_mask),
+            )
+            for observer in self.observers:
+                observer.on_issue(event)
 
         # Timing: occupancy and writeback.
         if instr.op_class is OpClass.LSU:
+            misses_before = self.stats.l1_misses
             occupancy, wb = self.lsu_logic.access(instr, outcome, now)
+            if self.observers and self.stats.l1_misses > misses_before:
+                event = MemEvent(
+                    now, self.sm_id, "l1", self.stats.l1_misses - misses_before
+                )
+                for observer in self.observers:
+                    observer.on_l1_miss(event)
             group.accept(now, split.lane_mask)
             group.hold(now + occupancy)
             wb += config.delivery_latency
@@ -264,6 +288,10 @@ class StreamingMultiprocessor:
                 self.stats.divergent_branches += 1
                 n_splits = sum(1 for _ in model.all_splits())
                 self.stats.max_live_splits = max(self.stats.max_live_splits, n_splits)
+                if self.observers:
+                    event = SplitEvent(now, self.sm_id, warp.wid, entry.pc, n_splits)
+                    for observer in self.observers:
+                        observer.on_split(event)
         elif op is Op.EXIT:
             model.exit_threads(split, active_mask, now)
             if split.mask:

@@ -8,26 +8,17 @@ import numpy as np
 
 from repro.functional.executor import FunctionalWarp
 from repro.functional.memory import SharedMemory
+from repro.core.policy import DIVERGENCE
 from repro.timing import lanes
 from repro.timing.divergence import DivergenceModel
-from repro.timing.frontier import FrontierModel
-from repro.timing.hct import SBIModel
 from repro.timing.masks import bools_to_mask
 from repro.timing.scoreboard import ScoreboardBase, make_scoreboard
-from repro.timing.stack import StackModel
 
 
 def make_divergence_model(config, launch_mask: int, perm: Sequence[int]) -> DivergenceModel:
-    if config.mode == "baseline":
-        return StackModel(launch_mask, perm)
-    if config.uses_sbi:
-        return SBIModel(
-            launch_mask,
-            perm,
-            cct_capacity=config.cct_capacity,
-            insert_delay=config.cct_insert_delay,
-        )
-    return FrontierModel(launch_mask, perm)
+    """Instantiate the divergence model named by ``config.policy``."""
+    factory = DIVERGENCE.get(config.policy.divergence)
+    return factory(config, launch_mask, perm)
 
 
 class TimingWarp:

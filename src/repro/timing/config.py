@@ -1,6 +1,7 @@
 """SM configuration — the knobs of paper Table 2 plus model options.
 
-A configuration picks one of five scheduler *modes*:
+A configuration names a scheduler *mode* — an entry of the policy
+registry (:data:`repro.core.policy.POLICIES`).  The paper ships five:
 
 ``baseline``   Fermi-like: 32 warps x 32 threads, two warp pools
                (even/odd ids) with one scheduler each, IPDOM
@@ -14,6 +15,11 @@ A configuration picks one of five scheduler *modes*:
                filling free lanes from other warps.
 ``sbi_swi``    Both: secondary slot filled by the same warp's CPC2
                when possible, else by another warp (SWI).
+
+and any registered :class:`~repro.core.policy.PolicySpec` name — or
+the spec itself — is equally valid: ``mode`` stays a plain string
+after construction, so cache keys for the paper modes are unchanged by
+the registry and new policies key cleanly by name.
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+#: The paper's five modes.  Kept for reference and back-compat; the
+#: authoritative list is ``repro.core.policy.POLICIES.names()``.
 VALID_MODES = ("baseline", "warp64", "sbi", "swi", "sbi_swi")
 VALID_SCOREBOARDS = ("warp", "mask", "matrix")
 VALID_SHUFFLES = ("identity", "mirror_odd", "mirror_half", "xor", "xor_rev")
@@ -28,7 +36,12 @@ VALID_SHUFFLES = ("identity", "mirror_odd", "mirror_half", "xor", "xor_rev")
 
 @dataclass
 class SMConfig:
-    """All timing parameters of one streaming multiprocessor."""
+    """All timing parameters of one streaming multiprocessor.
+
+    ``mode`` accepts a registered policy name or a
+    :class:`~repro.core.policy.PolicySpec` (normalised to its name);
+    the resolved spec is exposed as :attr:`policy`.
+    """
 
     mode: str = "baseline"
     warp_count: int = 32
@@ -78,8 +91,15 @@ class SMConfig:
     # ------------------------------------------------------------------
 
     def validate(self) -> None:
-        if self.mode not in VALID_MODES:
-            raise ValueError("mode must be one of %s" % (VALID_MODES,))
+        # Resolve (and normalise) the policy through the registry; an
+        # unknown name raises with the registered list.  The spec is
+        # cached on the instance — it is not a dataclass field, so
+        # asdict/config_key/pickle payloads are exactly as before.
+        from repro.core.policy import coerce_policy
+
+        spec = coerce_policy(self.mode)
+        self.mode = spec.name
+        self._policy = spec
         if self.scoreboard_kind not in VALID_SCOREBOARDS:
             raise ValueError("scoreboard_kind must be one of %s" % (VALID_SCOREBOARDS,))
         if self.lane_shuffle not in VALID_SHUFFLES:
@@ -94,6 +114,18 @@ class SMConfig:
     # ------------------------------------------------------------------
     # Derived properties
     # ------------------------------------------------------------------
+
+    @property
+    def policy(self):
+        """The registered :class:`~repro.core.policy.PolicySpec` of
+        :attr:`mode` (re-resolved if ``mode`` was mutated in place)."""
+        spec = getattr(self, "_policy", None)
+        if spec is None or spec.name != self.mode:
+            from repro.core.policy import POLICIES
+
+            spec = POLICIES.get(self.mode)
+            self._policy = spec
+        return spec
 
     @property
     def mad_group_count(self) -> int:
@@ -112,27 +144,27 @@ class SMConfig:
 
     @property
     def uses_two_pools(self) -> bool:
-        return self.mode == "baseline"
+        return self.policy.two_pools
 
     @property
     def uses_sbi(self) -> bool:
-        return self.mode in ("sbi", "sbi_swi")
+        return self.policy.uses_sbi
 
     @property
     def uses_swi(self) -> bool:
-        return self.mode in ("swi", "sbi_swi")
+        return self.policy.uses_swi
 
     @property
     def issue_width(self) -> int:
-        return 1 if self.mode == "warp64" else 2
+        return self.policy.issue_width
 
     @property
     def peak_ipc(self) -> float:
         """Thread-instruction retire bound (64 baseline, 104 SBI/SWI)."""
         issue_bound = self.issue_width * self.warp_width
+        if not self.policy.unit_bound_peak:
+            return float(issue_bound)
         unit_bound = self.mad_lanes + self.sfu_width + self.lsu_width
-        if self.mode in ("baseline", "warp64"):
-            return float(min(issue_bound, self.issue_width * self.warp_width))
         return float(min(issue_bound, unit_bound))
 
     @property

@@ -1,10 +1,13 @@
-"""Engine execution: backends, caching, policies, legacy parity."""
+"""Engine execution: backends, caching, error policies.
+
+Parity with the deprecated ``repro.analysis.experiments`` shim is
+covered in ``test_experiments_harness.py`` (the shim's own suite).
+"""
 
 import os
 
 import pytest
 
-from repro.analysis import experiments
 from repro.api import (
     CacheSerializationError,
     Engine,
@@ -73,14 +76,6 @@ class TestRun:
         assert rs.configs == ["baseline", "warp64"]
         assert not rs.errors
 
-    def test_matches_legacy_run_suite(self):
-        rs = Engine().run(SMALL)
-        legacy = experiments.run_suite(
-            dict(SMALL.configs), list(SMALL.workloads), "tiny"
-        )
-        assert rs.ipc_table() == experiments.suite_ipc_table(legacy)
-        assert rs.nested() == legacy  # memoised: identical objects
-
     def test_aliased_configs_simulate_once(self):
         events = []
         spec = SweepSpec(
@@ -128,6 +123,41 @@ class TestBackendParity:
         events = []
         Engine(jobs=2, cache_dir=cache_dir, progress=events.append).run(SMALL)
         assert all(e.cached for e in events)
+
+
+class TestWorkerPlugins:
+    def test_worker_init_imports_plugins(self, tmp_path, monkeypatch):
+        """Process-pool workers must import plugin modules themselves
+        (spawn/forkserver workers do not inherit parent imports)."""
+        import sys
+
+        from repro.api.engine import _worker_init
+
+        plugin = tmp_path / "engine_test_plugin.py"
+        sentinel = tmp_path / "imported.txt"
+        plugin.write_text(
+            "open(%r, 'a').write('yes')\n" % str(sentinel)
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        _worker_init(("engine_test_plugin",))
+        assert sentinel.read_text() == "yes"
+        sys.modules.pop("engine_test_plugin", None)
+
+    def test_engine_threads_plugins_to_pool(self, tmp_path, monkeypatch):
+        import sys
+
+        plugin = tmp_path / "engine_pool_plugin.py"
+        marker = tmp_path / "pids.txt"
+        plugin.write_text(
+            "import os\nopen(%r, 'a').write('%%d\\n' %% os.getpid())\n"
+            % str(marker)
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        engine = Engine(jobs=2, plugins=["engine_pool_plugin"])
+        engine.run(SMALL)
+        pids = {int(line) for line in marker.read_text().split()}
+        assert pids and os.getpid() not in pids  # imported in workers
+        sys.modules.pop("engine_pool_plugin", None)
 
 
 class TestErrorPolicies:
@@ -206,7 +236,7 @@ class TestCacheMaintenance:
         assert info.disk_entries == 4
         assert info.disk_bytes > 0
         assert "4 entries" in info.describe()
-        removed = experiments.clear_cache(disk_dir=cache_dir)
+        removed = result_cache.clear(disk_dir=cache_dir)
         assert removed == 4
         assert result_cache.info(disk_dir=cache_dir).disk_entries == 0
         assert result_cache.info(disk_dir=cache_dir).memo_entries == 0
@@ -215,18 +245,16 @@ class TestCacheMaintenance:
     def test_clear_without_dir_leaves_disk(self, tmp_path):
         cache_dir = str(tmp_path)
         Engine(cache_dir=cache_dir).run(SMALL)
-        experiments.clear_cache()
+        result_cache.clear()
         assert result_cache.info(disk_dir=cache_dir).disk_entries == 4
 
 
 class TestFigure7Equivalence:
-    """Acceptance: Engine.run(SweepSpec.figure7) == figure7_table, both
-    through the new API and the unchanged legacy shim (size=smoke)."""
+    """Acceptance: the full smoke grid runs through Engine and its
+    content survives a JSON round trip (legacy-shim parity lives in
+    test_experiments_harness.py)."""
 
     def test_full_grid_smoke(self):
         rs = Engine().run(SweepSpec.figure7(size="smoke"))
         assert len(rs) == 105
-        legacy = experiments.figure7_table(size="smoke")
-        assert rs.ipc_table() == legacy
-        # And the legacy grid order/content survives a JSON round trip.
-        assert ResultSet.from_json(rs.to_json()).ipc_table() == legacy
+        assert ResultSet.from_json(rs.to_json()).ipc_table() == rs.ipc_table()

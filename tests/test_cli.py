@@ -212,6 +212,130 @@ class TestFigure7:
         assert "# 10 cells: 10 simulated, 0 cached" in proc.stderr
 
 
+class TestPolicies:
+    def test_plain_listing(self):
+        proc = run_cli("policies")
+        for name in ("baseline", "sbi_swi", "swi_greedy", "swi_rr", "dwr"):
+            assert name in proc.stdout
+        assert "cascaded" in proc.stderr  # scheduler catalogue footer
+
+    def test_json_listing(self):
+        specs = json.loads(run_cli("policies", "--json").stdout)
+        byname = {s["name"]: s for s in specs}
+        assert byname["dwr"]["divergence"] == "dwr"
+        assert byname["swi_rr"]["scheduler"] == "cascaded_rr"
+        assert byname["sbi"]["hot_capacity"] == 2
+
+    def test_describe_one(self):
+        proc = run_cli("policies", "dwr")
+        assert "divergence=dwr" in proc.stdout
+        assert "preset" in proc.stdout
+
+    def test_unknown_policy_fails_helpfully(self):
+        proc = run_cli("policies", "nope", check=False)
+        assert proc.returncode == 2
+        assert "unknown policy" in proc.stderr and "baseline" in proc.stderr
+
+    def test_plugin_module_registers_policy(self, tmp_path):
+        plugin = tmp_path / "cli_test_plugin.py"
+        plugin.write_text(
+            "from repro.core.policy import PolicySpec, register_policy\n"
+            "register_policy(PolicySpec(\n"
+            "    name='plugtest', scheduler='single_issue',\n"
+            "    divergence='frontier', issue_width=1,\n"
+            "    preset=dict(warp_count=16, warp_width=64)))\n"
+        )
+        env = {"PYTHONPATH": str(tmp_path) + os.pathsep + SRC}
+        proc = run_cli("policies", "--plugin", "cli_test_plugin", env_extra=env)
+        assert "plugtest" in proc.stdout
+
+    def test_sweep_policy_axis(self):
+        proc = run_cli(
+            "sweep",
+            "--workloads", "histogram",
+            "--configs", "baseline",
+            "--size", "smoke",
+            "--policy", "warp64,swi_greedy",
+            "--format", "json",
+        )
+        table = json.loads(proc.stdout)
+        assert set(table["histogram"]) == {
+            "baseline/policy=warp64",
+            "baseline/policy=swi_greedy",
+        }
+
+    def test_policy_axis_composes_with_field_axes(self):
+        """--axis overrides must apply on top of the policy preset, not
+        be wiped by it (the policy axis expands first)."""
+        proc = run_cli(
+            "sweep",
+            "--workloads", "histogram",
+            "--configs", "baseline",
+            "--size", "smoke",
+            "--policy", "warp64",
+            "--axis", "warp_count=8,16",
+            "--format", "json",
+        )
+        table = json.loads(proc.stdout)
+        assert set(table["histogram"]) == {
+            "baseline/policy=warp64/warp_count=8",
+            "baseline/policy=warp64/warp_count=16",
+        }
+        # The configs must actually differ: identical configs would
+        # alias to one unique cell in the accounting line.
+        assert "# 2 cells: 2 simulated" in proc.stderr
+
+
+class TestMerge:
+    def _save(self, tmp_path, name, workload):
+        path = str(tmp_path / name)
+        run_cli(
+            "sweep",
+            "--workloads", workload,
+            "--configs", "baseline",
+            "--size", "smoke",
+            "--save", path,
+        )
+        return path
+
+    def test_merge_combines_resultsets(self, tmp_path):
+        from repro.api import ResultSet
+
+        a = self._save(tmp_path, "a.json", "histogram")
+        b = self._save(tmp_path, "b.json", "sortingnetworks")
+        out = str(tmp_path / "merged.json")
+        proc = run_cli("merge", a, b, "--save", out)
+        assert "# merged 2 files -> 2 cells" in proc.stderr
+        merged = ResultSet.from_json(out)
+        assert set(merged.workloads) == {"histogram", "sortingnetworks"}
+        assert proc.stdout == ""  # --save alone stays script-quiet
+        proc = run_cli("merge", a, b)  # bare merge renders a table
+        assert "histogram" in proc.stdout
+        proc = run_cli("merge", a, b, "--save", out, "--format", "markdown")
+        assert "| histogram |" in proc.stdout
+
+    def test_merge_idempotent_on_duplicates(self, tmp_path):
+        a = self._save(tmp_path, "a.json", "histogram")
+        proc = run_cli("merge", a, a)
+        assert "# merged 2 files -> 1 cells" in proc.stderr
+
+    def test_merge_conflict_policy(self, tmp_path):
+        import json as _json
+
+        a = self._save(tmp_path, "a.json", "histogram")
+        with open(a) as f:
+            payload = _json.load(f)
+        payload["results"][0]["stats"]["data"]["cycles"] += 1
+        b = str(tmp_path / "b.json")
+        with open(b, "w") as f:
+            _json.dump(payload, f)
+        proc = run_cli("merge", a, b, check=False)
+        assert proc.returncode == 2
+        assert "conflicting results" in proc.stderr
+        proc = run_cli("merge", a, b, "--on-conflict", "keep")
+        assert proc.returncode == 0
+
+
 class TestCache:
     def test_info_and_clear(self, tmp_path):
         cache = {"REPRO_CACHE_DIR": str(tmp_path)}

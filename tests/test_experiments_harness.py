@@ -1,14 +1,58 @@
-"""The analysis/experiments harness used by the benchmark tree."""
+"""The deprecated analysis/experiments shim (kept source-compatible)."""
 
 import multiprocessing
 import os
+import warnings
 
 import pytest
 
-from repro.analysis import experiments
+with warnings.catch_warnings():
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro.analysis import experiments
+
 from repro.core import presets
 from repro.timing.config import GPUConfig
 from repro.timing.stats import DeviceStats
+
+
+class TestDeprecation:
+    def test_import_emits_deprecation_warning(self):
+        import importlib
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.reload(experiments)
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "repro.api" in str(w.message)
+            for w in caught
+        )
+
+
+class TestLegacyParity:
+    """The shim must return exactly what the API returns."""
+
+    def test_run_suite_matches_engine(self):
+        from repro.api import Engine, SweepSpec
+
+        spec = SweepSpec.from_presets(
+            ["baseline", "warp64"],
+            workloads=["histogram", "sortingnetworks"],
+            size="tiny",
+        )
+        rs = Engine().run(spec)
+        legacy = experiments.run_suite(dict(spec.configs), list(spec.workloads), "tiny")
+        assert rs.ipc_table() == experiments.suite_ipc_table(legacy)
+        assert rs.nested() == legacy  # memoised: identical objects
+
+    def test_figure7_table_matches_engine(self):
+        """Full smoke grid through both surfaces (the second pass is
+        free: both share one in-process memo)."""
+        from repro.api import Engine, SweepSpec
+
+        rs = Engine().run(SweepSpec.figure7(size="smoke"))
+        legacy = experiments.figure7_table(size="smoke")
+        assert rs.ipc_table() == legacy
 
 
 class TestRunOne:

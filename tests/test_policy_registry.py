@@ -1,0 +1,347 @@
+"""The pluggable policy API: registries, aliasing, observers, goldens.
+
+The heavyweight acceptance test here is :class:`TestGoldenEquivalence`:
+every built-in mode, resolved through the registry, must reproduce the
+pre-refactor simulator bit-for-bit (stats SHA) and key the disk cache
+identically, over all 21 workloads at smoke size
+(``tests/data/golden_smoke.json`` was captured from the simulator
+before the policy registry existed).
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.api.cache import cell_hash, config_key
+from repro.core import presets
+from repro.core.policy import (
+    DIVERGENCE,
+    OBSERVERS,
+    POLICIES,
+    SCHEDULERS,
+    DuplicateNameError,
+    EventCounter,
+    PolicyLookupError,
+    PolicySpec,
+    Registry,
+    coerce_policy,
+    register_policy,
+)
+from repro.core.simulator import simulate
+from repro.timing.config import SMConfig
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data", "golden_smoke.json")
+
+
+@pytest.fixture
+def scratch_names():
+    """Unregister any names a test registered, even on failure."""
+    names = []
+    yield names
+    for registry, name in names:
+        registry.unregister(name)
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self, scratch_names):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        with pytest.raises(DuplicateNameError, match="already registered"):
+            reg.register("a", 2)
+        assert reg.get("a") == 1
+        reg.register("a", 2, replace=True)
+        assert reg.get("a") == 2
+
+    def test_same_object_reregistration_is_noop(self):
+        reg = Registry("thing")
+        obj = object()
+        reg.register("a", obj)
+        reg.register("a", obj)  # module reload pattern: no error
+        assert reg.get("a") is obj
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(PolicyLookupError, match="baseline.*sbi_swi"):
+            POLICIES.get("nope")
+        with pytest.raises(PolicyLookupError, match="unknown scheduler"):
+            SCHEDULERS.get("nope")
+
+    def test_decorator_registration(self, scratch_names):
+        @OBSERVERS.register("scratch_observer")
+        class Scratch(EventCounter):
+            pass
+
+        scratch_names.append((OBSERVERS, "scratch_observer"))
+        assert OBSERVERS.get("scratch_observer") is Scratch
+
+    def test_builtin_catalogue(self):
+        assert set(presets.FIGURE7_CONFIGS) <= set(POLICIES.names())
+        for name in ("swi_greedy", "swi_rr", "dwr"):
+            assert name in POLICIES
+        for name in ("stack", "frontier", "sbi_heap", "dwr"):
+            assert name in DIVERGENCE
+
+
+class TestModeResolution:
+    def test_modes_resolve_to_original_classes(self):
+        from repro.core import schedulers as sched
+        from repro.core.sm import StreamingMultiprocessor
+
+        expected = {
+            "baseline": sched.BaselineScheduler,
+            "warp64": sched.Warp64Scheduler,
+            "sbi": sched.SBIScheduler,
+            "swi": sched.CascadedScheduler,
+            "sbi_swi": sched.CascadedScheduler,
+            "swi_greedy": sched.GreedyCascadedScheduler,
+            "swi_rr": sched.LooseRoundRobinScheduler,
+            "dwr": sched.CascadedScheduler,
+        }
+        for mode, klass in expected.items():
+            inst = get_workload("histogram", "tiny")
+            sm = StreamingMultiprocessor(
+                inst.kernel, inst.memory, presets.by_name(mode)
+            )
+            assert type(sm.scheduler) is klass
+
+    def test_divergence_models_resolve(self):
+        from repro.core.warp import make_divergence_model
+        from repro.timing.dwr import DWRModel
+        from repro.timing.frontier import FrontierModel
+        from repro.timing.hct import SBIModel
+        from repro.timing.stack import StackModel
+
+        perm = list(range(64))
+        expected = {
+            "baseline": StackModel,
+            "warp64": FrontierModel,
+            "sbi": SBIModel,
+            "swi": FrontierModel,
+            "sbi_swi": SBIModel,
+            "dwr": DWRModel,
+        }
+        for mode, klass in expected.items():
+            cfg = presets.by_name(mode)
+            perm = list(range(cfg.warp_width))
+            model = make_divergence_model(cfg, (1 << cfg.warp_width) - 1, perm)
+            assert type(model) is klass
+
+    def test_spec_alias_produces_identical_config_and_cache_keys(self):
+        for mode in presets.FIGURE7_CONFIGS:
+            spec = POLICIES.get(mode)
+            by_string = presets.by_name(mode)
+            by_spec = presets.from_policy(mode).replace(mode=spec)
+            assert by_spec.mode == mode  # normalised back to the string
+            assert by_spec == by_string
+            assert config_key(by_spec) == config_key(by_string)
+            assert cell_hash("bfs", "tiny", by_spec) == cell_hash(
+                "bfs", "tiny", by_string
+            )
+
+    def test_unregistered_spec_autoregisters(self, scratch_names):
+        spec = PolicySpec(
+            name="scratch_mode",
+            scheduler="single_issue",
+            divergence="frontier",
+            issue_width=1,
+        )
+        scratch_names.append((POLICIES, "scratch_mode"))
+        cfg = SMConfig(mode=spec, warp_count=16, warp_width=64)
+        assert cfg.mode == "scratch_mode"
+        assert POLICIES.get("scratch_mode") == spec
+        assert cfg.policy is POLICIES.get("scratch_mode")
+
+    def test_conflicting_spec_name_rejected(self):
+        clash = PolicySpec(name="baseline", scheduler="single_issue",
+                           divergence="frontier", issue_width=1)
+        with pytest.raises(DuplicateNameError, match="different spec"):
+            coerce_policy(clash)
+
+    def test_unknown_mode_string_raises_with_catalogue(self):
+        with pytest.raises(PolicyLookupError, match="baseline"):
+            SMConfig(mode="not_a_policy")
+
+    def test_typoed_preset_field_rejected_at_registration(self):
+        with pytest.raises(ValueError, match="warp_cnt"):
+            PolicySpec(
+                name="scratch_typo",
+                scheduler="single_issue",
+                divergence="frontier",
+                issue_width=1,
+                preset=dict(warp_cnt=16),
+            )
+        with pytest.raises(ValueError, match="implied by the spec name"):
+            PolicySpec(
+                name="scratch_mode_key",
+                scheduler="single_issue",
+                divergence="frontier",
+                issue_width=1,
+                preset=dict(mode="baseline"),
+            )
+
+
+class TestCustomPolicyEndToEnd:
+    def test_custom_scheduler_policy_runs(self, scratch_names):
+        from repro.core.schedulers import CascadedScheduler
+        from repro.core.sm import StreamingMultiprocessor
+        from repro.functional.memory import MemoryImage
+        from repro.isa.builder import KernelBuilder
+        from repro.isa.instructions import CmpOp
+
+        @SCHEDULERS.register("scratch_narrowest")
+        class NarrowestFirst(CascadedScheduler):
+            def _secondary_key(self, warp, split, entry):
+                return (-split.active_threads, -entry.fetch_cycle)
+
+        scratch_names.append((SCHEDULERS, "scratch_narrowest"))
+        register_policy(
+            PolicySpec(
+                name="scratch_swi",
+                scheduler="scratch_narrowest",
+                divergence="frontier",
+                uses_swi=True,
+                unit_bound_peak=True,
+                preset=dict(
+                    warp_count=16, warp_width=64, scheduler_latency=2,
+                    delivery_latency=1, lane_shuffle="xor_rev",
+                ),
+            )
+        )
+        scratch_names.append((POLICIES, "scratch_swi"))
+        config = presets.by_name("scratch_swi")
+
+        # Imbalanced per-thread trip counts: the SWI-favourite shape
+        # (same kernel as test_schedulers uses for lane filling).
+        kb = KernelBuilder("imb")
+        t, p, v, c, a = kb.regs("t", "p", "v", "c", "a")
+        kb.mov(t, kb.tid)
+        kb.mad(t, kb.ctaid, kb.ntid, t)
+        kb.and_(c, t, 7)
+        kb.mov(v, 0.0)
+        kb.label("loop")
+        kb.mad(v, v, 3, 1)
+        kb.sub(c, c, 1)
+        kb.setp(p, CmpOp.GE, c, 0)
+        kb.bra("loop", cond=p)
+        kb.mul(a, t, 4)
+        kb.st(kb.param(0), v, index=a)
+        kb.exit_()
+        mem = MemoryImage()
+        out = mem.alloc(1024 * 4)
+        kernel = kb.build(cta_size=256, grid_size=4, params=(out,))
+        sm = StreamingMultiprocessor(kernel, mem, config)
+        assert type(sm.scheduler) is NarrowestFirst
+        stats = sm.run()
+        assert stats.ipc > 0
+        assert stats.issued_swi_secondary > 0
+
+    def test_custom_policy_sweepable(self, scratch_names):
+        from repro.api import Engine, SweepSpec
+
+        register_policy(
+            PolicySpec(
+                name="scratch_w64",
+                scheduler="single_issue",
+                divergence="frontier",
+                issue_width=1,
+                preset=dict(warp_count=16, warp_width=64),
+            )
+        )
+        scratch_names.append((POLICIES, "scratch_w64"))
+        spec = SweepSpec(
+            workloads=["histogram"], configs=["baseline"], sizes="tiny"
+        ).with_policies(["scratch_w64", "warp64"])
+        rs = Engine().run(spec)
+        assert len(rs) == 2
+        table = rs.ipc_table()["histogram"]
+        # scratch_w64 is warp64's machine under a new name: same IPC.
+        assert (
+            table["baseline/policy=scratch_w64"] == table["baseline/policy=warp64"]
+        )
+
+
+class TestObserverEvents:
+    def _run_counted(self, mode="sbi_swi"):
+        counter = EventCounter()
+        inst = get_workload("mandelbrot", "tiny")
+        stats = simulate(
+            inst.kernel, inst.memory, presets.by_name(mode), observers=[counter]
+        )
+        return stats, counter
+
+    def test_event_counts_match_stats(self):
+        stats, counter = self._run_counted()
+        assert counter.counts["issue"] == stats.instructions_issued
+        assert counter.counts["retire"] == stats.warps_retired
+        assert counter.counts["split"] == stats.divergent_branches
+        assert counter.counts.get("l1_miss", 0) == stats.l1_misses
+
+    def test_event_ordering(self):
+        stats, counter = self._run_counted()
+        cycles = [cycle for _, cycle in counter.sequence]
+        assert cycles == sorted(cycles)  # nondecreasing event time
+        first_issue = next(
+            i for i, (kind, _) in enumerate(counter.sequence) if kind == "issue"
+        )
+        first_retire = next(
+            i for i, (kind, _) in enumerate(counter.sequence) if kind == "retire"
+        )
+        assert first_issue < first_retire  # a warp issues before retiring
+
+    def test_observers_do_not_change_timing(self):
+        inst = get_workload("mandelbrot", "tiny")
+        plain = simulate(inst.kernel, inst.memory, presets.sbi_swi())
+        observed, _ = self._run_counted()
+        assert observed.to_dict() == plain.to_dict()
+
+    def test_device_l2_miss_events(self):
+        from repro.core.gpu import simulate_device
+
+        counter = EventCounter()
+        inst = get_workload("histogram", "tiny")
+        dstats = simulate_device(
+            inst.kernel,
+            inst.memory,
+            presets.device("baseline", sm_count=2),
+            observers=[counter],
+        )
+        assert counter.counts.get("l2_miss", 0) == dstats.l2_misses
+
+    def test_issue_trace_observer_matches_legacy_trace(self):
+        from repro.analysis.pipeline_trace import trace_kernel
+        from repro.core.sm import StreamingMultiprocessor
+
+        inst = get_workload("histogram", "tiny")
+        stats, events = trace_kernel(inst.kernel, inst.memory, presets.baseline())
+        inst2 = get_workload("histogram", "tiny")
+        sm = StreamingMultiprocessor(inst2.kernel, inst2.memory, presets.baseline())
+        sm.trace = []
+        sm.run()
+        assert events == sm.trace
+        assert len(events) == stats.instructions_issued
+
+
+class TestGoldenEquivalence:
+    """Registry-resolved modes are cycle-exact vs the pre-refactor
+    simulator and produce identical disk-cache keys (all 21 workloads,
+    smoke size, all five paper modes)."""
+
+    @pytest.mark.parametrize("mode", presets.FIGURE7_CONFIGS)
+    def test_mode_matches_golden(self, mode):
+        with open(GOLDEN) as f:
+            golden = json.load(f)["cells"]
+        config = presets.by_name(mode)
+        for workload in ALL_WORKLOADS:
+            expected = golden["%s/%s" % (workload, mode)]
+            assert expected["cell_hash"] == cell_hash(workload, "tiny", config)
+            inst = get_workload(workload, "smoke")
+            stats = simulate(inst.kernel, inst.memory, config)
+            assert stats.cycles == expected["cycles"], workload
+            assert stats.thread_instructions == expected["thread_instructions"]
+            assert stats.instructions_issued == expected["instructions_issued"]
+            sha = hashlib.sha256(
+                json.dumps(stats.to_dict(), sort_keys=True).encode()
+            ).hexdigest()
+            assert sha == expected["stats_sha"], workload
