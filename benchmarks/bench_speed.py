@@ -1,0 +1,78 @@
+"""Engine speed — cells/sec and cycles/sec over the figure-7 matrix.
+
+Not a paper figure: this is the perf trajectory the repo regresses
+against (``repro bench`` is the CLI face of the same measurement).
+Two sections:
+
+* throughput of the default (compiled-plan) engine per mode;
+* compiled-vs-reference-interpreter speedup, which isolates the
+  instruction-plan layer from the rest of the engine.
+
+The committed baseline lives in ``BENCH_speed.json`` at the repo root
+(regenerate with ``repro bench --size smoke --repeat 3 --json
+BENCH_speed.json`` on a quiet machine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import bench
+from repro.analysis import report as rpt
+
+#: A fixed sub-matrix keeps the timing pass quick under pytest; the
+#: CLI (and CI) measure the full 21-workload matrix.
+WORKLOADS = ("matrixmul", "bfs", "histogram", "mandelbrot")
+
+_RESULTS = {}
+
+
+def _measure(compiled: bool, size: str):
+    result = bench.run_bench(
+        size=size, repeat=1, workloads=WORKLOADS, compiled=compiled
+    )
+    _RESULTS[compiled] = result
+    return result
+
+
+@pytest.mark.parametrize("compiled", (True, False), ids=("compiled", "reference"))
+def test_speed(benchmark, compiled, bench_size):
+    result = benchmark.pedantic(
+        _measure, args=(compiled, bench_size), rounds=1, iterations=1
+    )
+    assert result["cells"] == len(WORKLOADS) * 5
+    assert result["cells_per_sec"] > 0
+    assert result["sim_cycles"] > 0
+
+
+def test_speed_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if True not in _RESULTS:
+        pytest.skip("timing pass did not run")
+    fast = _RESULTS[True]
+    headers = ["mode", "cells", "wall (s)", "cells/sec", "cycles/sec"]
+    rows = [
+        [m, v["cells"], v["wall_seconds"], v["cells_per_sec"], v["cycles_per_sec"]]
+        for m, v in fast["per_mode"].items()
+    ]
+    rows.append(
+        ["TOTAL", fast["cells"], fast["wall_seconds"], fast["cells_per_sec"],
+         fast["cycles_per_sec"]]
+    )
+    report.add("Engine speed (compiled plans)", rpt.format_table(headers, rows))
+    if False in _RESULTS:
+        ref = _RESULTS[False]
+        speedup = fast["cells_per_sec"] / ref["cells_per_sec"]
+        report.add(
+            "Compiled vs reference interpreter",
+            rpt.format_table(
+                ["path", "cells/sec", "speedup"],
+                [
+                    ["reference", ref["cells_per_sec"], 1.0],
+                    ["compiled", fast["cells_per_sec"], speedup],
+                ],
+            ),
+        )
+        # The plans must never be slower than the interpreter they
+        # replace (identical behaviour is pinned elsewhere).
+        assert speedup > 1.0

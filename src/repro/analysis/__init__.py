@@ -1,10 +1,6 @@
-"""Analysis and reporting tools: pipeline traces (Figure 2), table
-formatting, and the legacy experiment shim shared by the benchmarks.
-
-``experiments`` is imported lazily: it sits on top of
-:mod:`repro.api`, whose result types import
-:mod:`repro.analysis.report` — loading it eagerly here would close an
-import cycle.
+"""Analysis and reporting tools: pipeline traces (Figure 2) and table
+formatting.  Experiment running lives in :mod:`repro.api` (the
+deprecated ``repro.analysis.experiments`` shim has been removed).
 """
 
 from repro.analysis.pipeline_trace import trace_kernel, render_trace, figure2_example
@@ -16,21 +12,6 @@ __all__ = [
     "gmean",
     "hmean",
     "render_trace",
-    "run_suite",
     "speedup_table",
-    "suite_ipc_table",
     "trace_kernel",
 ]
-
-_LAZY = ("experiments", "run_suite", "suite_ipc_table")
-
-
-def __getattr__(name):
-    if name in _LAZY:
-        import importlib
-
-        experiments = importlib.import_module("repro.analysis.experiments")
-        if name == "experiments":
-            return experiments
-        return getattr(experiments, name)
-    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -40,7 +40,6 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_VERSION = 1
 
 #: Default in-process memo: (workload, size, config_key) -> stats.
-#: ``repro.analysis.experiments._CACHE`` aliases this same dict.
 MEMO: Dict[Tuple, AnyStats] = {}
 
 #: Disk entries are named <workload>-<size>-<20 hex digest chars>.json;

@@ -104,10 +104,9 @@ class Engine:
     """Executes sweeps through the two-level cache and a backend.
 
     ``workload_factory`` / ``simulate_fn`` / ``simulate_device_fn``
-    override how *inline* cells are built and simulated (tests and the
-    legacy ``repro.analysis.experiments`` shim use this to stay
-    monkeypatch-compatible); the ``process`` backend always runs the
-    real functions in its workers.
+    override how *inline* cells are built and simulated (tests use
+    this to stay monkeypatch-compatible); the ``process`` backend
+    always runs the real functions in its workers.
     """
 
     def __init__(

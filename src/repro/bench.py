@@ -1,0 +1,185 @@
+"""Engine speed measurement (``repro bench``).
+
+Times raw simulation speed — no result cache, workload construction
+excluded — over the paper's figure-7 matrix (21 workloads x 5 modes)
+and reports two throughput numbers:
+
+* **cells/sec** — simulated (workload, mode) cells per wall second,
+  the number CI regresses against;
+* **cycles/sec** — simulated SM cycles per wall second, which tracks
+  engine efficiency independently of how long each workload runs.
+
+The JSON artifact (``BENCH_speed.json``, schema below) is committed at
+the repo root as the perf baseline; the CI perf-smoke job re-measures
+and fails when cells/sec drops more than 30% below it::
+
+    {
+      "schema": 1,
+      "matrix": "figure7",
+      "size": "smoke",
+      "repeat": 3,                 # best-of-N timing
+      "compiled": true,            # executor path measured
+      "cells": 105,
+      "sim_cycles": 193682,        # total simulated cycles
+      "wall_seconds": 1.93,        # simulate() time only, best repeat
+      "cells_per_sec": 54.3,
+      "cycles_per_sec": 100301.4,
+      "per_mode": {"baseline": {"cells": 21, "sim_cycles": ...,
+                                "wall_seconds": ..., "cells_per_sec": ...,
+                                "cycles_per_sec": ...}, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+SCHEMA_VERSION = 1
+
+#: cells/sec may drop this much vs the committed baseline before the
+#: perf-smoke CI job fails (absorbs runner-to-runner jitter).
+REGRESSION_TOLERANCE = 0.30
+
+
+def run_bench(
+    size: str = "smoke",
+    repeat: int = 1,
+    modes: Optional[Sequence[str]] = None,
+    workloads: Optional[Sequence[str]] = None,
+    compiled: bool = True,
+) -> Dict:
+    """Measure simulation throughput; returns the artifact dict.
+
+    Workload instances are rebuilt for every repeat (a simulation
+    mutates its memory image) but construction time never counts;
+    ``repeat`` takes the best total per mode, squeezing out scheduler
+    noise on loaded machines.
+    """
+    from repro.core import presets
+    from repro.core.simulator import simulate
+    from repro.workloads import ALL_WORKLOADS, get_workload, normalize_size
+
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1, got %d" % repeat)
+    size = normalize_size(size)
+    mode_names = list(modes) if modes else list(presets.FIGURE7_CONFIGS)
+    names = list(workloads) if workloads else list(ALL_WORKLOADS)
+    configs = {m: presets.by_name(m) for m in mode_names}
+
+    per_mode: Dict[str, Dict] = {}
+    for mode, config in configs.items():
+        best_wall = None
+        cycles = 0
+        for _ in range(repeat):
+            instances = [(get_workload(w, size), w) for w in names]
+            wall = 0.0
+            cycles = 0
+            for inst, wname in instances:
+                t0 = time.perf_counter()
+                stats = simulate(inst.kernel, inst.memory, config, compiled=compiled)
+                wall += time.perf_counter() - t0
+                cycles += stats.cycles
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        per_mode[mode] = {
+            "cells": len(names),
+            "sim_cycles": cycles,
+            "wall_seconds": best_wall,
+            "cells_per_sec": len(names) / best_wall if best_wall else 0.0,
+            "cycles_per_sec": cycles / best_wall if best_wall else 0.0,
+        }
+
+    cells = sum(m["cells"] for m in per_mode.values())
+    wall = sum(m["wall_seconds"] for m in per_mode.values())
+    sim_cycles = sum(m["sim_cycles"] for m in per_mode.values())
+    return {
+        "schema": SCHEMA_VERSION,
+        "matrix": "figure7" if not workloads else "custom",
+        "size": size,
+        "repeat": repeat,
+        "compiled": compiled,
+        "cells": cells,
+        "sim_cycles": sim_cycles,
+        "wall_seconds": wall,
+        "cells_per_sec": cells / wall if wall else 0.0,
+        "cycles_per_sec": sim_cycles / wall if wall else 0.0,
+        "per_mode": per_mode,
+    }
+
+
+def format_report(result: Dict) -> str:
+    """Human-readable table of one artifact."""
+    lines = [
+        "matrix=%s size=%s repeat=%d compiled=%s"
+        % (result["matrix"], result["size"], result["repeat"], result["compiled"]),
+        "%-10s %6s %12s %10s %12s %14s"
+        % ("mode", "cells", "sim cycles", "wall (s)", "cells/sec", "cycles/sec"),
+    ]
+    rows = list(result["per_mode"].items()) + [("TOTAL", result)]
+    for name, m in rows:
+        lines.append(
+            "%-10s %6d %12d %10.3f %12.1f %14.1f"
+            % (
+                name,
+                m["cells"],
+                m["sim_cycles"],
+                m["wall_seconds"],
+                m["cells_per_sec"],
+                m["cycles_per_sec"],
+            )
+        )
+    return "\n".join(lines)
+
+
+def check_regression(
+    result: Dict, baseline: Dict, tolerance: float = REGRESSION_TOLERANCE
+) -> List[str]:
+    """Compare a fresh measurement against a committed baseline.
+
+    Returns a list of failure messages (empty = pass).  Only overall
+    cells/sec gates; per-mode numbers are informational.  Mismatched
+    matrices/sizes are a configuration error, not a perf regression.
+    """
+    problems = []
+    if baseline.get("schema") != SCHEMA_VERSION or not isinstance(
+        baseline.get("cells_per_sec"), (int, float)
+    ):
+        return [
+            "baseline artifact is not a schema-%d bench result "
+            "(schema=%r) — regenerate it with `repro bench --json`"
+            % (SCHEMA_VERSION, baseline.get("schema"))
+        ]
+    for field in ("matrix", "size", "compiled"):
+        if result.get(field) != baseline.get(field):
+            problems.append(
+                "baseline %s=%r but measured %s=%r — not comparable"
+                % (field, baseline.get(field), field, result.get(field))
+            )
+    if problems:
+        return problems
+    floor = baseline["cells_per_sec"] * (1.0 - tolerance)
+    if result["cells_per_sec"] < floor:
+        problems.append(
+            "cells/sec regressed: measured %.1f < %.1f "
+            "(baseline %.1f - %d%% tolerance)"
+            % (
+                result["cells_per_sec"],
+                floor,
+                baseline["cells_per_sec"],
+                round(tolerance * 100),
+            )
+        )
+    return problems
+
+
+def write_artifact(result: Dict, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(result, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+
+def load_artifact(path: str) -> Dict:
+    with open(path) as f:
+        return json.load(f)

@@ -9,6 +9,7 @@ Subcommands::
                     [--policy swi_greedy,dwr] [--axis sm_count=1,2,4,8] ...
                     [--size tiny] [--jobs N]
     repro merge     A.json B.json ... [--save OUT.json] [--on-conflict keep]
+    repro bench     [--size smoke] [--repeat 3] [--json PATH] [--check BASE.json]
     repro cache     info|clear [--dir DIR]
 
 Tables go to stdout; a one-line cell accounting (``# N cells: M
@@ -328,6 +329,50 @@ def _cmd_merge(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro import bench
+
+    result = bench.run_bench(
+        size=args.size,
+        repeat=args.repeat,
+        modes=args.modes.split(",") if args.modes else None,
+        workloads=args.workloads.split(",") if args.workloads else None,
+        compiled=not args.reference,
+    )
+    print(bench.format_report(result), file=sys.stderr)
+    if args.json:
+        # Refreshing a committed baseline must not drop its historical
+        # reference block (README's speedup table points at it).
+        try:
+            previous = bench.load_artifact(args.json)
+        except (OSError, ValueError):
+            previous = None
+        if isinstance(previous, dict) and "pre_pr_reference" in previous:
+            result = dict(result, pre_pr_reference=previous["pre_pr_reference"])
+        bench.write_artifact(result, args.json)
+        print("wrote %s" % args.json, file=sys.stderr)
+    else:
+        print(json.dumps(result, indent=1, sort_keys=True))
+    if args.check:
+        baseline = bench.load_artifact(args.check)
+        problems = bench.check_regression(result, baseline)
+        for problem in problems:
+            print("FAIL: %s" % problem, file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            "perf check passed vs %s (%.1f cells/sec >= %.1f - %d%%)"
+            % (
+                args.check,
+                result["cells_per_sec"],
+                baseline["cells_per_sec"],
+                round(bench.REGRESSION_TOLERANCE * 100),
+            ),
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_cache(args) -> int:
     if args.action == "info":
         print(result_cache.info(disk_dir=args.dir).describe())
@@ -465,6 +510,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metric", default="ipc", help="stats attribute to tabulate")
     p.add_argument("--output", default=None, help="write the table to a file")
     p.set_defaults(fn=_cmd_merge)
+
+    p = sub.add_parser(
+        "bench", help="measure raw simulation speed (cells/sec, cycles/sec)"
+    )
+    p.add_argument("--size", default="smoke", help="workload size (default smoke)")
+    p.add_argument(
+        "--repeat", type=int, default=1, help="best-of-N timing repeats"
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the artifact to PATH (e.g. BENCH_speed.json) "
+        "instead of stdout",
+    )
+    p.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE.json",
+        help="exit 1 if cells/sec drops >30%% below this baseline artifact",
+    )
+    p.add_argument(
+        "--workloads", default=None, help="comma list restricting the matrix"
+    )
+    p.add_argument(
+        "--modes", default=None, help="comma list of modes (default figure-7 five)"
+    )
+    p.add_argument(
+        "--reference",
+        action="store_true",
+        help="time the reference interpreter instead of compiled plans",
+    )
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("cache", help="inspect or purge the result caches")
     p.add_argument("action", choices=("info", "clear"))

@@ -24,10 +24,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 from repro.functional.memory import MemoryImage
 from repro.isa.builder import Kernel
 from repro.core.policy import MemEvent
-from repro.core.sm import SimulationError, StreamingMultiprocessor
+from repro.core.sm import SimulationError, StreamingMultiprocessor, _overrun_report
 from repro.timing.config import GPUConfig
 from repro.timing.dram import DRAMChannel
 from repro.timing.l2 import L2System
@@ -131,6 +133,12 @@ class GPUDevice:
         # None = no scheduled events at all.
         wake: List[Optional[int]] = [0] * len(self.sms)
         l2_misses_seen = 0
+        # One errstate for the whole run: compiled plans deliberately
+        # skip the per-issue ``np.errstate`` the interpreter pays.
+        with np.errstate(all="ignore"):
+            return self._run_loop(now, max_cycles, done, wake, l2_misses_seen)
+
+    def _run_loop(self, now, max_cycles, done, wake, l2_misses_seen) -> DeviceStats:
         while now < max_cycles:
             progressed = False
             for i, sm in enumerate(self.sms):
@@ -164,10 +172,12 @@ class GPUDevice:
                 if not candidates:
                     raise SimulationError(self._deadlock_report(now))
                 now = min(candidates)
-        issued = sum(sm.stats.thread_instructions for sm in self.sms)
+        totals = DeviceStats(cycles=now, sm_stats=[sm.stats for sm in self.sms])
         raise SimulationError(
-            "kernel %s exceeded %d cycles on %d SMs (IPC so far %.2f)"
-            % (self.kernel.name, max_cycles, len(self.sms), issued / max(now, 1))
+            "%s (%d SMs)" % (
+                _overrun_report(self.kernel.name, max_cycles, now, totals),
+                len(self.sms),
+            )
         )
 
     def _collect(self, device_cycles: int) -> DeviceStats:

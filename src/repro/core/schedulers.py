@@ -47,6 +47,9 @@ from repro.timing.masks import popcount
 #: Candidate tuple: (age key, warp, slot, split, entry).
 Candidate = Tuple[Tuple[int, int], TimingWarp, int, Split, IBufEntry]
 
+#: Stall-memo retry sentinel: blocked until a generation counter moves.
+_NEVER = 1 << 62
+
 
 class SchedulerBase:
     """Shared readiness checks and pseudo-random tie-breaking."""
@@ -68,15 +71,65 @@ class SchedulerBase:
     def _ready_entry(
         self, warp: TimingWarp, slot: int, split: Split, now: int
     ) -> Optional[IBufEntry]:
-        """Decoded, fresh, hazard-free instruction for this slot."""
+        """Decoded, fresh, hazard-free instruction for this slot.
+
+        Negative verdicts are memoized on the warp against three
+        generation counters (divergence-model version, scoreboard
+        generation, instruction-buffer generation) plus a retry cycle
+        for purely time-gated stalls (decode delay, branch redirect):
+        a stalled slot costs four integer compares per cycle instead
+        of a buffer-and-scoreboard probe, and every event that could
+        wake it bumps one of the counters.
+        """
+        scoreboard = warp.scoreboard
+        model_ver = warp.model.version
+        memo = warp.ready_memo[slot]
+        if (
+            memo is not None
+            and memo[0] == model_ver
+            and memo[1] == scoreboard.gen
+            and memo[2] == warp.ibuf_gen
+            and now < memo[3]
+        ):
+            return None
+        retry = _NEVER
+        entry = None
         if split.parked or split.pending:
-            return None
-        if split.redirect_ready_at > now:
-            return None  # branch still resolving; delivery not redirected yet
-        entry = self.sm.fetch.entry_for(warp.wid, split, now)
+            pass  # suspended or frozen: wait for a model mutation
+        elif split.redirect_ready_at > now:
+            retry = split.redirect_ready_at  # branch still resolving
+        else:
+            # Inlined FetchEngine.entry_for over the warp-bound ways
+            # (PC tags are unique per buffer, so the first match is
+            # the only one; if it is still decoding, its ready time
+            # is the retry cycle).
+            pc = split.pc
+            for e in warp.ibuf:
+                if e is not None and e.pc == pc:
+                    if e.ready_at <= now:
+                        entry = e
+                    else:
+                        retry = e.ready_at
+                    break
         if entry is None:
+            warp.ready_memo[slot] = (model_ver, scoreboard.gen, warp.ibuf_gen, retry)
             return None
-        if not warp.scoreboard.can_issue(entry.instr, split.mask, min(slot, 2)):
+        # Scoreboard check with the register-mask prefilter inlined:
+        # no in-flight destination overlaps this instruction's
+        # read/write set in the common case.
+        instr = entry.instr
+        if scoreboard._dst_mask & instr.hazard_mask:
+            if not scoreboard.can_issue(
+                instr, split.mask, slot if slot < 2 else 2
+            ):
+                warp.ready_memo[slot] = (
+                    model_ver, scoreboard.gen, warp.ibuf_gen, _NEVER
+                )
+                return None
+        elif instr.dst is not None and len(scoreboard.entries) >= scoreboard.capacity:
+            warp.ready_memo[slot] = (
+                model_ver, scoreboard.gen, warp.ibuf_gen, _NEVER
+            )
             return None
         return entry
 
@@ -114,24 +167,45 @@ class BaselineScheduler(SchedulerBase):
 
     def tick(self, now: int) -> int:
         issued = 0
-        warps = self.sm.live_warps()
-        for parity in (0, 1):
+        ready_entry = self._ready_entry
+        pick_group = self.sm.backend.pick_group
+        for pool in self.sm.live_warps_by_parity():
             best: Optional[Candidate] = None
-            for warp in warps:
-                if warp.wid % 2 != parity or warp.done:
+            best_key = None
+            for warp in pool:
+                if warp.done:
                     continue
-                hot = warp.model.hot_splits(now)
+                model = warp.model
+                hot = model._hot_cache
+                if hot is None:
+                    hot = model.hot_splits(now)
                 if not hot:
                     continue
+                # Stall-memo fast path (_ready_entry's memo, inlined
+                # to skip the call on the by-far-most-common verdict).
+                memo = warp.ready_memo[0]
+                if (
+                    memo is not None
+                    and memo[0] == model.version
+                    and memo[1] == warp.scoreboard.gen
+                    and memo[2] == warp.ibuf_gen
+                    and now < memo[3]
+                ):
+                    continue
                 split = hot[0]
-                entry = self._ready_entry(warp, 0, split, now)
+                entry = ready_entry(warp, 0, split, now)
                 if entry is None:
                     continue
-                if not self._group_free(entry.instr, split, now, co_issue=False):
-                    continue
                 key = (entry.fetch_cycle, warp.wid)
-                if best is None or key < best[0]:
-                    best = (key, warp, 0, split, entry)
+                if best_key is not None and key >= best_key:
+                    continue
+                if (
+                    pick_group(entry.instr.op_class, now, split.lane_mask, False)
+                    is None
+                ):
+                    continue
+                best_key = key
+                best = (key, warp, 0, split, entry)
             if best is not None:
                 record = self.sm.issue(
                     best[1], best[2], best[3], best[4], now, "primary", co_issue=False
@@ -147,19 +221,34 @@ class Warp64Scheduler(SchedulerBase):
 
     def tick(self, now: int) -> int:
         best: Optional[Candidate] = None
+        ready_entry = self._ready_entry
+        pick_group = self.sm.backend.pick_group
         for warp in self.sm.live_warps():
-            hot = warp.model.hot_splits(now)
+            model = warp.model
+            hot = model._hot_cache
+            if hot is None:
+                hot = model.hot_splits(now)
             if not hot:
                 continue
+            memo = warp.ready_memo[0]
+            if (
+                memo is not None
+                and memo[0] == model.version
+                and memo[1] == warp.scoreboard.gen
+                and memo[2] == warp.ibuf_gen
+                and now < memo[3]
+            ):
+                continue
             split = hot[0]
-            entry = self._ready_entry(warp, 0, split, now)
+            entry = ready_entry(warp, 0, split, now)
             if entry is None:
                 continue
-            if not self._group_free(entry.instr, split, now, co_issue=False):
-                continue
             key = (entry.fetch_cycle, warp.wid)
-            if best is None or key < best[0]:
-                best = (key, warp, 0, split, entry)
+            if best is not None and key >= best[0]:
+                continue
+            if pick_group(entry.instr.op_class, now, split.lane_mask, False) is None:
+                continue
+            best = (key, warp, 0, split, entry)
         if best is None:
             return 0
         record = self.sm.issue(best[1], best[2], best[3], best[4], now, "primary", co_issue=False)
@@ -173,10 +262,11 @@ class SBIScheduler(SchedulerBase):
     def tick(self, now: int) -> int:
         # Select the warp owning the oldest ready instruction in either slot.
         best: Optional[Candidate] = None
+        ready_entry = self._ready_entry
         for warp in self.sm.live_warps():
             hot = warp.model.hot_splits(now)
             for slot, split in enumerate(hot[:2]):
-                entry = self._ready_entry(warp, slot, split, now)
+                entry = ready_entry(warp, slot, split, now)
                 if entry is None:
                     continue
                 if slot == 1 and self._sync_blocked(warp, split, entry.instr, now):
@@ -235,8 +325,20 @@ class CascadedScheduler(SchedulerBase):
 
     def _primary_ready(self, warp: TimingWarp, now: int) -> Optional[Candidate]:
         """This warp's CPC1 as a primary candidate, if eligible."""
-        hot = warp.model.hot_splits(now)
+        model = warp.model
+        hot = model._hot_cache
+        if hot is None:
+            hot = model.hot_splits(now)
         if not hot:
+            return None
+        memo = warp.ready_memo[0]
+        if (
+            memo is not None
+            and memo[0] == model.version
+            and memo[1] == warp.scoreboard.gen
+            and memo[2] == warp.ibuf_gen
+            and now < memo[3]
+        ):
             return None
         split = hot[0]
         entry = self._ready_entry(warp, 0, split, now)
@@ -256,8 +358,9 @@ class CascadedScheduler(SchedulerBase):
     def _pick_primary(self, now: int) -> Optional[Candidate]:
         """Oldest ready CPC1 instruction (issues next cycle)."""
         best: Optional[Candidate] = None
+        primary_ready = self._primary_ready
         for warp in self.sm.live_warps():
-            cand = self._primary_ready(warp, now)
+            cand = primary_ready(warp, now)
             if cand is not None and (best is None or cand[0] < best[0]):
                 best = cand
         return best
@@ -305,14 +408,27 @@ class CascadedScheduler(SchedulerBase):
             self.sm.stats.swi_lookups += 1
         best = None
         best_key = None
+        ready_entry = self._ready_entry
         for warp in self._candidate_warps(primary):
             if primary is not None and warp is primary.warp:
                 continue
-            hot = warp.model.hot_splits(now)
+            model = warp.model
+            hot = model._hot_cache
+            if hot is None:
+                hot = model.hot_splits(now)
             if not hot:
                 continue
+            memo = warp.ready_memo[0]
+            if (
+                memo is not None
+                and memo[0] == model.version
+                and memo[1] == warp.scoreboard.gen
+                and memo[2] == warp.ibuf_gen
+                and now < memo[3]
+            ):
+                continue
             split = hot[0]
-            entry = self._ready_entry(warp, 0, split, now)
+            entry = ready_entry(warp, 0, split, now)
             if entry is None:
                 continue
             if not self._group_free(entry.instr, split, now, co_issue=primary is not None):
@@ -335,6 +451,9 @@ class CascadedScheduler(SchedulerBase):
             if warp.done or split.mask == 0 or split.pc != entry.pc:
                 # The split died (merge/exit) or was redirected: void pick.
                 split.pending = False
+                # Unfreezing re-enables heap merges involving this
+                # split: invalidate the model's memoized views.
+                warp.model._touch()
                 self.pending = None
             elif not warp.scoreboard.can_issue(
                 entry.instr, split.mask, warp.model.slot_of(split, now)

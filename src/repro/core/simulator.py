@@ -23,6 +23,7 @@ def simulate(
     memory: MemoryImage,
     config: Optional[SMConfig] = None,
     observers=None,
+    compiled: bool = True,
 ) -> Stats:
     """Run ``kernel`` on one SM and return its :class:`Stats`.
 
@@ -31,10 +32,15 @@ def simulate(
     identical for every configuration; only the timing differs.
     ``observers`` attaches cycle-level listeners
     (:class:`repro.core.policy.Observer`), which never affect timing.
+    ``compiled=False`` selects the reference interpreter instead of
+    the compiled instruction plans — same stats, slower; it exists for
+    differential testing.
     """
     if config is None:
         config = SMConfig()
-    sm = StreamingMultiprocessor(kernel, memory, config, observers=observers)
+    sm = StreamingMultiprocessor(
+        kernel, memory, config, observers=observers, compiled=compiled
+    )
     return sm.run()
 
 

@@ -14,6 +14,7 @@ simulation speed.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -41,7 +42,30 @@ class SimulationError(Exception):
     """Deadlock or cycle-limit overrun."""
 
 
-@dataclass
+def _overrun_report(kernel_name: str, limit: int, now: int, stats_like) -> str:
+    """Cycle-limit message: progress counters plus a correct IPC.
+
+    ``stats_like`` needs ``instructions_issued`` and
+    ``thread_instructions`` (a :class:`Stats` or a device total).
+    """
+    cycles = max(now, 1)
+    return (
+        "kernel %s exceeded the %d-cycle limit at cycle %d: "
+        "%d instructions issued, %d thread instructions so far "
+        "(IPC %.2f, issue IPC %.3f)"
+        % (
+            kernel_name,
+            limit,
+            now,
+            stats_like.instructions_issued,
+            stats_like.thread_instructions,
+            stats_like.thread_instructions / cycles,
+            stats_like.instructions_issued / cycles,
+        )
+    )
+
+
+@dataclass(slots=True)
 class IssueRecord:
     """What the scheduler learns from a completed issue."""
 
@@ -76,6 +100,7 @@ class StreamingMultiprocessor:
         memory_sink=None,
         sm_id: int = 0,
         observers=None,
+        compiled: bool = True,
     ) -> None:
         from repro.core.schedulers import make_scheduler  # cycle-free import
 
@@ -84,7 +109,10 @@ class StreamingMultiprocessor:
         self.config = config
         self.sm_id = sm_id
         self.stats = Stats()
-        self.executor = Executor(kernel, memory)
+        # ``compiled`` selects the specialised execution path (identical
+        # architectural behaviour; see repro.functional.compiled).  It is
+        # deliberately not an SMConfig field: cache keys must not change.
+        self.executor = Executor(kernel, memory, compiled=compiled)
         self.backend = Backend(config)
         self.cache = L1Cache(config.l1_size, config.l1_ways, config.l1_block, config.l1_latency)
         if memory_sink is None:
@@ -110,6 +138,7 @@ class StreamingMultiprocessor:
         self._wb_heap: List[Tuple[int, int, TimingWarp, object]] = []
         self._seq = 0
         self._live_cache: Optional[List[TimingWarp]] = None
+        self._parity_cache: Optional[Tuple[List[TimingWarp], List[TimingWarp]]] = None
         #: Optional issue trace: when a list is attached, every issue
         #: appends an IssueEvent (used by repro.analysis.pipeline_trace).
         self.trace: Optional[list] = None
@@ -139,11 +168,13 @@ class StreamingMultiprocessor:
         for i, slot in enumerate(slots):
             tids = np.arange(i * width, (i + 1) * width, dtype=np.int64)
             warp = TimingWarp(slot, cta, self.config, self.kernel, tids, shared)
+            warp.ibuf = self.fetch.ways_for(slot)
             self.warp_slots[slot] = warp
             warps.append(warp)
         self.cta_warps[cta] = warps
         self.stats.ctas_launched += 1
         self._live_cache = None
+        self._parity_cache = None
 
     def try_launch_cta(self, now: int) -> bool:
         """Accept one CTA from the dispatcher if a slot set is free."""
@@ -192,6 +223,7 @@ class StreamingMultiprocessor:
                     (now + self.config.cta_launch_latency, slots),
                 )
         self._live_cache = None
+        self._parity_cache = None
 
     def live_warps(self) -> List[TimingWarp]:
         if self._live_cache is None:
@@ -199,6 +231,16 @@ class StreamingMultiprocessor:
                 w for w in self.warp_slots if w is not None and not w.done
             ]
         return self._live_cache
+
+    def live_warps_by_parity(self) -> Tuple[List[TimingWarp], List[TimingWarp]]:
+        """Live warps split into (even, odd) warp-id pools (two_pool)."""
+        if self._parity_cache is None:
+            live = self.live_warps()
+            self._parity_cache = (
+                [w for w in live if w.wid % 2 == 0],
+                [w for w in live if w.wid % 2 == 1],
+            )
+        return self._parity_cache
 
     # ------------------------------------------------------------------
     # Issue
@@ -221,7 +263,9 @@ class StreamingMultiprocessor:
         """
         instr = entry.instr
         config = self.config
-        group = self.backend.pick_group(instr.op_class, now, split.lane_mask, co_issue)
+        op_class = instr.op_class
+        lane_mask = split.lane_mask
+        group = self.backend.pick_group(op_class, now, lane_mask, co_issue)
         if group is None:
             return None
         # Freeze the split while its instruction is in flight through the
@@ -231,14 +275,19 @@ class StreamingMultiprocessor:
         split.pending = True
         model = warp.model
         scoreboard = warp.scoreboard
-        matrix = scoreboard.kind == "matrix"
-        old_masks = model.slot_masks(now) if matrix else None
-        slot_ctx = model.slot_of(split, now)
+        matrix = warp.matrix_sb
+        if matrix:
+            old_masks = model.slot_masks(now)
+            slot_ctx = model.slot_of(split, now)
+        else:
+            # Only the matrix scoreboard reads context slots.
+            old_masks = None
+            slot_ctx = 0
 
-        mask_bools = mask_to_bools(split.mask, config.warp_width)
-        outcome = self.executor.execute(instr, warp.fwarp, mask_bools)
-        active_mask = bools_to_mask(outcome.active)
-        self.stats.record_issue(instr.op_class.value, popcount(active_mask), origin)
+        outcome = self.executor.execute_masked(instr, warp.fwarp, split.mask)
+        active_mask = outcome.active_mask
+        active_bits = active_mask.bit_count()
+        self.stats.record_issue(op_class.value, active_bits, origin)
         if self.trace is not None:
             self.trace.append(
                 (now, warp.wid, entry.pc, origin, split.mask, group.name)
@@ -246,13 +295,13 @@ class StreamingMultiprocessor:
         if self.observers:
             event = IssueEvent(
                 now, self.sm_id, warp.wid, entry.pc, origin,
-                split.mask, group.name, popcount(active_mask),
+                split.mask, group.name, active_bits,
             )
             for observer in self.observers:
                 observer.on_issue(event)
 
         # Timing: occupancy and writeback.
-        if instr.op_class is OpClass.LSU:
+        if op_class is OpClass.LSU:
             misses_before = self.stats.l1_misses
             occupancy, wb = self.lsu_logic.access(instr, outcome, now)
             if self.observers and self.stats.l1_misses > misses_before:
@@ -261,11 +310,11 @@ class StreamingMultiprocessor:
                 )
                 for observer in self.observers:
                     observer.on_l1_miss(event)
-            group.accept(now, split.lane_mask)
+            group.accept(now, lane_mask)
             group.hold(now + occupancy)
             wb += config.delivery_latency
         else:
-            waves = group.accept(now, split.lane_mask)
+            waves = group.accept(now, lane_mask)
             wb = now + config.issue_to_writeback + (waves - 1)
         if instr.dst is not None:
             sb_entry = scoreboard.add(instr, split.mask, slot_ctx)
@@ -273,6 +322,8 @@ class StreamingMultiprocessor:
             self._seq += 1
 
         self.fetch.consume(warp.wid, entry)
+        warp.fetch_state = None  # freed buffer way: fetch may refill it
+        warp.ibuf_gen += 1
         warp.last_issue_cycle = now
         split.pending = False
 
@@ -309,7 +360,9 @@ class StreamingMultiprocessor:
             new_masks = model.slot_masks(now)
             if new_masks != old_masks:
                 scoreboard.on_transition(build_transition(old_masks, new_masks))
-        return IssueRecord(warp, split, instr, split.lane_mask, group, diverged, popcount(active_mask))
+        return IssueRecord(
+            warp, split, instr, lane_mask, group, diverged, active_bits
+        )
 
     # ------------------------------------------------------------------
     # Barriers
@@ -318,6 +371,12 @@ class StreamingMultiprocessor:
     def _check_barrier(self, cta_id: int, now: int) -> None:
         warps = self.cta_warps.get(cta_id)
         if not warps:
+            return
+        # Fast out: with no thread parked anywhere in the CTA (every
+        # EXIT of a barrier-free kernel lands here), the release
+        # condition below cannot hold unless the CTA is already empty
+        # — and then there is nothing to unpark either.
+        if not any(w.model.parked_threads for w in warps if not w.done):
             return
         live = parked = 0
         for warp in warps:
@@ -333,7 +392,7 @@ class StreamingMultiprocessor:
         for warp in warps:
             if warp.done:
                 continue
-            matrix = warp.scoreboard.kind == "matrix"
+            matrix = warp.matrix_sb
             old = warp.model.slot_masks(now) if matrix else None
             warp.model.unpark_all(now)
             if matrix:
@@ -357,25 +416,50 @@ class StreamingMultiprocessor:
         ``None`` means this SM has no scheduled events — a deadlock in
         a standalone run, and for a device either a finished SM or one
         stuck until the whole device deadlocks.
+
+        Split wake-ups (branch redirects, CCT sideband insertions) are
+        served from a per-warp sorted cache keyed on the divergence
+        model's mutation counter, so idle scans stop re-walking every
+        live split: only warps whose model changed since the last scan
+        rebuild their wake list.
         """
-        candidates: List[int] = []
+        best: Optional[int] = None
         if self._wb_heap:
-            candidates.append(self._wb_heap[0][0])
+            c = self._wb_heap[0][0]
+            if c <= now:  # caller did not drain writebacks first (tests)
+                c = min((w for w, _, _, _ in self._wb_heap if w > now), default=None)
+            if c is not None:
+                best = c
         nxt = self.backend.next_free_cycle(now)
-        if nxt is not None:
-            candidates.append(nxt)
+        if nxt is not None and (best is None or nxt < best):
+            best = nxt
         nxt = self.fetch.next_ready_after(now)
-        if nxt is not None:
-            candidates.append(nxt)
-        candidates.extend(cycle for cycle, _ in self.pending_launches)
+        if nxt is not None and (best is None or nxt < best):
+            best = nxt
+        if self.pending_launches:
+            c = self.pending_launches[0][0]
+            if c <= now:
+                c = min((p for p, _ in self.pending_launches if p > now), default=None)
+            if c is not None and (best is None or c < best):
+                best = c
         for warp in self.live_warps():
-            for s in warp.model.all_splits():
-                if s.redirect_ready_at > now:
-                    candidates.append(s.redirect_ready_at)
-                if s.ready_at > now:
-                    candidates.append(s.ready_at)
-        candidates = [c for c in candidates if c > now]
-        return min(candidates) if candidates else None
+            model = warp.model
+            if warp.wake_version != model.version:
+                wakes = set()
+                for s in model.all_splits():
+                    if s.redirect_ready_at:
+                        wakes.add(s.redirect_ready_at)
+                    if s.ready_at:
+                        wakes.add(s.ready_at)
+                warp.wake_cache = sorted(wakes)
+                warp.wake_version = model.version
+            cache = warp.wake_cache
+            i = bisect_right(cache, now)
+            if i < len(cache):
+                c = cache[i]
+                if best is None or c < best:
+                    best = c
+        return best
 
     def _next_event(self, now: int) -> int:
         nxt = self.next_event_cycle(now)
@@ -409,7 +493,15 @@ class StreamingMultiprocessor:
         )
 
     def step(self, now: int) -> bool:
-        """Simulate one cycle; True when any issue or fetch happened."""
+        """Simulate one cycle; True when any issue or fetch happened.
+
+        Drivers stepping the SM directly should enter
+        ``np.errstate(all="ignore")`` around their loop (as
+        :meth:`run` and :class:`~repro.core.gpu.GPUDevice` do):
+        compiled plans skip the per-issue errstate the interpreter
+        pays, so garbage-lane arithmetic may otherwise emit numpy
+        RuntimeWarnings — results are unaffected either way.
+        """
         self._launch_pending(now)
         self._process_writebacks(now)
         issued = self.scheduler.tick(now)
@@ -422,16 +514,18 @@ class StreamingMultiprocessor:
         self._initial_launch()
         now = 0
         max_cycles = self.config.max_cycles
-        while now < max_cycles:
-            progressed = self.step(now)
-            if self.finished:
-                self.stats.cycles = now + 1
-                return self.stats
-            if progressed:
-                now += 1
-            else:
-                now = self._next_event(now)
+        # One errstate for the whole run: compiled plans deliberately
+        # skip the per-issue ``np.errstate`` the interpreter pays.
+        with np.errstate(all="ignore"):
+            while now < max_cycles:
+                progressed = self.step(now)
+                if self.finished:
+                    self.stats.cycles = now + 1
+                    return self.stats
+                if progressed:
+                    now += 1
+                else:
+                    now = self._next_event(now)
         raise SimulationError(
-            "kernel %s exceeded %d cycles (IPC so far %.2f)"
-            % (self.kernel.name, max_cycles, self.stats.thread_instructions / max(now, 1))
+            _overrun_report(self.kernel.name, max_cycles, now, self.stats)
         )

@@ -24,6 +24,26 @@ def make_divergence_model(config, launch_mask: int, perm: Sequence[int]) -> Dive
 class TimingWarp:
     """One resident warp: divergence model, scoreboard, register file."""
 
+    __slots__ = (
+        "wid",
+        "cta_id",
+        "config",
+        "lane_perm",
+        "fwarp",
+        "launch_mask",
+        "model",
+        "scoreboard",
+        "last_issue_cycle",
+        "done",
+        "wake_cache",
+        "wake_version",
+        "ibuf",
+        "ibuf_gen",
+        "fetch_state",
+        "ready_memo",
+        "matrix_sb",
+    )
+
     def __init__(
         self,
         wid: int,
@@ -58,8 +78,34 @@ class TimingWarp:
         self.scoreboard: ScoreboardBase = make_scoreboard(
             config.scoreboard_kind, config.scoreboard_entries
         )
+        # Matrix scoreboards track per-context rows, so issue and
+        # barrier release must feed them slot transitions (hoisted
+        # from a per-issue string compare).
+        self.matrix_sb = self.scoreboard.kind == "matrix"
         self.last_issue_cycle = -1
         self.done = False
+        # Sorted split wake-up cycles, valid while the divergence
+        # model's mutation counter equals ``wake_version`` (see
+        # StreamingMultiprocessor.next_event_cycle).
+        self.wake_cache: Sequence[int] = ()
+        self.wake_version = -1
+        # The warp's instruction-buffer ways, shared with (and owned
+        # by) the SM's FetchEngine; bound at CTA launch so schedulers
+        # probe the buffer without a dict lookup per readiness check.
+        self.ibuf: Sequence = ()
+        # Fetch-idle memo ``(model_version, retry_cycle)``: no fetch
+        # can succeed for this warp before ``retry_cycle`` unless the
+        # divergence model mutates or a buffer entry is consumed
+        # (which resets this to None).  Maintained by FetchEngine.tick.
+        self.fetch_state = None
+        # Generation counter of ``ibuf`` content (fills and consumes).
+        self.ibuf_gen = 0
+        # Per-hot-slot issue-stall memo
+        # ``(model_version, scoreboard_gen, ibuf_gen, retry_cycle)``:
+        # the slot has no ready instruction before ``retry_cycle`` as
+        # long as all three generation counters still match.  Written
+        # and read by SchedulerBase._ready_entry.
+        self.ready_memo = [None, None]
 
     def retire_check(self) -> bool:
         if not self.done and self.model.done:

@@ -8,6 +8,15 @@ same warp execute the same register file through disjoint masks.
 Registers are ``float64[nregs, warp_width]``.  Integer semantics
 (logic, shifts, addressing) round-trip through ``int64`` which is exact
 for ``|x| < 2**53``.
+
+Two execution paths produce bit-identical state:
+
+* the **compiled** path (default) specialises each program instruction
+  into a closure at first issue (:mod:`repro.functional.compiled`) —
+  operands pre-resolved, compute function bound directly;
+* the **reference interpreter** (``Executor(..., compiled=False)``)
+  dispatches per issue, kept as the executable specification and used
+  by the differential tests.
 """
 
 from __future__ import annotations
@@ -27,13 +36,14 @@ from repro.isa.instructions import (
     Operand,
     OperandKind,
 )
+from repro.timing.masks import bools_to_mask, mask_to_bools
 
 
 class ExecutionError(Exception):
     """Raised on semantic errors (bad operand counts, unknown ops...)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecOutcome:
     """Result of executing one instruction under a mask.
 
@@ -42,12 +52,16 @@ class ExecOutcome:
     (only meaningful where ``active``); memory operations expose their
     byte ``addresses`` (full-warp array, meaningful where ``active``)
     and the address ``space`` so the timing model can coalesce.
+    ``active_mask`` is the bit-mask form of ``active``, filled by
+    :meth:`Executor.execute_masked` so the timing model never converts
+    a bool array back to an integer on the hot path.
     """
 
     active: np.ndarray
     taken: Optional[np.ndarray] = None
     addresses: Optional[np.ndarray] = None
     space: Optional[MemSpace] = None
+    active_mask: Optional[int] = None
 
     @property
     def is_memory(self) -> bool:
@@ -56,6 +70,20 @@ class ExecOutcome:
 
 class FunctionalWarp:
     """Architectural state of one warp (registers + thread identity)."""
+
+    __slots__ = (
+        "warp_id",
+        "width",
+        "regs",
+        "tids_in_cta",
+        "cta_index",
+        "shared",
+        "launch_mask",
+        "tids_f64",
+        "lanes_f64",
+        "ctaid_f64",
+        "warpid_f64",
+    )
 
     def __init__(
         self,
@@ -75,14 +103,106 @@ class FunctionalWarp:
         self.launch_mask = np.ones(width, dtype=bool)
         if len(self.tids_in_cta) != width:
             raise ExecutionError("tids array must have warp width entries")
+        # Special-register vectors are launch constants: computed once
+        # and frozen for the compiled operand getters.
+        self.tids_f64 = self.tids_in_cta.astype(np.float64)
+        self.tids_f64.setflags(write=False)
+        self.lanes_f64 = (self.tids_in_cta % width).astype(np.float64)
+        self.lanes_f64.setflags(write=False)
+        self.ctaid_f64 = np.float64(cta_index)
+        self.warpid_f64 = np.float64(warp_id)
 
 
 class Executor:
-    """Executes instructions for warps of one kernel launch."""
+    """Executes instructions for warps of one kernel launch.
 
-    def __init__(self, kernel: Kernel, memory: MemoryImage) -> None:
+    ``compiled=True`` (the default) lazily specialises each program
+    instruction into a closure on first issue; ``compiled=False``
+    selects the reference interpreter.  Both paths produce identical
+    architectural state — instructions outside the kernel program
+    (``pc`` unset, or a foreign instruction object) always take the
+    interpreter.
+    """
+
+    def __init__(
+        self, kernel: Kernel, memory: MemoryImage, compiled: bool = True
+    ) -> None:
         self.kernel = kernel
         self.memory = memory
+        self.compiled = compiled
+        self._instrs = kernel.program.instructions
+        self._plans = [None] * len(self._instrs) if compiled else None
+        self._plan_width: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, instr: Instruction, warp: FunctionalWarp, mask: np.ndarray
+    ) -> ExecOutcome:
+        """Apply ``instr`` for the threads in ``mask`` (bool[width]).
+
+        Compiled plans are errstate-free (the SM run loops enter one
+        ``np.errstate`` for a whole simulation), so this generic entry
+        wraps the call to keep direct use warning-silent like the
+        interpreter.
+        """
+        plans = self._plans
+        if plans is not None:
+            pc = instr.pc
+            if 0 <= pc < len(plans) and self._instrs[pc] is instr:
+                if warp.width != self._plan_width:
+                    if self._plan_width is not None:
+                        return self._execute_interp(instr, warp, mask)
+                    self._plan_width = warp.width
+                plan = plans[pc]
+                if plan is None:
+                    from repro.functional.compiled import compile_guarded
+
+                    plan = compile_guarded(
+                        instr, self.kernel, self.memory, warp.width
+                    )
+                    plans[pc] = plan
+                with np.errstate(all="ignore"):
+                    return plan(warp, mask)
+        return self._execute_interp(instr, warp, mask)
+
+    def execute_masked(
+        self, instr: Instruction, warp: FunctionalWarp, mask: int
+    ) -> ExecOutcome:
+        """:meth:`execute` for a bit-mask, with ``active_mask`` filled.
+
+        The timing model's hot path: the bool expansion is interned,
+        for unpredicated instructions (the common case) the active
+        bit-mask is the issue mask itself — no reverse conversion —
+        and the compiled-plan dispatch of :meth:`execute` is inlined
+        (one call frame per issue is measurable).
+        """
+        width = warp.width
+        plans = self._plans
+        if plans is not None and width == self._plan_width:
+            pc = instr.pc
+            if 0 <= pc < len(plans) and self._instrs[pc] is instr:
+                plan = plans[pc]
+                if plan is None:
+                    from repro.functional.compiled import compile_guarded
+
+                    plan = plans[pc] = compile_guarded(
+                        instr, self.kernel, self.memory, width
+                    )
+                outcome = plan(warp, mask_to_bools(mask, width))
+            else:
+                outcome = self._execute_interp(
+                    instr, warp, mask_to_bools(mask, width)
+                )
+        else:
+            outcome = self.execute(instr, warp, mask_to_bools(mask, width))
+        if instr.pred is None:
+            outcome.active_mask = mask
+        else:
+            outcome.active_mask = bools_to_mask(outcome.active)
+        return outcome
 
     # ------------------------------------------------------------------
     # Operand evaluation
@@ -132,13 +252,13 @@ class Executor:
         return mask & pred
 
     # ------------------------------------------------------------------
-    # Execution
+    # Reference interpreter
     # ------------------------------------------------------------------
 
-    def execute(
+    def _execute_interp(
         self, instr: Instruction, warp: FunctionalWarp, mask: np.ndarray
     ) -> ExecOutcome:
-        """Apply ``instr`` for the threads in ``mask`` (bool[width])."""
+        """Per-issue dispatch: the executable specification of the ISA."""
         active = self._effective_mask(instr, warp, mask)
         op = instr.op
         if op is Op.BRA:

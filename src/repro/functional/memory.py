@@ -79,12 +79,14 @@ class MemoryImage:
     def _word_indices(self, addrs: np.ndarray) -> np.ndarray:
         if addrs.size == 0:
             return addrs.astype(np.int64)
-        if np.any(addrs % WORD_BYTES):
+        if (addrs & (WORD_BYTES - 1)).any():
             raise MemoryAccessError("misaligned vector access")
-        if np.any(addrs < 0) or np.any(addrs >= self.size_bytes):
+        lo = int(addrs.min())
+        hi = int(addrs.max())
+        if lo < 0 or hi >= self.size_bytes:
             raise MemoryAccessError(
                 "vector access out of range (min=%d max=%d size=%d)"
-                % (addrs.min(initial=0), addrs.max(initial=0), self.size_bytes)
+                % (lo, hi, self.size_bytes)
             )
         return (addrs // WORD_BYTES).astype(np.int64)
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Tuple, Union
 
 
@@ -229,11 +230,15 @@ class Instruction:
     sync_pcdiv: Optional[int] = None
     pc: int = field(default=-1)
 
-    @property
+    # Opcode, operands and predicate never change once a program is
+    # assembled, so the derived views below are computed once per
+    # instruction (they sit on scheduler/scoreboard hot paths).
+
+    @cached_property
     def op_class(self) -> OpClass:
         return _OP_CLASS[self.op]
 
-    @property
+    @cached_property
     def is_branch(self) -> bool:
         return self.op in BRANCH_OPS
 
@@ -241,7 +246,7 @@ class Instruction:
     def is_conditional(self) -> bool:
         return self.op is Op.BRA and self.srcs != ()
 
-    @property
+    @cached_property
     def is_memory(self) -> bool:
         return self.op_class is OpClass.LSU
 
@@ -259,6 +264,23 @@ class Instruction:
         if self.pred is not None:
             regs.append(self.pred)
         return tuple(regs)
+
+    @cached_property
+    def hazard_regs(self) -> Tuple[int, ...]:
+        """Cached :meth:`source_registers` for the scoreboard."""
+        return self.source_registers()
+
+    @cached_property
+    def hazard_mask(self) -> int:
+        """Bit-mask of every register this instruction reads or writes
+        (sources, predicate, destination) — the scoreboard's one-AND
+        conflict prefilter."""
+        mask = 0
+        for r in self.hazard_regs:
+            mask |= 1 << r
+        if self.dst is not None:
+            mask |= 1 << self.dst
+        return mask
 
     def __repr__(self) -> str:
         parts = []

@@ -79,11 +79,30 @@ class DivergenceModel:
     #: Number of simultaneously runnable splits the model exposes.
     hot_capacity = 1
 
+    #: Memoized :meth:`hot_splits` result, or None when it must be
+    #: recomputed.  Models that can serve reads straight from a cache
+    #: (stack, frontier) keep it fresh; models with read-path state
+    #: (SBI's settle) leave it None so every read goes through the
+    #: method.  Schedulers read this attribute directly on their
+    #: hottest per-warp-per-cycle scans.
+    _hot_cache = None
+
     def __init__(self, launch_mask: int, lane_perm: Sequence[int]) -> None:
         self.launch_mask = launch_mask
         self.lane_perm = lane_perm
         self.merge_count = 0
         self.exited_mask = 0
+        #: Mutation counter: bumped by every state change so readers
+        #: (hot-split caches, the SM's wake-cycle cache) can memoize
+        #: derived views between mutations.
+        self.version = 0
+        #: Threads currently suspended at a CTA barrier (fast path for
+        #: StreamingMultiprocessor._check_barrier).
+        self.parked_threads = 0
+
+    def _touch(self) -> None:
+        """Invalidate memoized views after a state change."""
+        self.version += 1
 
     # -- scheduling view ------------------------------------------------
 

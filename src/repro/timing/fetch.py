@@ -18,13 +18,16 @@ over warps.  A fetched instruction decodes in one cycle
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.isa.instructions import Instruction
 from repro.timing.divergence import Split
 
+#: Retry sentinel: fetch idle until invalidated (consume / mutation).
+_NEVER = 1 << 62
 
-@dataclass
+
+@dataclass(slots=True)
 class IBufEntry:
     """One decoded instruction waiting in a warp's buffer pool."""
 
@@ -36,97 +39,156 @@ class IBufEntry:
 
 
 class FetchEngine:
-    """Shared fetch/decode bandwidth across all warps."""
+    """Shared fetch/decode bandwidth across all warps.
+
+    Buffers are per-warp lists indexed by way (``buffers[wid][way]``),
+    which keeps the hot ``entry_for`` lookup a couple of list probes.
+    """
 
     def __init__(self, program, fetch_width: int, hot_capacity: int) -> None:
         self.program = program
         self.fetch_width = fetch_width
         self.hot_capacity = hot_capacity
-        self.buffers: Dict[Tuple[int, int], Optional[IBufEntry]] = {}
+        self.buffers: Dict[int, List[Optional[IBufEntry]]] = {}
         self._rr = 0
+        # Decode-ready high-water mark: nothing in any buffer becomes
+        # ready after this cycle, so idle scans can bail immediately.
+        self._latest_ready = -1
 
     # ------------------------------------------------------------------
 
+    def ways_for(self, wid: int) -> List[Optional[IBufEntry]]:
+        """The warp's buffer ways (created on first use); the SM binds
+        this list onto the TimingWarp so hot paths skip the dict."""
+        ways = self.buffers.get(wid)
+        if ways is None:
+            ways = self.buffers[wid] = [None] * self.hot_capacity
+        return ways
+
     def entry_for(self, wid: int, split: Split, now: int) -> Optional[IBufEntry]:
         """A decoded entry whose tag matches the split's PC, if any."""
-        for index in range(self.hot_capacity):
-            entry = self.buffers.get((wid, index))
-            if entry is not None and entry.pc == split.pc and entry.ready_at <= now:
+        ways = self.buffers.get(wid)
+        if ways is None:
+            return None
+        pc = split.pc
+        for entry in ways:
+            if entry is not None and entry.pc == pc and entry.ready_at <= now:
                 return entry
         return None
 
     def consume(self, wid: int, entry: IBufEntry) -> None:
-        key = (wid, entry.index)
-        if self.buffers.get(key) is entry:
-            self.buffers[key] = None
+        ways = self.buffers.get(wid)
+        if ways is not None and ways[entry.index] is entry:
+            ways[entry.index] = None
 
     def flush_warp(self, wid: int) -> None:
-        for index in range(self.hot_capacity):
-            self.buffers[(wid, index)] = None
+        ways = self.buffers.get(wid)
+        if ways is not None:
+            for i in range(self.hot_capacity):
+                ways[i] = None
 
     # ------------------------------------------------------------------
 
-    def _refill_one(self, warp, hot_pcs: List[int], now: int) -> bool:
-        """Fetch the first hot split lacking a matching buffer entry."""
-        wid = warp.wid
-        entries = [self.buffers.get((wid, i)) for i in range(self.hot_capacity)]
-        tags = [e.pc for e in entries if e is not None]
-        for split in warp.model.hot_splits(now)[: self.hot_capacity]:
-            if split.parked or split.pending:
-                continue
-            if split.redirect_ready_at > now:
-                continue
-            if split.pc in tags:
-                continue
-            # Victim: an empty way, else a way whose tag matches no hot PC.
-            victim = None
-            for i, entry in enumerate(entries):
-                if entry is None:
-                    victim = i
-                    break
-            if victim is None:
-                for i, entry in enumerate(entries):
-                    if entry.pc not in hot_pcs:
-                        victim = i
-                        break
-            if victim is None:
-                continue
-            self.buffers[(wid, victim)] = IBufEntry(
-                pc=split.pc,
-                instr=self.program[split.pc],
-                fetch_cycle=now,
-                ready_at=now + 1,
-                index=victim,
-            )
-            return True
-        return False
-
     def tick(self, now: int, warps: List) -> int:
-        """Refill unmatched buffers; returns the number of fetches."""
+        """Refill unmatched buffers; returns the number of fetches.
+
+        One pass per warp: each eligible hot split lacking a matching
+        tag fetches into an empty way, else into a way whose tag
+        matches no hot PC (exactly the repeated first-unmatched scan
+        of the original engine, without re-walking served splits).
+        """
         if not warps:
             return 0
         fetched = 0
         n = len(warps)
         start = self._rr % n
-        for i in range(n):
-            if fetched >= self.fetch_width:
+        cap = self.hot_capacity
+        width = self.fetch_width
+        program = self.program
+        order = warps[start:] + warps[:start] if start else warps
+        for warp in order:
+            if fetched >= width:
                 break
-            warp = warps[(start + i) % n]
             if warp is None or warp.done:
                 continue
-            hot_pcs = [
-                s.pc for s in warp.model.hot_splits(now)[: self.hot_capacity]
-            ]
-            while fetched < self.fetch_width and self._refill_one(warp, hot_pcs, now):
+            model = warp.model
+            # Fetch-idle memo: nothing to fetch for this warp until a
+            # model mutation, an entry consume (resets the memo), or
+            # the recorded redirect-gate cycle.
+            state = warp.fetch_state
+            if state is not None and state[0] == model.version and now < state[1]:
+                continue
+            hot = model._hot_cache
+            if hot is None:
+                hot = model.hot_splits(now)
+            if len(hot) > cap:
+                hot = hot[:cap]
+            ways = warp.ibuf or self.ways_for(warp.wid)
+            hot_pcs = None
+            fetched_here = False
+            retry = _NEVER
+            for split in hot:
+                if fetched >= width:
+                    # Out of bandwidth mid-warp: no idle verdict.
+                    retry = None
+                    break
+                if split.parked or split.pending:
+                    continue
+                gate = split.redirect_ready_at
+                if gate > now:
+                    if retry is not None and gate < retry:
+                        retry = gate
+                    continue
+                pc = split.pc
+                matched = False
+                for entry in ways:
+                    if entry is not None and entry.pc == pc:
+                        matched = True
+                        break
+                if matched:
+                    continue
+                # Victim: empty way, else a way matching no hot PC.
+                victim = None
+                for vi, entry in enumerate(ways):
+                    if entry is None:
+                        victim = vi
+                        break
+                if victim is None:
+                    if hot_pcs is None:
+                        hot_pcs = [s.pc for s in hot]
+                    for vi, entry in enumerate(ways):
+                        if entry.pc not in hot_pcs:
+                            victim = vi
+                            break
+                if victim is None:
+                    continue
+                ways[victim] = IBufEntry(
+                    pc=pc,
+                    instr=program[pc],
+                    fetch_cycle=now,
+                    ready_at=now + 1,
+                    index=victim,
+                )
+                warp.ibuf_gen += 1  # wakes the scheduler's stall memo
                 fetched += 1
+                fetched_here = True
+            if fetched_here or retry is None:
+                warp.fetch_state = None
+            else:
+                warp.fetch_state = (model.version, retry)
+        if fetched and now + 1 > self._latest_ready:
+            self._latest_ready = now + 1
         self._rr += 1
         return fetched
 
     def next_ready_after(self, now: int) -> Optional[int]:
         """Earliest future decode-ready time (event skipping)."""
-        times = [
-            e.ready_at
-            for e in self.buffers.values()
-            if e is not None and e.ready_at > now
-        ]
-        return min(times) if times else None
+        if self._latest_ready <= now:
+            return None
+        best = None
+        for ways in self.buffers.values():
+            for e in ways:
+                if e is not None and e.ready_at > now:
+                    if best is None or e.ready_at < best:
+                        best = e.ready_at
+        return best

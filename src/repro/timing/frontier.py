@@ -15,6 +15,10 @@ from typing import Iterable, List, Optional, Sequence
 from repro.timing.divergence import DivergenceModel, Split
 
 
+def _by_pc(split: Split) -> int:
+    return split.pc
+
+
 class FrontierModel(DivergenceModel):
     """PC-sorted warp-splits; one runnable (the minimum PC)."""
 
@@ -24,17 +28,32 @@ class FrontierModel(DivergenceModel):
         super().__init__(launch_mask, lane_perm)
         self.splits: List[Split] = [Split(0, launch_mask, lane_perm)]
         self.parked: List[Split] = []
+        self._hot_cache: Optional[List[Split]] = None
+
+    def _touch(self) -> None:
+        self.version += 1
+        self._hot_cache = None
 
     # -- views -----------------------------------------------------------
 
     def hot_splits(self, now: int) -> List[Split]:
-        if not self.splits:
-            return []
-        return [min(self.splits, key=lambda s: s.pc)]
+        hot = self._hot_cache
+        if hot is None:
+            if self.splits:
+                hot = [min(self.splits, key=_by_pc)]
+            else:
+                hot = []
+            self._hot_cache = hot
+        return hot
 
     def all_splits(self) -> Iterable[Split]:
         yield from self.splits
         yield from self.parked
+
+    def live_mask(self) -> int:
+        # Splits partition the live threads (check_invariants), so the
+        # union is just launch minus exited — no split walk needed.
+        return self.launch_mask & ~self.exited_mask
 
     # -- helpers -----------------------------------------------------------
 
@@ -65,6 +84,7 @@ class FrontierModel(DivergenceModel):
         reconv_pc: Optional[int],
         now: int,
     ) -> bool:
+        self._touch()
         ft_mask = split.mask & ~taken_mask
         taken_mask &= split.mask
         if not ft_mask or not taken_mask:
@@ -83,26 +103,32 @@ class FrontierModel(DivergenceModel):
         return True
 
     def advance(self, split: Split, now: int) -> None:
+        self._touch()
         split.pc += 1
         self._try_merge(split)
 
     def exit_threads(self, split: Split, mask: int, now: int) -> None:
+        self._touch()
         self.exited_mask |= mask
         split.set_mask(split.mask & ~mask)
         if not split.mask:
             self.splits.remove(split)
 
     def park(self, split: Split, now: int) -> None:
+        self._touch()
         split.parked = True
+        self.parked_threads += split.mask.bit_count()
         self.splits.remove(split)
         self.parked.append(split)
 
     def unpark_all(self, now: int) -> None:
+        self._touch()
         for split in self.parked:
             split.parked = False
             split.pc += 1
             self.splits.append(split)
         self.parked.clear()
+        self.parked_threads = 0
         for split in list(self.splits):
             if split in self.splits:
                 self._try_merge(split)

@@ -30,6 +30,9 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.timing.divergence import DivergenceModel, Split
 
+#: Settle wake sentinel: no pending sideband insertion.
+_NEVER = 1 << 62
+
 
 class SBIModel(DivergenceModel):
     """Dual hot context (HCT) + sorted cold contexts (CCT)."""
@@ -52,17 +55,33 @@ class SBIModel(DivergenceModel):
         self.sideband_busy_until = 0
         self.cct_overflows = 0
         self.cct_high_water = 0
+        # Settle gating: ``_dirty`` is raised by every mutation and
+        # ``_settle_wake`` is the earliest cycle a sideband insertion
+        # joins the sorted order — between those events a settle is a
+        # no-op, so the (hot) read path skips it entirely.
+        self._dirty = True
+        self._settle_wake = 0
+
+    def _touch(self) -> None:
+        self.version += 1
+        self._dirty = True
 
     # -- views -----------------------------------------------------------
 
     def hot_splits(self, now: int) -> List[Split]:
-        self._settle(now)
-        return list(self.hot)
+        if self._dirty or now >= self._settle_wake:
+            self._settle(now)
+        return self.hot
 
     def all_splits(self) -> Iterable[Split]:
         yield from self.hot
         yield from self.cold
         yield from self.parked
+
+    def live_mask(self) -> int:
+        # Contexts partition the live threads (check_invariants), so
+        # the union is launch minus exited — no context walk needed.
+        return self.launch_mask & ~self.exited_mask
 
     # -- HCT/CCT mechanics --------------------------------------------------
 
@@ -75,7 +94,8 @@ class SBIModel(DivergenceModel):
         the sideband sorter (``ready_at > now``) cannot be promoted or
         merged yet; in-flight (pending) contexts are frozen.
         """
-        pool = list(self.hot)
+        old_hot = self.hot
+        pool = list(old_hot)
         settled_cold = []
         for s in self.cold:
             if s.ready_at <= now:
@@ -84,6 +104,7 @@ class SBIModel(DivergenceModel):
                 settled_cold.append(s)
         pool.sort(key=lambda s: s.pc)
         merged: List[Split] = []
+        merges_before = self.merge_count
         for s in pool:
             last = merged[-1] if merged else None
             if (
@@ -105,11 +126,25 @@ class SBIModel(DivergenceModel):
         self.cct_high_water = max(self.cct_high_water, len(self.cold))
         if len(self.cold) > self.cct_capacity:
             self.cct_overflows += 1
+        if self.merge_count != merges_before or self.hot != old_hot:
+            # State changes happen on the read path too: a merge, or a
+            # cold context waking through the sideband sorter and
+            # (re)ordering the hot pair.  Version-keyed memos (fetch
+            # idle, scheduler stall, wake caches) must see it.
+            self.version += 1
+        self._dirty = False
+        wake = None
+        for s in self.cold:
+            r = s.ready_at
+            if r > now and (wake is None or r < wake):
+                wake = r
+        self._settle_wake = wake if wake is not None else _NEVER
 
     def _insert_cold(self, split: Split, now: int) -> None:
         """Sideband-sorter insertion: the entry is stored immediately
         but joins the sorted order ``insert_delay`` cycles later (while
         unsorted it cannot be promoted — the paper's degraded window)."""
+        self._touch()
         start = max(now, self.sideband_busy_until)
         split.ready_at = start + self.insert_delay
         self.sideband_busy_until = split.ready_at
@@ -134,6 +169,7 @@ class SBIModel(DivergenceModel):
         reconv_pc: Optional[int],
         now: int,
     ) -> bool:
+        self._touch()
         ft_mask = split.mask & ~taken_mask
         taken_mask &= split.mask
         if not ft_mask or not taken_mask:
@@ -149,10 +185,12 @@ class SBIModel(DivergenceModel):
         return True
 
     def advance(self, split: Split, now: int) -> None:
+        self._touch()
         split.pc += 1
         self._settle(now)
 
     def exit_threads(self, split: Split, mask: int, now: int) -> None:
+        self._touch()
         self.exited_mask |= mask
         split.set_mask(split.mask & ~mask)
         if not split.mask:
@@ -163,15 +201,19 @@ class SBIModel(DivergenceModel):
         self._settle(now)
 
     def park(self, split: Split, now: int) -> None:
+        self._touch()
         split.parked = True
+        self.parked_threads += split.mask.bit_count()
         self.hot.remove(split)
         self.parked.append(split)
         self._settle(now)
 
     def unpark_all(self, now: int) -> None:
+        self._touch()
         for split in self.parked:
             split.parked = False
             split.pc += 1
             self.cold.append(split)  # rejoin through the heap
         self.parked.clear()
+        self.parked_threads = 0
         self._settle(now)

@@ -72,13 +72,15 @@ class LoadStoreUnit:
     # ------------------------------------------------------------------
 
     def _shared_conflicts(self, addrs: np.ndarray, serialize_all: bool) -> int:
+        # Loads/stores broadcast identical words for free, so distinct
+        # addresses per bank count; atomics serialise every access.
+        # (Addresses are word-aligned here — the functional access
+        # already succeeded — so distinct address == distinct word.)
+        if not serialize_all:
+            addrs = np.unique(addrs)
         banks = (addrs // 4) % self.config.shared_banks
-        conflicts = 1
-        for bank in np.unique(banks):
-            in_bank = addrs[banks == bank]
-            count = in_bank.size if serialize_all else np.unique(in_bank).size
-            conflicts = max(conflicts, int(count))
-        return conflicts
+        counts = np.bincount(banks.astype(np.int64))
+        return max(1, int(counts.max()))
 
     def _shared(self, instr: Instruction, addrs: np.ndarray, now: int) -> Tuple[int, int]:
         serialize_all = instr.op not in (Op.LD, Op.ST)
@@ -92,8 +94,10 @@ class LoadStoreUnit:
     # Global memory
     # ------------------------------------------------------------------
 
-    def _blocks_of(self, addrs: np.ndarray) -> np.ndarray:
-        return np.unique(addrs // self.config.l1_block)
+    def _blocks_of(self, addrs: np.ndarray) -> List[int]:
+        # sorted(set(...)) beats np.unique at warp-sized inputs, and
+        # the block walk below wants plain ints anyway.
+        return sorted(set((addrs // self.config.l1_block).tolist()))
 
     def _fetch_block(self, block: int, at: int) -> int:
         """Read one block through L1/MSHR/DRAM; returns data-ready cycle."""
@@ -115,22 +119,22 @@ class LoadStoreUnit:
 
     def _store_traffic(self, addrs: np.ndarray, at: int) -> None:
         seg_bytes = self.config.store_segment
-        segments = np.unique(addrs // seg_bytes)
+        segments = sorted(set((addrs // seg_bytes).tolist()))
         self.dram.post_write_segments(segments, seg_bytes, at)
-        self.stats.dram_bytes += int(segments.size) * seg_bytes
+        self.stats.dram_bytes += len(segments) * seg_bytes
 
     def _global(self, instr: Instruction, addrs: np.ndarray, now: int) -> Tuple[int, int]:
         blocks = self._blocks_of(addrs)
         if instr.op is Op.LD:
-            occupancy = int(blocks.size)
+            occupancy = len(blocks)
             wb = now
             for i, block in enumerate(blocks):
-                wb = max(wb, self._fetch_block(int(block), now + i))
+                wb = max(wb, self._fetch_block(block, now + i))
             self.stats.global_transactions += occupancy
             self.stats.memory_replays += occupancy - 1
             return occupancy, wb
         if instr.op is Op.ST:
-            occupancy = int(blocks.size)
+            occupancy = len(blocks)
             for i in range(occupancy):
                 chunk = addrs[(addrs // self.config.l1_block) == blocks[i]]
                 self._store_traffic(chunk, now + i)
@@ -141,7 +145,7 @@ class LoadStoreUnit:
         occupancy = int(addrs.size)
         data_ready = now
         for i, block in enumerate(blocks):
-            data_ready = max(data_ready, self._fetch_block(int(block), now + i))
+            data_ready = max(data_ready, self._fetch_block(block, now + i))
         self._store_traffic(addrs, now)
         self.stats.global_transactions += occupancy
         self.stats.memory_replays += occupancy - 1

@@ -9,9 +9,13 @@ single machine word.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
+
+#: Interning caps: conversion memos are cleared (not disabled) past
+#: this many entries, bounding memory on adversarial mask streams.
+_MEMO_LIMIT = 1 << 16
 
 
 def full_mask(width: int) -> int:
@@ -31,20 +35,40 @@ def bits(mask: int) -> Iterator[int]:
         mask ^= low
 
 
+#: Interned ``(mask, width) -> bool[width]`` expansions.  The arrays
+#: are shared across every call site, so they are marked read-only;
+#: identity of the full-warp array doubles as an "all active" test in
+#: the compiled executor.
+_BOOLS_MEMO: Dict[Tuple[int, int], np.ndarray] = {}
+
+
 def mask_to_bools(mask: int, width: int) -> np.ndarray:
-    """Expand to a ``bool[width]`` numpy array (thread order)."""
-    out = np.zeros(width, dtype=bool)
-    for i in bits(mask):
-        out[i] = True
+    """Expand to a ``bool[width]`` numpy array (thread order).
+
+    Results are interned per ``(mask, width)`` and read-only: the hot
+    path converts the same few masks over and over, so the expansion
+    loop runs once per distinct mask instead of once per issue.
+    """
+    key = (mask, width)
+    out = _BOOLS_MEMO.get(key)
+    if out is None:
+        if len(_BOOLS_MEMO) >= _MEMO_LIMIT:
+            _BOOLS_MEMO.clear()
+        out = np.zeros(width, dtype=bool)
+        for i in bits(mask):
+            out[i] = True
+        out.setflags(write=False)
+        _BOOLS_MEMO[key] = out
     return out
 
 
 def bools_to_mask(values: Sequence[bool]) -> int:
-    mask = 0
-    for i, v in enumerate(values):
-        if v:
-            mask |= 1 << i
-    return mask
+    arr = np.asarray(values, dtype=bool)
+    if arr.size == 0:
+        return 0
+    return int.from_bytes(
+        np.packbits(arr, bitorder="little").tobytes(), "little"
+    )
 
 
 def permute_mask(mask: int, perm: Sequence[int]) -> int:
@@ -53,6 +77,10 @@ def permute_mask(mask: int, perm: Sequence[int]) -> int:
     for i in bits(mask):
         out |= 1 << perm[i]
     return out
+
+
+#: Memoized wave counts (two lookups per issued instruction).
+_WAVES_MEMO: Dict[Tuple[int, int, int], int] = {}
 
 
 def wave_count(lane_mask: int, group_width: int, warp_width: int) -> int:
@@ -65,12 +93,19 @@ def wave_count(lane_mask: int, group_width: int, warp_width: int) -> int:
     """
     if group_width >= warp_width:
         return 1
-    chunk_mask = full_mask(group_width)
-    waves = 0
-    for base in range(0, warp_width, group_width):
-        if (lane_mask >> base) & chunk_mask:
-            waves += 1
-    return max(waves, 1)
+    key = (lane_mask, group_width, warp_width)
+    waves = _WAVES_MEMO.get(key)
+    if waves is None:
+        if len(_WAVES_MEMO) >= _MEMO_LIMIT:
+            _WAVES_MEMO.clear()
+        chunk_mask = full_mask(group_width)
+        waves = 0
+        for base in range(0, warp_width, group_width):
+            if (lane_mask >> base) & chunk_mask:
+                waves += 1
+        waves = max(waves, 1)
+        _WAVES_MEMO[key] = waves
+    return waves
 
 
 def mask_str(mask: int, width: int) -> str:

@@ -51,13 +51,26 @@ class Entry:
 
 
 class ScoreboardBase:
-    """Per-warp dependency tracking with bounded entries."""
+    """Per-warp dependency tracking with bounded entries.
+
+    ``_dst_mask`` mirrors the in-flight destination registers as a
+    bit-mask (with per-register counts for releases), so the common
+    can-issue query resolves with a single AND against the
+    instruction's cached read/write mask instead of walking entries.
+
+    ``gen`` counts state changes (add/release/transition): schedulers
+    memoize negative readiness verdicts against it, so a data-stalled
+    warp is not re-probed every cycle until something here moves.
+    """
 
     kind = "base"
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         self.entries: List[Entry] = []
+        self.gen = 0
+        self._dst_mask = 0
+        self._dst_counts: dict = {}
 
     # -- capacity ------------------------------------------------------
 
@@ -74,13 +87,14 @@ class ScoreboardBase:
     def can_issue(self, instr: Instruction, mask: int, slot: int) -> bool:
         """True when ``instr`` (for threads ``mask``, context ``slot``)
         has no RAW/WAW hazard against in-flight instructions."""
-        if not self.has_room(instr):
+        entries = self.entries
+        if instr.dst is not None and len(entries) >= self.capacity:
             return False
-        if not self.entries:
+        if not entries or not (self._dst_mask & instr.hazard_mask):
             return True
-        sources = instr.source_registers()
+        sources = instr.hazard_regs
         dst = instr.dst
-        for entry in self.entries:
+        for entry in entries:
             if entry.dst in sources or (dst is not None and entry.dst == dst):
                 if self._conflicts(entry, mask, slot):
                     return False
@@ -91,14 +105,27 @@ class ScoreboardBase:
     def add(self, instr: Instruction, mask: int, slot: int) -> Optional[Entry]:
         if instr.dst is None:
             return None
-        entry = Entry(instr.dst, mask, slot)
+        dst = instr.dst
+        entry = Entry(dst, mask, slot)
         self.entries.append(entry)
+        self.gen += 1
+        counts = self._dst_counts
+        counts[dst] = counts.get(dst, 0) + 1
+        self._dst_mask |= 1 << dst
         return entry
 
     def release(self, entry: Entry) -> None:
         if not entry.released:
             entry.released = True
             self.entries.remove(entry)
+            self.gen += 1
+            counts = self._dst_counts
+            left = counts[entry.dst] - 1
+            if left:
+                counts[entry.dst] = left
+            else:
+                del counts[entry.dst]
+                self._dst_mask &= ~(1 << entry.dst)
 
     def on_transition(self, transition: Transition) -> None:
         """Advance context rows after a divergence/merge event."""
@@ -135,6 +162,7 @@ class MatrixScoreboard(ScoreboardBase):
         return entry.row[slot]
 
     def on_transition(self, transition: Transition) -> None:
+        self.gen += 1
         for entry in self.entries:
             row = entry.row
             entry.row = [

@@ -27,14 +27,24 @@ class StackModel(DivergenceModel):
     def __init__(self, launch_mask: int, lane_perm: Sequence[int]) -> None:
         super().__init__(launch_mask, lane_perm)
         self.stack: List[Split] = [Split(0, launch_mask, lane_perm, rpc=None)]
+        self._hot_cache: Optional[List[Split]] = None
+
+    def _touch(self) -> None:
+        self.version += 1
+        self._hot_cache = None
 
     # -- views -----------------------------------------------------------
 
     def hot_splits(self, now: int) -> List[Split]:
-        if not self.stack:
-            return []
-        top = self.stack[-1]
-        return [] if top.parked else [top]
+        hot = self._hot_cache
+        if hot is None:
+            if not self.stack:
+                hot = []
+            else:
+                top = self.stack[-1]
+                hot = [] if top.parked else [top]
+            self._hot_cache = hot
+        return hot
 
     def all_splits(self) -> Iterable[Split]:
         return iter(self.stack)
@@ -84,6 +94,7 @@ class StackModel(DivergenceModel):
         now: int,
     ) -> bool:
         """Branch the top of stack; pushes IPDOM placeholder on divergence."""
+        self._touch()
         if split is not self.stack[-1]:
             raise AssertionError("stack model can only branch the top of stack")
         ft_mask = split.mask & ~taken_mask
@@ -113,10 +124,12 @@ class StackModel(DivergenceModel):
         return True
 
     def advance(self, split: Split, now: int) -> None:
+        self._touch()
         split.pc += 1
         self._pop_reconverged()
 
     def exit_threads(self, split: Split, mask: int, now: int) -> None:
+        self._touch()
         self.exited_mask |= mask
         for entry in list(self.stack):
             entry.set_mask(entry.mask & ~mask)
@@ -124,11 +137,15 @@ class StackModel(DivergenceModel):
         self._pop_reconverged()
 
     def park(self, split: Split, now: int) -> None:
+        self._touch()
         split.parked = True
+        self.parked_threads += split.mask.bit_count()
 
     def unpark_all(self, now: int) -> None:
+        self._touch()
         for entry in self.stack:
             if entry.parked:
                 entry.parked = False
                 entry.pc += 1
+        self.parked_threads = 0
         self._pop_reconverged()

@@ -13,7 +13,7 @@ from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List
 
 
-@dataclass
+@dataclass(slots=True)
 class Stats:
     """Counters for one simulation run."""
 

@@ -24,7 +24,7 @@ from repro.isa.instructions import OpClass
 from repro.timing.masks import wave_count
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecGroup:
     """One SIMD unit group with an issue port."""
 
@@ -102,14 +102,20 @@ class Backend:
         )
         self.lsu = self.groups[-1]
         self.sfu = self.groups[-2]
+        # Issue routing is static: resolve it once (CTRL rides MAD).
+        # Identity-chained rather than dict-keyed: enum hashing showed
+        # up in profiles at two lookups per issue.
+        self._mad_route = [g for g in self.groups if g.kind is OpClass.MAD]
+        self._sfu_route = [self.sfu]
+        self._lsu_route = [self.lsu]
 
     def candidates(self, op_class: OpClass) -> List[ExecGroup]:
         """Groups an op class can issue to (CTRL rides the MAD groups)."""
-        if op_class in (OpClass.MAD, OpClass.CTRL):
-            return [g for g in self.groups if g.kind is OpClass.MAD]
         if op_class is OpClass.SFU:
-            return [self.sfu]
-        return [self.lsu]
+            return self._sfu_route
+        if op_class is OpClass.LSU:
+            return self._lsu_route
+        return self._mad_route
 
     def pick_group(
         self, op_class: OpClass, now: int, lane_mask: int, co_issue: bool
@@ -118,15 +124,27 @@ class Backend:
 
         Prefers a completely free group before co-issue sharing, which
         both maximises throughput and keeps baseline (no co-issue)
-        behaviour natural.
+        behaviour natural.  (``can_accept``'s checks are inlined: this
+        is the single hottest backend query.)
         """
-        options = self.candidates(op_class)
+        if op_class is OpClass.SFU:
+            options = self._sfu_route
+        elif op_class is OpClass.LSU:
+            options = self._lsu_route
+        else:
+            options = self._mad_route
         for group in options:
-            if group.can_accept(now, lane_mask, co_issue=False) and group.issue_count == 0:
+            if group.cycle != now:
+                group.cycle = now
+                group.lane_mask = 0
+                group.issue_count = 0
+            if group.issue_count == 0 and group.free_at <= now:
                 return group
         if co_issue:
             for group in options:
-                if group.can_accept(now, lane_mask, co_issue=True):
+                # Rolled above; share with one accepted instruction on
+                # disjoint lanes (dual broadcast limit).
+                if 0 < group.issue_count < 2 and not (group.lane_mask & lane_mask):
                     return group
         return None
 

@@ -1,8 +1,4 @@
-"""Engine execution: backends, caching, error policies.
-
-Parity with the deprecated ``repro.analysis.experiments`` shim is
-covered in ``test_experiments_harness.py`` (the shim's own suite).
-"""
+"""Engine execution: backends, caching, error policies."""
 
 import os
 
@@ -248,11 +244,28 @@ class TestCacheMaintenance:
         result_cache.clear()
         assert result_cache.info(disk_dir=cache_dir).disk_entries == 4
 
+    def test_corrupt_entry_falls_back_to_simulation(self, tmp_path):
+        cache_dir = str(tmp_path)
+        engine = Engine(cache_dir=cache_dir)
+        engine.run_cell("histogram", "tiny", presets.baseline())
+        (entry,) = os.listdir(cache_dir)
+        with open(os.path.join(cache_dir, entry), "w") as f:
+            f.write("{not json")
+        result_cache.clear()
+        stats = Engine(cache_dir=cache_dir).run_cell(
+            "histogram", "tiny", presets.baseline()
+        )
+        assert stats.cycles > 0
+
+    def test_env_var_names_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(result_cache.CACHE_DIR_ENV, str(tmp_path))
+        Engine().run_cell("histogram", "tiny", presets.baseline())
+        assert os.listdir(str(tmp_path))
+
 
 class TestFigure7Equivalence:
     """Acceptance: the full smoke grid runs through Engine and its
-    content survives a JSON round trip (legacy-shim parity lives in
-    test_experiments_harness.py)."""
+    content survives a JSON round trip."""
 
     def test_full_grid_smoke(self):
         rs = Engine().run(SweepSpec.figure7(size="smoke"))

@@ -210,6 +210,26 @@ class TestSBIHeap:
         assert len(m.hot_splits(0)) == 1  # not yet sorted in
         assert len(m.hot_splits(5)) == 2  # promoted once ready
 
+    def test_sideband_promotion_bumps_version(self):
+        """A cold context waking into the hot pair is a state change
+        the version counter must report, even without a merge — the
+        SM's fetch/stall/wake memos key on it."""
+        m = SBIModel(FULL, PERM, insert_delay=5)
+        split = m.hot_splits(0)[0]
+        m.branch(split, 0b1111, 5, reconv_pc=None, now=0)
+        cpc1 = m.hot_splits(0)[0]
+        m.branch(cpc1, 0b00110000, 3, reconv_pc=None, now=0)
+        cpc1 = m.hot_splits(0)[0]
+        m.exit_threads(cpc1, cpc1.mask, now=0)
+        assert len(m.hot_splits(0)) == 1
+        before = m.version
+        assert len(m.hot_splits(5)) == 2  # promoted once ready
+        assert m.version != before
+        # A settle that changes nothing must not churn the counter.
+        after = m.version
+        m.hot_splits(6)
+        assert m.version == after
+
     def test_equal_pc_hot_merge(self):
         m = SBIModel(FULL, PERM, insert_delay=0)
         split = m.hot_splits(0)[0]

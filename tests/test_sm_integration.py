@@ -142,6 +142,38 @@ class TestTimeoutAndEvents:
         with pytest.raises(SimulationError, match="exceeded"):
             simulate(kernel, MemoryImage(), presets.baseline(max_cycles=500))
 
+    def test_overrun_report_ipc_is_per_cycle(self):
+        """The overrun message must divide by *cycles*, report both
+        thread-level IPC and issue IPC, and never divide by zero."""
+        from repro.core.sm import _overrun_report
+        from repro.timing.stats import Stats
+
+        stats = Stats(instructions_issued=50, thread_instructions=1600)
+        msg = _overrun_report("k", 1000, 800, stats)
+        assert "kernel k exceeded the 1000-cycle limit at cycle 800" in msg
+        assert "50 instructions issued" in msg
+        assert "1600 thread instructions" in msg
+        assert "IPC %.2f" % (1600 / 800) in msg       # per-cycle, not per-limit
+        assert "issue IPC %.3f" % (50 / 800) in msg
+        # now=0 (overrun before any progress) must not crash.
+        assert "IPC 0.00" in _overrun_report("k", 0, 0, Stats())
+
+    def test_overrun_message_end_to_end(self):
+        kb = KernelBuilder("spin2")
+        c, p = kb.regs("c", "p")
+        kb.mov(c, 1_000_000)
+        kb.label("l")
+        kb.sub(c, c, 1)
+        kb.setp(p, CmpOp.GT, c, 0)
+        kb.bra("l", cond=p)
+        kb.exit_()
+        kernel = kb.build(cta_size=32, grid_size=1)
+        with pytest.raises(SimulationError) as excinfo:
+            simulate(kernel, MemoryImage(), presets.baseline(max_cycles=500))
+        msg = str(excinfo.value)
+        assert "500-cycle limit" in msg
+        assert "issue IPC" in msg
+
     def test_event_skipping_matches_dense_clock(self):
         """Event-driven skipping is a pure wall-clock optimisation: a
         memory-latency-bound kernel still reports correct cycle counts

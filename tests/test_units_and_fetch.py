@@ -152,8 +152,8 @@ class TestFetchEngine:
             sm.fetch.tick(cycle, live)
         served = {
             wid
-            for (wid, _), e in sm.fetch.buffers.items()
-            if e is not None
+            for wid, ways in sm.fetch.buffers.items()
+            if any(e is not None for e in ways)
         }
         assert len(served) == len(live)
 
