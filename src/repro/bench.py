@@ -33,6 +33,8 @@ and fails when cells/sec drops more than 30% below it::
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -106,7 +108,38 @@ def run_bench(
         "cells_per_sec": cells / wall if wall else 0.0,
         "cycles_per_sec": sim_cycles / wall if wall else 0.0,
         "per_mode": per_mode,
+        "host": host_metadata(),
     }
+
+
+def host_metadata() -> Dict:
+    """Where the measurement ran — throughput numbers are only
+    comparable within one host, so the artifact carries enough to
+    tell two machines (or Python builds) apart."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def annotate_speedup(result: Dict) -> None:
+    """Fill ``speedup_vs_reference`` from the ``pre_pr_reference`` block.
+
+    The committed baseline keeps a ``pre_pr_reference`` block — the
+    same matrix timed on the pre-PR engine on the same machine.  When
+    present (e.g. merged from the previous artifact on a ``--json``
+    refresh), the measured speedup is recorded right next to it; when
+    absent the field is omitted rather than invented.
+    """
+    ref = result.get("pre_pr_reference")
+    if not isinstance(ref, dict):
+        return
+    ref_cps = ref.get("cells_per_sec")
+    if isinstance(ref_cps, (int, float)) and ref_cps > 0:
+        result["speedup_vs_reference"] = result["cells_per_sec"] / ref_cps
 
 
 def format_report(result: Dict) -> str:

@@ -10,6 +10,7 @@ Subcommands::
                     [--size tiny] [--jobs N]
     repro merge     A.json B.json ... [--save OUT.json] [--on-conflict keep]
     repro bench     [--size smoke] [--repeat 3] [--json PATH] [--check BASE.json]
+                    [--profile [N]] [--profile-out PROF.pstats]
     repro cache     info|clear [--dir DIR]
 
 Tables go to stdout; a one-line cell accounting (``# N cells: M
@@ -332,6 +333,12 @@ def _cmd_merge(args) -> int:
 def _cmd_bench(args) -> int:
     from repro import bench
 
+    profiler = None
+    if args.profile is not None or args.profile_out:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     result = bench.run_bench(
         size=args.size,
         repeat=args.repeat,
@@ -339,6 +346,17 @@ def _cmd_bench(args) -> int:
         workloads=args.workloads.split(",") if args.workloads else None,
         compiled=not args.reference,
     )
+    if profiler is not None:
+        profiler.disable()
+        import pstats
+
+        if args.profile_out:
+            profiler.dump_stats(args.profile_out)
+            print("wrote profile to %s" % args.profile_out, file=sys.stderr)
+        top = args.profile if args.profile is not None else 0
+        if top:
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(top)
     print(bench.format_report(result), file=sys.stderr)
     if args.json:
         # Refreshing a committed baseline must not drop its historical
@@ -349,9 +367,11 @@ def _cmd_bench(args) -> int:
             previous = None
         if isinstance(previous, dict) and "pre_pr_reference" in previous:
             result = dict(result, pre_pr_reference=previous["pre_pr_reference"])
+        bench.annotate_speedup(result)
         bench.write_artifact(result, args.json)
         print("wrote %s" % args.json, file=sys.stderr)
     else:
+        bench.annotate_speedup(result)
         print(json.dumps(result, indent=1, sort_keys=True))
     if args.check:
         baseline = bench.load_artifact(args.check)
@@ -541,6 +561,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--reference",
         action="store_true",
         help="time the reference interpreter instead of compiled plans",
+    )
+    p.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=25,
+        default=None,
+        metavar="N",
+        help="profile the run with cProfile and print the top N "
+        "functions by cumulative time (default 25)",
+    )
+    p.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="dump the raw pstats profile to PATH (implies profiling; "
+        "inspect with `python -m pstats PATH`)",
     )
     p.set_defaults(fn=_cmd_bench)
 

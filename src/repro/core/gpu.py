@@ -22,6 +22,7 @@ of the single-SM :func:`~repro.core.simulator.simulate` path.
 
 from __future__ import annotations
 
+import heapq
 from typing import List, Optional
 
 import numpy as np
@@ -29,7 +30,8 @@ import numpy as np
 from repro.functional.memory import MemoryImage
 from repro.isa.builder import Kernel
 from repro.core.policy import MemEvent
-from repro.core.sm import SimulationError, StreamingMultiprocessor, _overrun_report
+from repro.core.report import deadlock_report, overrun_report
+from repro.core.sm import SimulationError, StreamingMultiprocessor
 from repro.timing.config import GPUConfig
 from repro.timing.dram import DRAMChannel
 from repro.timing.l2 import L2System
@@ -113,14 +115,20 @@ class GPUDevice:
                     launched = True
 
     def _deadlock_report(self, now: int) -> str:
-        lines = ["device deadlock at cycle %d (%d SMs)" % (now, len(self.sms))]
-        for sm in self.sms:
-            if not sm.finished:
-                lines.append(sm._deadlock_report(now))
-        return "\n".join(lines)
+        header = "device deadlock at cycle %d (%d SMs)" % (now, len(self.sms))
+        return deadlock_report(
+            header, [sm for sm in self.sms if not sm.finished], now
+        )
 
-    def run(self) -> DeviceStats:
-        """Simulate to completion and return aggregated statistics."""
+    def run(self, engine: str = "event") -> DeviceStats:
+        """Simulate to completion and return aggregated statistics.
+
+        ``engine="event"`` (default) schedules SM steps from a device-
+        level min-heap of per-SM wake events; ``engine="reference"``
+        keeps the lock-step ``wake[]`` scan.  Both drive every SM
+        through exactly the same stepped-cycle sequence (SM-index order
+        within a cycle), so stats are byte-identical.
+        """
         self._initial_launch()
         now = 0
         max_cycles = self.config.sm.max_cycles
@@ -136,7 +144,67 @@ class GPUDevice:
         # One errstate for the whole run: compiled plans deliberately
         # skip the per-issue ``np.errstate`` the interpreter pays.
         with np.errstate(all="ignore"):
-            return self._run_loop(now, max_cycles, done, wake, l2_misses_seen)
+            if engine == "event":
+                return self._run_event_loop(max_cycles)
+            if engine == "reference":
+                return self._run_loop(now, max_cycles, done, wake, l2_misses_seen)
+        raise ValueError("unknown engine %r" % (engine,))
+
+    def _run_event_loop(self, max_cycles: int) -> DeviceStats:
+        """Event-driven device clock: a heap of ``(wake, sm_index)``.
+
+        Pops every SM due at the current cycle (sorted back into SM-
+        index order so stepping matches the reference scan), steps
+        them, and re-queues each at ``now + 1`` on progress or at its
+        own next event otherwise.  The clock jumps straight to the heap
+        minimum across globally-idle spans.
+        """
+        sms = self.sms
+        done = [False] * len(sms)
+        l2_misses_seen = 0
+        observers = self.observers
+        l2 = self.l2
+        heap: List[tuple] = [(0, i) for i in range(len(sms))]
+        now = 0
+        while now < max_cycles:
+            if not heap:
+                raise SimulationError(self._deadlock_report(now))
+            now = heap[0][0]
+            if now >= max_cycles:
+                break
+            due: List[int] = []
+            while heap and heap[0][0] <= now:
+                due.append(heapq.heappop(heap)[1])
+            # The reference loop steps SMs in index order each cycle.
+            due.sort()
+            for i in due:
+                sm = sms[i]
+                if done[i]:
+                    continue
+                if sm.step(now):
+                    heapq.heappush(heap, (now + 1, i))
+                else:
+                    nxt = sm._heap_next_event(now)
+                    if nxt is not None:
+                        heapq.heappush(heap, (nxt, i))
+                if observers and l2 is not None:
+                    new_misses = l2.misses - l2_misses_seen
+                    if new_misses:
+                        l2_misses_seen = l2.misses
+                        event = MemEvent(now, sm.sm_id, "l2", new_misses)
+                        for observer in observers:
+                            observer.on_l2_miss(event)
+                if sm.finished:
+                    done[i] = True
+                    sm.stats.cycles = now + 1
+            if all(done):
+                return self._collect(now + 1)
+        totals = DeviceStats(cycles=now, sm_stats=[sm.stats for sm in sms])
+        raise SimulationError(
+            overrun_report(
+                self.kernel.name, max_cycles, now, totals, sm_count=len(sms)
+            )
+        )
 
     def _run_loop(self, now, max_cycles, done, wake, l2_misses_seen) -> DeviceStats:
         while now < max_cycles:
@@ -174,9 +242,8 @@ class GPUDevice:
                 now = min(candidates)
         totals = DeviceStats(cycles=now, sm_stats=[sm.stats for sm in self.sms])
         raise SimulationError(
-            "%s (%d SMs)" % (
-                _overrun_report(self.kernel.name, max_cycles, now, totals),
-                len(self.sms),
+            overrun_report(
+                self.kernel.name, max_cycles, now, totals, sm_count=len(self.sms)
             )
         )
 
@@ -201,6 +268,7 @@ def simulate_device(
     memory: MemoryImage,
     config: Optional[GPUConfig] = None,
     observers=None,
+    engine: str = "event",
 ) -> DeviceStats:
     """Run ``kernel`` on a whole device and return its :class:`DeviceStats`.
 
@@ -208,11 +276,14 @@ def simulate_device(
     default ``GPUConfig()`` (one SM, no L2) the run is cycle-identical
     to ``simulate(kernel, memory, config.sm)``.  ``observers`` attaches
     cycle-level listeners to every SM (and to the shared L2).
+    ``engine="reference"`` selects the lock-step cycle-scanning loop
+    instead of the event heap — same stats, slower; it exists for
+    differential testing.
     """
     if config is None:
         config = GPUConfig()
     device = GPUDevice(kernel, memory, config, observers=observers)
-    return device.run()
+    return device.run(engine=engine)
 
 
 __all__ = ["CTADispatcher", "GPUDevice", "simulate_device"]

@@ -73,24 +73,19 @@ class SchedulerBase:
     ) -> Optional[IBufEntry]:
         """Decoded, fresh, hazard-free instruction for this slot.
 
-        Negative verdicts are memoized on the warp against three
-        generation counters (divergence-model version, scoreboard
-        generation, instruction-buffer generation) plus a retry cycle
-        for purely time-gated stalls (decode delay, branch redirect):
-        a stalled slot costs four integer compares per cycle instead
-        of a buffer-and-scoreboard probe, and every event that could
-        wake it bumps one of the counters.
+        Negative verdicts are memoized as an absolute stall cycle per
+        hot slot (``warp.stall0``/``stall1``): the slot has no ready
+        instruction before that cycle.  Every event that could wake the
+        slot clears the field at its source — divergence-model changes
+        via the model's ``on_change`` hook, scoreboard add/release and
+        buffer fill/consume at their SM/fetch call sites — and purely
+        time-gated stalls (decode delay, branch redirect) record their
+        retry cycle.  Stalls are additionally capped at the model's
+        ``_settle_wake`` so SBI's read-path settling (a sideband
+        promotion re-ordering the hot pair with no mutation in between)
+        is re-observed the cycle it can first happen.
         """
-        scoreboard = warp.scoreboard
-        model_ver = warp.model.version
-        memo = warp.ready_memo[slot]
-        if (
-            memo is not None
-            and memo[0] == model_ver
-            and memo[1] == scoreboard.gen
-            and memo[2] == warp.ibuf_gen
-            and now < memo[3]
-        ):
+        if now < (warp.stall0 if slot == 0 else warp.stall1):
             return None
         retry = _NEVER
         entry = None
@@ -112,25 +107,32 @@ class SchedulerBase:
                         retry = e.ready_at
                     break
         if entry is None:
-            warp.ready_memo[slot] = (model_ver, scoreboard.gen, warp.ibuf_gen, retry)
+            wake = warp.model._settle_wake
+            if retry > wake:
+                retry = wake
+            if slot == 0:
+                warp.stall0 = retry
+            else:
+                warp.stall1 = retry
             return None
         # Scoreboard check with the register-mask prefilter inlined:
         # no in-flight destination overlaps this instruction's
         # read/write set in the common case.
+        scoreboard = warp.scoreboard
         instr = entry.instr
         if scoreboard._dst_mask & instr.hazard_mask:
             if not scoreboard.can_issue(
                 instr, split.mask, slot if slot < 2 else 2
             ):
-                warp.ready_memo[slot] = (
-                    model_ver, scoreboard.gen, warp.ibuf_gen, _NEVER
-                )
-                return None
+                entry = None
         elif instr.dst is not None and len(scoreboard.entries) >= scoreboard.capacity:
-            warp.ready_memo[slot] = (
-                model_ver, scoreboard.gen, warp.ibuf_gen, _NEVER
-            )
-            return None
+            entry = None
+        if entry is None:
+            retry = warp.model._settle_wake
+            if slot == 0:
+                warp.stall0 = retry
+            else:
+                warp.stall1 = retry
         return entry
 
     def _group_free(self, instr: Instruction, split: Split, now: int, co_issue: bool) -> bool:
@@ -173,24 +175,16 @@ class BaselineScheduler(SchedulerBase):
             best: Optional[Candidate] = None
             best_key = None
             for warp in pool:
-                if warp.done:
+                # Stall fast path first: a stalled warp skips even the
+                # hot-split probe (safe because stalls are capped at the
+                # model's settle wake — see _ready_entry).
+                if warp.done or now < warp.stall0:
                     continue
                 model = warp.model
                 hot = model._hot_cache
                 if hot is None:
                     hot = model.hot_splits(now)
                 if not hot:
-                    continue
-                # Stall-memo fast path (_ready_entry's memo, inlined
-                # to skip the call on the by-far-most-common verdict).
-                memo = warp.ready_memo[0]
-                if (
-                    memo is not None
-                    and memo[0] == model.version
-                    and memo[1] == warp.scoreboard.gen
-                    and memo[2] == warp.ibuf_gen
-                    and now < memo[3]
-                ):
                     continue
                 split = hot[0]
                 entry = ready_entry(warp, 0, split, now)
@@ -224,20 +218,13 @@ class Warp64Scheduler(SchedulerBase):
         ready_entry = self._ready_entry
         pick_group = self.sm.backend.pick_group
         for warp in self.sm.live_warps():
+            if now < warp.stall0:
+                continue
             model = warp.model
             hot = model._hot_cache
             if hot is None:
                 hot = model.hot_splits(now)
             if not hot:
-                continue
-            memo = warp.ready_memo[0]
-            if (
-                memo is not None
-                and memo[0] == model.version
-                and memo[1] == warp.scoreboard.gen
-                and memo[2] == warp.ibuf_gen
-                and now < memo[3]
-            ):
                 continue
             split = hot[0]
             entry = ready_entry(warp, 0, split, now)
@@ -264,7 +251,16 @@ class SBIScheduler(SchedulerBase):
         best: Optional[Candidate] = None
         ready_entry = self._ready_entry
         for warp in self.sm.live_warps():
+            if now < warp.stall0 and now < warp.stall1:
+                continue
             hot = warp.model.hot_splits(now)
+            if len(hot) < 2 and now >= warp.stall1:
+                # No secondary context: stall slot 1 so single-split
+                # warps take the two-compare fast path above.  A second
+                # hot split can only appear through a model change (the
+                # on_change hook clears this) or a sideband promotion
+                # (capped by the settle wake).
+                warp.stall1 = warp.model._settle_wake
             for slot, split in enumerate(hot[:2]):
                 entry = ready_entry(warp, slot, split, now)
                 if entry is None:
@@ -325,20 +321,13 @@ class CascadedScheduler(SchedulerBase):
 
     def _primary_ready(self, warp: TimingWarp, now: int) -> Optional[Candidate]:
         """This warp's CPC1 as a primary candidate, if eligible."""
+        if now < warp.stall0:
+            return None
         model = warp.model
         hot = model._hot_cache
         if hot is None:
             hot = model.hot_splits(now)
         if not hot:
-            return None
-        memo = warp.ready_memo[0]
-        if (
-            memo is not None
-            and memo[0] == model.version
-            and memo[1] == warp.scoreboard.gen
-            and memo[2] == warp.ibuf_gen
-            and now < memo[3]
-        ):
             return None
         split = hot[0]
         entry = self._ready_entry(warp, 0, split, now)
@@ -412,20 +401,13 @@ class CascadedScheduler(SchedulerBase):
         for warp in self._candidate_warps(primary):
             if primary is not None and warp is primary.warp:
                 continue
+            if now < warp.stall0:
+                continue
             model = warp.model
             hot = model._hot_cache
             if hot is None:
                 hot = model.hot_splits(now)
             if not hot:
-                continue
-            memo = warp.ready_memo[0]
-            if (
-                memo is not None
-                and memo[0] == model.version
-                and memo[1] == warp.scoreboard.gen
-                and memo[2] == warp.ibuf_gen
-                and now < memo[3]
-            ):
                 continue
             split = hot[0]
             entry = ready_entry(warp, 0, split, now)

@@ -25,6 +25,7 @@ from repro.functional.memory import MemoryImage, SharedMemory
 from repro.isa.builder import Kernel
 from repro.isa.instructions import Instruction, Op, OpClass
 from repro.core.policy import IssueEvent, MemEvent, RetireEvent, SplitEvent
+from repro.core.report import deadlock_report, overrun_report
 from repro.core.warp import TimingWarp
 from repro.timing.cache import L1Cache
 from repro.timing.config import SMConfig
@@ -42,27 +43,9 @@ class SimulationError(Exception):
     """Deadlock or cycle-limit overrun."""
 
 
-def _overrun_report(kernel_name: str, limit: int, now: int, stats_like) -> str:
-    """Cycle-limit message: progress counters plus a correct IPC.
-
-    ``stats_like`` needs ``instructions_issued`` and
-    ``thread_instructions`` (a :class:`Stats` or a device total).
-    """
-    cycles = max(now, 1)
-    return (
-        "kernel %s exceeded the %d-cycle limit at cycle %d: "
-        "%d instructions issued, %d thread instructions so far "
-        "(IPC %.2f, issue IPC %.3f)"
-        % (
-            kernel_name,
-            limit,
-            now,
-            stats_like.instructions_issued,
-            stats_like.thread_instructions,
-            stats_like.thread_instructions / cycles,
-            stats_like.instructions_issued / cycles,
-        )
-    )
+# Back-compat alias: the overrun/deadlock text now lives in
+# repro.core.report, shared with the device loop.
+_overrun_report = overrun_report
 
 
 @dataclass(slots=True)
@@ -137,6 +120,15 @@ class StreamingMultiprocessor:
         self.pending_launches: List[Tuple[int, Tuple[int, ...]]] = []
         self._wb_heap: List[Tuple[int, int, TimingWarp, object]] = []
         self._seq = 0
+        # Event engine: lazy-deletion min-heap of per-warp wake events
+        # ``(wake_cycle, seq, warp)``.  An entry is valid while its
+        # cycle equals ``warp.heap_wake``; superseded entries are left
+        # in the heap and dropped when popped.  ``_wake_dirty`` queues
+        # warps whose divergence model changed (on_change hook) for a
+        # heap refresh at the next event query.
+        self._wake_heap: List[Tuple[int, int, TimingWarp]] = []
+        self._wake_dirty: List[TimingWarp] = []
+        self._wake_seq = 0
         self._live_cache: Optional[List[TimingWarp]] = None
         self._parity_cache: Optional[Tuple[List[TimingWarp], List[TimingWarp]]] = None
         #: Optional issue trace: when a list is attached, every issue
@@ -165,10 +157,28 @@ class StreamingMultiprocessor:
         shared = SharedMemory(max(self.kernel.shared_bytes, 4))
         warps = []
         width = self.config.warp_width
+        dirty = self._wake_dirty
+        fetch = self.fetch
+        fetch._sleep_until = 0
         for i, slot in enumerate(slots):
             tids = np.arange(i * width, (i + 1) * width, dtype=np.int64)
             warp = TimingWarp(slot, cta, self.config, self.kernel, tids, shared)
             warp.ibuf = self.fetch.ways_for(slot)
+
+            def _changed(w=warp, dirty=dirty, fetch=fetch):
+                # Divergence-model change: the warp may have become
+                # schedulable/fetchable, and its split wake times may
+                # have moved — clear the stall memos and queue a wake-
+                # heap refresh.
+                w.stall0 = 0
+                w.stall1 = 0
+                w.fetch_stall = 0
+                fetch._sleep_until = 0
+                if not w.wake_dirty:
+                    w.wake_dirty = True
+                    dirty.append(w)
+
+            warp.model.on_change = _changed
             self.warp_slots[slot] = warp
             warps.append(warp)
         self.cta_warps[cta] = warps
@@ -287,7 +297,22 @@ class StreamingMultiprocessor:
         outcome = self.executor.execute_masked(instr, warp.fwarp, split.mask)
         active_mask = outcome.active_mask
         active_bits = active_mask.bit_count()
-        self.stats.record_issue(op_class.value, active_bits, origin)
+        # Stats.record_issue, inlined: this runs once per issued
+        # instruction and the call overhead is measurable.
+        stats = self.stats
+        stats.instructions_issued += 1
+        stats.thread_instructions += active_bits
+        per_op = stats.per_op_class
+        oc = op_class.value
+        per_op[oc] = per_op.get(oc, 0) + active_bits
+        if origin == "primary":
+            stats.issued_primary += 1
+        elif origin == "sbi":
+            stats.issued_sbi_secondary += 1
+        elif origin == "swi":
+            stats.issued_swi_secondary += 1
+        else:
+            raise ValueError("unknown issue origin %r" % origin)
         if self.trace is not None:
             self.trace.append(
                 (now, warp.wid, entry.pc, origin, split.mask, group.name)
@@ -302,11 +327,11 @@ class StreamingMultiprocessor:
 
         # Timing: occupancy and writeback.
         if op_class is OpClass.LSU:
-            misses_before = self.stats.l1_misses
+            misses_before = stats.l1_misses
             occupancy, wb = self.lsu_logic.access(instr, outcome, now)
-            if self.observers and self.stats.l1_misses > misses_before:
+            if self.observers and stats.l1_misses > misses_before:
                 event = MemEvent(
-                    now, self.sm_id, "l1", self.stats.l1_misses - misses_before
+                    now, self.sm_id, "l1", stats.l1_misses - misses_before
                 )
                 for observer in self.observers:
                     observer.on_l1_miss(event)
@@ -322,8 +347,12 @@ class StreamingMultiprocessor:
             self._seq += 1
 
         self.fetch.consume(warp.wid, entry)
-        warp.fetch_state = None  # freed buffer way: fetch may refill it
-        warp.ibuf_gen += 1
+        # A freed buffer way may be refilled, and the scoreboard add
+        # above may block the other slot: wake the warp's memos.
+        warp.fetch_stall = 0
+        self.fetch._sleep_until = 0
+        warp.stall0 = 0
+        warp.stall1 = 0
         warp.last_issue_cycle = now
         split.pending = False
 
@@ -331,14 +360,14 @@ class StreamingMultiprocessor:
         diverged = False
         op = instr.op
         if op is Op.BRA:
-            self.stats.branches += 1
+            stats.branches += 1
             taken = bools_to_mask(np.asarray(outcome.taken) & outcome.active)
             split.redirect_ready_at = now + config.branch_latency
             diverged = model.branch(split, taken, instr.target, instr.reconv_pc, now)
             if diverged:
-                self.stats.divergent_branches += 1
+                stats.divergent_branches += 1
                 n_splits = sum(1 for _ in model.all_splits())
-                self.stats.max_live_splits = max(self.stats.max_live_splits, n_splits)
+                stats.max_live_splits = max(stats.max_live_splits, n_splits)
                 if self.observers:
                     event = SplitEvent(now, self.sm_id, warp.wid, entry.pc, n_splits)
                     for observer in self.observers:
@@ -409,6 +438,9 @@ class StreamingMultiprocessor:
         while heap and heap[0][0] <= now:
             _, _, warp, sb_entry = heapq.heappop(heap)
             warp.scoreboard.release(sb_entry)
+            # A released destination can unblock either hot slot.
+            warp.stall0 = 0
+            warp.stall1 = 0
 
     def next_event_cycle(self, now: int) -> Optional[int]:
         """Earliest future cycle at which anything can happen here.
@@ -461,6 +493,128 @@ class StreamingMultiprocessor:
                     best = c
         return best
 
+    def _first_wake_after(self, warp: TimingWarp, now: int) -> int:
+        """Earliest future split wake of one warp, or -1.
+
+        A single pass over the live splits — no sorted cache: the scan
+        engine's per-warp wake list (``wake_cache``) answers *every*
+        possible ``now`` and so must be rebuilt on any change, but the
+        heap only ever needs the minimum for the current cycle.
+        Equivalent to ``wake_cache[bisect_right(wake_cache, now)]``
+        when the cache is fresh.
+        """
+        best = -1
+        for s in warp.model.all_splits():
+            r = s.redirect_ready_at
+            if r > now and (best < 0 or r < best):
+                best = r
+            r = s.ready_at
+            if r > now and (best < 0 or r < best):
+                best = r
+        return best
+
+    def _flush_wake_dirty(self, now: int) -> None:
+        """Refresh heap entries of warps whose model changed.
+
+        Recomputes each queued warp's first future wake and pushes it
+        as a new heap entry; the previous entry, if any, is superseded
+        in place (``warp.heap_wake`` no longer matches) and dropped
+        lazily.
+        """
+        dirty = self._wake_dirty
+        if not dirty:
+            return
+        heap = self._wake_heap
+        for warp in dirty:
+            warp.wake_dirty = False
+            if warp.done:
+                warp.heap_wake = -1
+                continue
+            c = self._first_wake_after(warp, now)
+            if c >= 0:
+                if c != warp.heap_wake:
+                    warp.heap_wake = c
+                    self._wake_seq += 1
+                    heapq.heappush(heap, (c, self._wake_seq, warp))
+            else:
+                warp.heap_wake = -1
+        del dirty[:]
+
+    def _heap_wake_peek(self, now: int) -> Optional[int]:
+        """Earliest valid future warp wake in the heap (lazy deletion).
+
+        Pops superseded/retired entries; an entry whose cycle has
+        passed advances to the warp's next cached wake.  The surviving
+        minimum equals the scan's ``min`` over per-warp wake caches.
+        """
+        heap = self._wake_heap
+        while heap:
+            c, _, warp = heap[0]
+            if warp.done or c != warp.heap_wake:
+                heapq.heappop(heap)  # stale: superseded or retired
+                continue
+            if c <= now:
+                # Time passed this entry (the wake cycle was stepped
+                # for another reason): advance to the warp's next wake.
+                # The direct walk is exact here: any split change since
+                # the entry was pushed queued the warp dirty, and the
+                # flush preceding this peek already re-registered it.
+                heapq.heappop(heap)
+                nc = self._first_wake_after(warp, now)
+                if nc >= 0:
+                    warp.heap_wake = nc
+                    self._wake_seq += 1
+                    heapq.heappush(heap, (nc, self._wake_seq, warp))
+                else:
+                    warp.heap_wake = -1
+                continue
+            return c
+        return None
+
+    def _heap_next_event(self, now: int) -> Optional[int]:
+        """Heap-fed :meth:`next_event_cycle`: same result, no warp scan.
+
+        The fixed event sources (writebacks, execution groups, fetch
+        decode, CTA relaunches) are O(1) queries; split wake-ups come
+        from the wake heap instead of a scan over every live warp.
+        """
+        best: Optional[int] = None
+        if self._wb_heap:
+            c = self._wb_heap[0][0]
+            if c <= now:  # caller did not drain writebacks first (tests)
+                c = min((w for w, _, _, _ in self._wb_heap if w > now), default=None)
+            if c is not None:
+                best = c
+        nxt = self.backend.next_free_cycle(now)
+        if nxt is not None and (best is None or nxt < best):
+            best = nxt
+        nxt = self.fetch.next_ready_after(now)
+        if nxt is not None and (best is None or nxt < best):
+            best = nxt
+        if self.pending_launches:
+            c = self.pending_launches[0][0]
+            if c <= now:
+                c = min((p for p, _ in self.pending_launches if p > now), default=None)
+            if c is not None and (best is None or c < best):
+                best = c
+        self._flush_wake_dirty(now)
+        nxt = self._heap_wake_peek(now)
+        if nxt is not None and (best is None or nxt < best):
+            best = nxt
+        return best
+
+    def event_heap_snapshot(self) -> List[Tuple[int, int]]:
+        """Valid pending ``(wake_cycle, warp_id)`` events, soonest first
+        (diagnostics: dumped into deadlock reports)."""
+        self._flush_wake_dirty(-1)
+        out = [
+            (c, w.wid)
+            for c, _, w in self._wake_heap
+            if not w.done and c == w.heap_wake
+        ]
+        out.sort()
+        return out
+
     def _next_event(self, now: int) -> int:
         nxt = self.next_event_cycle(now)
         if nxt is None:
@@ -468,17 +622,12 @@ class StreamingMultiprocessor:
         return nxt
 
     def _deadlock_report(self, now: int) -> str:
-        lines = [
-            "deadlock at cycle %d in kernel %s (SM %d)"
-            % (now, self.kernel.name, self.sm_id)
-        ]
-        for warp in self.live_warps():
-            splits = ", ".join(repr(s) for s in warp.model.all_splits())
-            lines.append(
-                "  warp %d (cta %d): %s; scoreboard=%d"
-                % (warp.wid, warp.cta_id, splits, len(warp.scoreboard))
-            )
-        return "\n".join(lines)
+        header = "deadlock at cycle %d in kernel %s (SM %d)" % (
+            now,
+            self.kernel.name,
+            self.sm_id,
+        )
+        return deadlock_report(header, [self], now)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -502,15 +651,34 @@ class StreamingMultiprocessor:
         pays, so garbage-lane arithmetic may otherwise emit numpy
         RuntimeWarnings — results are unaffected either way.
         """
-        self._launch_pending(now)
-        self._process_writebacks(now)
+        if self.pending_launches:
+            self._launch_pending(now)
+        heap = self._wb_heap
+        if heap and heap[0][0] <= now:
+            self._process_writebacks(now)
         issued = self.scheduler.tick(now)
         fetched = self.fetch.tick(now, self.live_warps())
         if issued:
             self.stats.busy_cycles += 1
-        return bool(issued or fetched)
+            return True
+        return fetched > 0
 
-    def run(self) -> Stats:
+    def run(self, engine: str = "event") -> Stats:
+        """Simulate to completion.
+
+        ``engine="event"`` (default) feeds idle-span jumps from the
+        SM's wake heap; ``engine="reference"`` re-derives every jump by
+        scanning all event sources (:meth:`next_event_cycle`).  Both
+        engines step exactly the same cycle sequence and produce
+        byte-identical stats — the reference loop exists for
+        differential testing (``tests/test_event_engine.py``).
+        """
+        if engine == "event":
+            next_event = self._heap_next_event
+        elif engine == "reference":
+            next_event = self.next_event_cycle
+        else:
+            raise ValueError("unknown engine %r" % (engine,))
         self._initial_launch()
         now = 0
         max_cycles = self.config.max_cycles
@@ -525,7 +693,10 @@ class StreamingMultiprocessor:
                 if progressed:
                     now += 1
                 else:
-                    now = self._next_event(now)
+                    nxt = next_event(now)
+                    if nxt is None:
+                        raise SimulationError(self._deadlock_report(now))
+                    now = nxt
         raise SimulationError(
-            _overrun_report(self.kernel.name, max_cycles, now, self.stats)
+            overrun_report(self.kernel.name, max_cycles, now, self.stats)
         )

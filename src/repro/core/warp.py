@@ -38,9 +38,11 @@ class TimingWarp:
         "wake_cache",
         "wake_version",
         "ibuf",
-        "ibuf_gen",
-        "fetch_state",
-        "ready_memo",
+        "stall0",
+        "stall1",
+        "fetch_stall",
+        "heap_wake",
+        "wake_dirty",
         "matrix_sb",
     )
 
@@ -93,19 +95,22 @@ class TimingWarp:
         # by) the SM's FetchEngine; bound at CTA launch so schedulers
         # probe the buffer without a dict lookup per readiness check.
         self.ibuf: Sequence = ()
-        # Fetch-idle memo ``(model_version, retry_cycle)``: no fetch
-        # can succeed for this warp before ``retry_cycle`` unless the
-        # divergence model mutates or a buffer entry is consumed
-        # (which resets this to None).  Maintained by FetchEngine.tick.
-        self.fetch_state = None
-        # Generation counter of ``ibuf`` content (fills and consumes).
-        self.ibuf_gen = 0
-        # Per-hot-slot issue-stall memo
-        # ``(model_version, scoreboard_gen, ibuf_gen, retry_cycle)``:
-        # the slot has no ready instruction before ``retry_cycle`` as
-        # long as all three generation counters still match.  Written
-        # and read by SchedulerBase._ready_entry.
-        self.ready_memo = [None, None]
+        # Absolute stall cycles: hot slot N has no ready instruction
+        # (stall0/stall1), or fetch has nothing to do (fetch_stall),
+        # before the stored cycle.  Every event that could wake the
+        # warp clears them — divergence-model changes through the
+        # model's on_change hook (bound by the SM at launch), and
+        # scoreboard add/release plus instruction-buffer fill/consume
+        # at their call sites.  Time-gated stalls (decode, branch
+        # redirect, the SBI settle wake) store their retry cycle.
+        self.stall0 = 0
+        self.stall1 = 0
+        self.fetch_stall = 0
+        # Event-heap bookkeeping (StreamingMultiprocessor._wake_heap):
+        # the wake cycle of this warp's current valid heap entry (-1 =
+        # none), and whether the warp is queued for a heap refresh.
+        self.heap_wake = -1
+        self.wake_dirty = False
 
     def retire_check(self) -> bool:
         if not self.done and self.model.done:

@@ -41,7 +41,7 @@ from repro.isa.instructions import (
     Operand,
     OperandKind,
 )
-from repro.timing.masks import full_mask, mask_to_bools
+from repro.timing.masks import bools_to_indices, full_mask, mask_to_bools
 
 # ``ExecutionError``/``ExecOutcome`` live in executor.py; imported
 # lazily inside functions to avoid a circular import (executor.py
@@ -273,8 +273,13 @@ def _compile_memory(
             mem = fw.shared if shared else memory
             if active is full_arr:
                 fw.regs[dst][:] = mem.load(addrs)
-            elif active.any():
-                fw.regs[dst][active] = mem.load(addrs[active])
+            else:
+                # Index-array gather/scatter touches the same elements
+                # as the interpreter's boolean indexing, in the same
+                # ascending-lane order.
+                idx = bools_to_indices(active)
+                if idx.size:
+                    fw.regs[dst][idx] = mem.load(addrs[idx])
             return ExecOutcome(active=active, addresses=addrs, space=space)
 
         return plan
@@ -294,8 +299,10 @@ def _compile_memory(
             mem = fw.shared if shared else memory
             if active is full_arr:
                 mem.store(addrs, store_values(fw))
-            elif active.any():
-                mem.store(addrs[active], store_values(fw)[active])
+            else:
+                idx = bools_to_indices(active)
+                if idx.size:
+                    mem.store(addrs[idx], store_values(fw)[idx])
             return ExecOutcome(active=active, addresses=addrs, space=space)
 
         return plan
@@ -309,10 +316,12 @@ def _compile_memory(
             old = mem.atomic(addrs, store_values(fw), atom_op)
             if dst is not None:
                 fw.regs[dst][:] = old
-        elif active.any():
-            old = mem.atomic(addrs[active], store_values(fw)[active], atom_op)
-            if dst is not None:
-                fw.regs[dst][active] = old
+        else:
+            idx = bools_to_indices(active)
+            if idx.size:
+                old = mem.atomic(addrs[idx], store_values(fw)[idx], atom_op)
+                if dst is not None:
+                    fw.regs[dst][idx] = old
         return ExecOutcome(active=active, addresses=addrs, space=space)
 
     return plan

@@ -133,6 +133,7 @@ class Executor:
         self._instrs = kernel.program.instructions
         self._plans = [None] * len(self._instrs) if compiled else None
         self._plan_width: Optional[int] = None
+        self._bools_memo: dict = {}
 
     # ------------------------------------------------------------------
     # Entry points
@@ -182,6 +183,15 @@ class Executor:
         width = warp.width
         plans = self._plans
         if plans is not None and width == self._plan_width:
+            # Int-keyed bool-expansion memo: same results as the shared
+            # (mask, width) intern, but an int key hashes to itself —
+            # faster on a lookup that runs once per issued instruction.
+            memo = self._bools_memo
+            bools = memo.get(mask)
+            if bools is None:
+                if len(memo) >= 1 << 14:
+                    memo.clear()
+                bools = memo[mask] = mask_to_bools(mask, width)
             pc = instr.pc
             if 0 <= pc < len(plans) and self._instrs[pc] is instr:
                 plan = plans[pc]
@@ -191,7 +201,7 @@ class Executor:
                     plan = plans[pc] = compile_guarded(
                         instr, self.kernel, self.memory, width
                     )
-                outcome = plan(warp, mask_to_bools(mask, width))
+                outcome = plan(warp, bools)
             else:
                 outcome = self._execute_interp(
                     instr, warp, mask_to_bools(mask, width)

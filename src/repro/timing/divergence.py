@@ -24,6 +24,9 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.timing.masks import permute_mask, popcount
 
+#: "No scheduled self-wake" sentinel (shared with hct/schedulers/fetch).
+_NEVER = 1 << 62
+
 
 class Split:
     """One warp-split: PC, thread mask, and scheduling state."""
@@ -87,6 +90,17 @@ class DivergenceModel:
     #: hottest per-warp-per-cycle scans.
     _hot_cache = None
 
+    #: Change-notification hook, bound by the SM at warp launch.  Fired
+    #: on every version bump so the engine can clear the warp's stall
+    #: memos and re-enqueue its wake event without polling the counter.
+    on_change = None
+
+    #: Earliest future cycle the model can change state *on its own*
+    #: (SBI's sideband-sorter promotions on the read path); ``_NEVER``
+    #: for purely mutation-driven models.  Stall memos written while
+    #: the model is quiescent are capped at this cycle.
+    _settle_wake = _NEVER
+
     def __init__(self, launch_mask: int, lane_perm: Sequence[int]) -> None:
         self.launch_mask = launch_mask
         self.lane_perm = lane_perm
@@ -103,6 +117,10 @@ class DivergenceModel:
     def _touch(self) -> None:
         """Invalidate memoized views after a state change."""
         self.version += 1
+        self._hot_cache = None
+        cb = self.on_change
+        if cb is not None:
+            cb()
 
     # -- scheduling view ------------------------------------------------
 

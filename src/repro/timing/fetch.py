@@ -54,6 +54,11 @@ class FetchEngine:
         # Decode-ready high-water mark: nothing in any buffer becomes
         # ready after this cycle, so idle scans can bail immediately.
         self._latest_ready = -1
+        # Engine-wide sleep: a full scan that fetched nothing proves no
+        # warp can fetch before the earliest of their stall cycles.
+        # Any stall-clearing site (consume, model change, CTA launch)
+        # must zero this along with the per-warp stall.
+        self._sleep_until = 0
 
     # ------------------------------------------------------------------
 
@@ -99,96 +104,125 @@ class FetchEngine:
         """
         if not warps:
             return 0
+        if now < self._sleep_until:
+            # Proven idle: a prior full scan left every warp stalled
+            # past this cycle and nothing cleared a stall since.  A
+            # real scan would skip every warp and write nothing, so
+            # only the round-robin pointer needs to advance.
+            self._rr += 1
+            return 0
         fetched = 0
         n = len(warps)
         start = self._rr % n
         cap = self.hot_capacity
         width = self.fetch_width
         program = self.program
-        order = warps[start:] + warps[:start] if start else warps
-        for warp in order:
-            if fetched >= width:
+        sleep = _NEVER
+        scanning = True
+        for lo, hi in ((start, n), (0, start)):
+            if not scanning:
                 break
-            if warp is None or warp.done:
-                continue
-            model = warp.model
-            # Fetch-idle memo: nothing to fetch for this warp until a
-            # model mutation, an entry consume (resets the memo), or
-            # the recorded redirect-gate cycle.
-            state = warp.fetch_state
-            if state is not None and state[0] == model.version and now < state[1]:
-                continue
-            hot = model._hot_cache
-            if hot is None:
-                hot = model.hot_splits(now)
-            if len(hot) > cap:
-                hot = hot[:cap]
-            ways = warp.ibuf or self.ways_for(warp.wid)
-            hot_pcs = None
-            fetched_here = False
-            retry = _NEVER
-            for split in hot:
+            for j in range(lo, hi):
                 if fetched >= width:
-                    # Out of bandwidth mid-warp: no idle verdict.
-                    retry = None
+                    # Bandwidth exhausted before the scan finished:
+                    # unvisited warps leave no idle verdict.
+                    sleep = 0
+                    scanning = False
                     break
-                if split.parked or split.pending:
+                warp = warps[j]
+                # Fetch-stall fast path: nothing to fetch for this warp
+                # until a model change (cleared via the on_change hook),
+                # an entry consume (cleared by the SM), or the recorded
+                # redirect-gate / settle-wake cycle.
+                stall = warp.fetch_stall
+                if now < stall:
+                    if stall < sleep:
+                        sleep = stall
                     continue
-                gate = split.redirect_ready_at
-                if gate > now:
-                    if retry is not None and gate < retry:
-                        retry = gate
+                if warp.done:
                     continue
-                pc = split.pc
-                matched = False
-                for entry in ways:
-                    if entry is not None and entry.pc == pc:
-                        matched = True
+                model = warp.model
+                hot = model._hot_cache
+                if hot is None:
+                    hot = model.hot_splits(now)
+                if len(hot) > cap:
+                    hot = hot[:cap]
+                ways = warp.ibuf or self.ways_for(warp.wid)
+                hot_pcs = None
+                fetched_here = False
+                retry = _NEVER
+                for split in hot:
+                    if fetched >= width:
+                        # Out of bandwidth mid-warp: no idle verdict.
+                        retry = None
                         break
-                if matched:
-                    continue
-                # Victim: empty way, else a way matching no hot PC.
-                victim = None
-                for vi, entry in enumerate(ways):
-                    if entry is None:
-                        victim = vi
-                        break
-                if victim is None:
-                    if hot_pcs is None:
-                        hot_pcs = [s.pc for s in hot]
+                    if split.parked or split.pending:
+                        continue
+                    gate = split.redirect_ready_at
+                    if gate > now:
+                        if retry is not None and gate < retry:
+                            retry = gate
+                        continue
+                    pc = split.pc
+                    matched = False
+                    for entry in ways:
+                        if entry is not None and entry.pc == pc:
+                            matched = True
+                            break
+                    if matched:
+                        continue
+                    # Victim: empty way, else a way matching no hot PC.
+                    victim = None
                     for vi, entry in enumerate(ways):
-                        if entry.pc not in hot_pcs:
+                        if entry is None:
                             victim = vi
                             break
-                if victim is None:
-                    continue
-                ways[victim] = IBufEntry(
-                    pc=pc,
-                    instr=program[pc],
-                    fetch_cycle=now,
-                    ready_at=now + 1,
-                    index=victim,
-                )
-                warp.ibuf_gen += 1  # wakes the scheduler's stall memo
-                fetched += 1
-                fetched_here = True
-            if fetched_here or retry is None:
-                warp.fetch_state = None
-            else:
-                warp.fetch_state = (model.version, retry)
-        if fetched and now + 1 > self._latest_ready:
-            self._latest_ready = now + 1
+                    if victim is None:
+                        if hot_pcs is None:
+                            hot_pcs = [s.pc for s in hot]
+                        for vi, entry in enumerate(ways):
+                            if entry.pc not in hot_pcs:
+                                victim = vi
+                                break
+                    if victim is None:
+                        continue
+                    ways[victim] = IBufEntry(
+                        pc=pc,
+                        instr=program[pc],
+                        fetch_cycle=now,
+                        ready_at=now + 1,
+                        index=victim,
+                    )
+                    # A fill wakes the scheduler's stall memos.
+                    warp.stall0 = 0
+                    warp.stall1 = 0
+                    fetched += 1
+                    fetched_here = True
+                if fetched_here or retry is None:
+                    warp.fetch_stall = 0
+                    sleep = 0
+                else:
+                    wake = model._settle_wake
+                    stall = retry if retry < wake else wake
+                    warp.fetch_stall = stall
+                    if stall < sleep:
+                        sleep = stall
+        if fetched:
+            if now + 1 > self._latest_ready:
+                self._latest_ready = now + 1
+            self._sleep_until = 0
+        else:
+            self._sleep_until = sleep
         self._rr += 1
         return fetched
 
     def next_ready_after(self, now: int) -> Optional[int]:
-        """Earliest future decode-ready time (event skipping)."""
-        if self._latest_ready <= now:
-            return None
-        best = None
-        for ways in self.buffers.values():
-            for e in ways:
-                if e is not None and e.ready_at > now:
-                    if best is None or e.ready_at < best:
-                        best = e.ready_at
-        return best
+        """Earliest future decode-ready time (event skipping).
+
+        O(1): every entry decodes one cycle after its fetch and fetch
+        cycles never exceed the driver's (non-decreasing) ``now``, so
+        the only possible *future* ready time is the high-water mark —
+        held exactly when the latest fetch happened this cycle.
+        """
+        latest = self._latest_ready
+        return latest if latest > now else None

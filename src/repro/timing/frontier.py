@@ -30,10 +30,6 @@ class FrontierModel(DivergenceModel):
         self.parked: List[Split] = []
         self._hot_cache: Optional[List[Split]] = None
 
-    def _touch(self) -> None:
-        self.version += 1
-        self._hot_cache = None
-
     # -- views -----------------------------------------------------------
 
     def hot_splits(self, now: int) -> List[Split]:

@@ -65,6 +65,9 @@ class SBIModel(DivergenceModel):
     def _touch(self) -> None:
         self.version += 1
         self._dirty = True
+        cb = self.on_change
+        if cb is not None:
+            cb()
 
     # -- views -----------------------------------------------------------
 
@@ -129,9 +132,12 @@ class SBIModel(DivergenceModel):
         if self.merge_count != merges_before or self.hot != old_hot:
             # State changes happen on the read path too: a merge, or a
             # cold context waking through the sideband sorter and
-            # (re)ordering the hot pair.  Version-keyed memos (fetch
-            # idle, scheduler stall, wake caches) must see it.
+            # (re)ordering the hot pair.  Stall memos and wake caches
+            # must see it, so the change hook fires here as well.
             self.version += 1
+            cb = self.on_change
+            if cb is not None:
+                cb()
         self._dirty = False
         wake = None
         for s in self.cold:

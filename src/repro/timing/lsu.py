@@ -23,7 +23,7 @@ formation.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.functional.executor import ExecOutcome
 from repro.isa.instructions import Instruction, MemSpace, Op
 from repro.timing.cache import L1Cache
 from repro.timing.dram import DRAMChannel
+from repro.timing.masks import bools_to_indices
 from repro.timing.stats import Stats
 
 
@@ -60,7 +61,7 @@ class LoadStoreUnit:
         result is architecturally complete (scoreboard release for
         loads/atomics; port drain for stores).
         """
-        addrs = outcome.addresses[outcome.active]
+        addrs = outcome.addresses[bools_to_indices(outcome.active)]
         if addrs.size == 0:
             return 1, now + self.config.l1_latency
         if outcome.space is MemSpace.SHARED:
@@ -79,8 +80,7 @@ class LoadStoreUnit:
         if not serialize_all:
             addrs = np.unique(addrs)
         banks = (addrs // 4) % self.config.shared_banks
-        counts = np.bincount(banks.astype(np.int64))
-        return max(1, int(counts.max()))
+        return max(1, int(np.bincount(banks).max()))
 
     def _shared(self, instr: Instruction, addrs: np.ndarray, now: int) -> Tuple[int, int]:
         serialize_all = instr.op not in (Op.LD, Op.ST)
@@ -124,8 +124,8 @@ class LoadStoreUnit:
         self.stats.dram_bytes += len(segments) * seg_bytes
 
     def _global(self, instr: Instruction, addrs: np.ndarray, now: int) -> Tuple[int, int]:
-        blocks = self._blocks_of(addrs)
         if instr.op is Op.LD:
+            blocks = self._blocks_of(addrs)
             occupancy = len(blocks)
             wb = now
             for i, block in enumerate(blocks):
@@ -134,14 +134,28 @@ class LoadStoreUnit:
             self.stats.memory_replays += occupancy - 1
             return occupancy, wb
         if instr.op is Op.ST:
-            occupancy = len(blocks)
+            # One pass over the sorted unique segment ids replaces the
+            # per-block boolean rescan of ``addrs``: the store segment
+            # divides the L1 block, so consecutive runs of equal
+            # ``segment -> block`` ids are exactly the per-block chunks
+            # the scalar walk produced (same order, same segments).
+            seg_bytes = self.config.store_segment
+            segs = np.unique(addrs // seg_bytes)
+            seg_blocks = segs * seg_bytes // self.config.l1_block
+            starts = np.concatenate(
+                ([0], np.flatnonzero(seg_blocks[1:] != seg_blocks[:-1]) + 1)
+            )
+            ends = np.append(starts[1:], segs.size)
+            occupancy = int(starts.size)
             for i in range(occupancy):
-                chunk = addrs[(addrs // self.config.l1_block) == blocks[i]]
-                self._store_traffic(chunk, now + i)
+                segments = segs[starts[i] : ends[i]].tolist()
+                self.dram.post_write_segments(segments, seg_bytes, now + i)
+                self.stats.dram_bytes += len(segments) * seg_bytes
             self.stats.global_transactions += occupancy
             self.stats.memory_replays += occupancy - 1
             return occupancy, now + occupancy - 1 + 1
         # Atomics: fetch each block once, then serialise one thread/cycle.
+        blocks = self._blocks_of(addrs)
         occupancy = int(addrs.size)
         data_ready = now
         for i, block in enumerate(blocks):

@@ -29,10 +29,6 @@ class StackModel(DivergenceModel):
         self.stack: List[Split] = [Split(0, launch_mask, lane_perm, rpc=None)]
         self._hot_cache: Optional[List[Split]] = None
 
-    def _touch(self) -> None:
-        self.version += 1
-        self._hot_cache = None
-
     # -- views -----------------------------------------------------------
 
     def hot_splits(self, now: int) -> List[Split]:

@@ -75,6 +75,11 @@ class ExecGroup:
             raise RuntimeError("overlapping co-issue on group %s" % self.name)
         self.lane_mask |= lane_mask
         self.issue_count += 1
+        if self.width >= self.warp_width:
+            # Full-width unit: any mask is a single wave.
+            if self.free_at < now + 1:
+                self.free_at = now + 1
+            return 1
         waves = wave_count(self.lane_mask, self.width, self.warp_width)
         self.free_at = max(self.free_at, now + waves)
         return wave_count(lane_mask, self.width, self.warp_width)

@@ -436,6 +436,51 @@ class TestBench:
         assert refreshed["pre_pr_reference"] == {"wall_seconds": 99.0}
         assert refreshed["cells_per_sec"] != artifact["cells_per_sec"]
 
+    def test_artifact_records_host_metadata(self, tmp_path):
+        out = str(tmp_path / "BENCH_speed.json")
+        run_cli(*self.ARGS, "--json", out)
+        with open(out) as f:
+            artifact = json.load(f)
+        host = artifact["host"]
+        import platform
+
+        assert host["python"] == platform.python_version()
+        assert host["machine"] == platform.machine()
+        assert isinstance(host["cpu_count"], int)
+
+    def test_json_refresh_annotates_speedup(self, tmp_path):
+        out = str(tmp_path / "BENCH_speed.json")
+        run_cli(*self.ARGS, "--json", out)
+        with open(out) as f:
+            artifact = json.load(f)
+        artifact["pre_pr_reference"] = {"cells_per_sec": artifact["cells_per_sec"] / 2}
+        with open(out, "w") as f:
+            json.dump(artifact, f)
+        run_cli(*self.ARGS, "--json", out)
+        with open(out) as f:
+            refreshed = json.load(f)
+        expected = refreshed["cells_per_sec"] / artifact["pre_pr_reference"]["cells_per_sec"]
+        assert refreshed["speedup_vs_reference"] == pytest.approx(expected)
+
+    def test_speedup_omitted_without_reference(self):
+        from repro import bench
+
+        result = {"cells_per_sec": 10.0}
+        bench.annotate_speedup(result)
+        assert "speedup_vs_reference" not in result
+        result["pre_pr_reference"] = {"cells_per_sec": 0.0}
+        bench.annotate_speedup(result)
+        assert "speedup_vs_reference" not in result
+
+    def test_profile_flag_writes_pstats(self, tmp_path):
+        import pstats
+
+        pout = str(tmp_path / "bench.pstats")
+        proc = run_cli(*self.ARGS, "--profile", "5", "--profile-out", pout)
+        assert "cumulative" in proc.stderr
+        stats = pstats.Stats(pout)
+        assert stats.total_calls > 0
+
     def test_repeat_must_be_positive(self):
         from repro import bench
 
