@@ -11,13 +11,19 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-sbi-swi",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "Cycle-level reproduction of 'Simultaneous Branch and Warp "
         "Interweaving for Sustained GPU Performance' (ISCA 2012)"
     ),
     packages=find_packages("src"),
     package_dir={"": "src"},
+    package_data={
+        # PEP 561: the package ships inline type annotations.
+        "repro": ["py.typed"],
+        # Committed config-schema fingerprint read by `repro lint`.
+        "repro.lint": ["data/*.json"],
+    },
     python_requires=">=3.10",
     install_requires=["numpy"],
     entry_points={"console_scripts": ["repro=repro.cli:main"]},

@@ -24,7 +24,7 @@ import hashlib
 import json
 import os
 import re
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.timing.config import GPUConfig, SMConfig
 from repro.timing.stats import DeviceStats, Stats
@@ -56,7 +56,7 @@ class CacheSerializationError(ValueError):
 # ----------------------------------------------------------------------
 
 
-def _freeze(value):
+def _freeze(value: object) -> object:
     if isinstance(value, dict):
         return tuple((k, _freeze(v)) for k, v in sorted(value.items()))
     if isinstance(value, (list, tuple)):
@@ -79,7 +79,10 @@ def config_hash(config: AnyConfig) -> str:
         "type": type(config).__name__,
         "fields": dataclasses.asdict(config),
     }
-    blob = json.dumps(payload, sort_keys=True, default=repr)
+    # No default= fallback: a non-JSON-native field must fail loudly
+    # here rather than be repr'd (repr can embed object addresses,
+    # which would derive a different key on every run).
+    blob = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
@@ -208,7 +211,7 @@ class CacheInfo:
         return "\n".join(lines)
 
 
-def _disk_entries(disk_dir: str):
+def _disk_entries(disk_dir: str) -> Iterator[str]:
     try:
         names = sorted(os.listdir(disk_dir))
     except OSError:

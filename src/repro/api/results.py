@@ -15,7 +15,7 @@ import csv
 import io
 import json
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.api.cache import AnyStats, stats_from_payload, stats_to_payload
 from repro.analysis.report import format_table, gmean, hmean
@@ -37,7 +37,7 @@ class Result:
     stats: AnyStats
 
     @property
-    def key(self):
+    def key(self) -> Tuple[str, str, str]:
         return (self.workload, self.size, self.config)
 
 
@@ -182,7 +182,7 @@ class ResultSet:
         the filtered view (``predicate`` applies to results only).
         """
 
-        def wanted(value, criterion):
+        def wanted(value: str, criterion: object) -> bool:
             if criterion is None:
                 return True
             if isinstance(criterion, str):
@@ -391,7 +391,9 @@ class ResultSet:
                 f.write(text)
         return text
 
-    def _table_rows(self, metric: Metric, mean: Optional[str]):
+    def _table_rows(
+        self, metric: Metric, mean: Optional[str]
+    ) -> Tuple[List[str], List[List[object]]]:
         table = self.pivot("workload", "config", metric)
         configs = self.configs
         rows = [

@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -119,7 +120,9 @@ def _validate_metric(spec: SweepSpec, metric: str) -> None:
         DeviceStats if isinstance(cfg, GPUConfig) else Stats
         for cfg in spec.configs.values()
     }
-    for kind in kinds:
+    # Sorted so a metric bad for both kinds always reports the same
+    # one first (set order varies per process).
+    for kind in sorted(kinds, key=lambda k: k.__name__):
         names = {f.name for f in dataclasses.fields(kind)} | {
             name
             for name, value in vars(kind).items()
@@ -409,6 +412,17 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import LintError
+    from repro.lint.runner import run_from_args
+
+    try:
+        return run_from_args(args)
+    except LintError as exc:
+        print("lint error: %s" % exc, file=sys.stderr)
+        return 2
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -589,6 +603,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: $REPRO_CACHE_DIR)",
     )
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism & invariant static analysis over the source tree",
+    )
+    from repro.lint.runner import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(p)
+    p.set_defaults(fn=_cmd_lint)
     return parser
 
 
@@ -599,6 +622,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (ValueError, KeyError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout closed early (`repro ... | head`); not an error, but
+        # Python prints a traceback at shutdown unless the fd is
+        # parked on devnull first.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

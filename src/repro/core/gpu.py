@@ -30,6 +30,7 @@ import numpy as np
 from repro.functional.memory import MemoryImage
 from repro.isa.builder import Kernel
 from repro.core.policy import MemEvent
+from repro.core.policy.events import LEVEL_L2
 from repro.core.report import deadlock_report, overrun_report
 from repro.core.sm import SimulationError, StreamingMultiprocessor
 from repro.timing.config import GPUConfig
@@ -191,7 +192,7 @@ class GPUDevice:
                     new_misses = l2.misses - l2_misses_seen
                     if new_misses:
                         l2_misses_seen = l2.misses
-                        event = MemEvent(now, sm.sm_id, "l2", new_misses)
+                        event = MemEvent(now, sm.sm_id, LEVEL_L2, new_misses)
                         for observer in observers:
                             observer.on_l2_miss(event)
                 if sm.finished:
@@ -221,7 +222,7 @@ class GPUDevice:
                     new_misses = self.l2.misses - l2_misses_seen
                     if new_misses:
                         l2_misses_seen = self.l2.misses
-                        event = MemEvent(now, sm.sm_id, "l2", new_misses)
+                        event = MemEvent(now, sm.sm_id, LEVEL_L2, new_misses)
                         for observer in self.observers:
                             observer.on_l2_miss(event)
                 if sm.finished:

@@ -11,8 +11,13 @@ pipeline in.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 from repro.core.policy.registry import Registry
 from repro.core.policy.spec import PolicySpec
+
+if TYPE_CHECKING:  # import cycle: config resolves modes through us
+    from repro.timing.config import SMConfig
 
 from repro.timing.dwr import DWRModel
 from repro.timing.frontier import FrontierModel
@@ -32,17 +37,17 @@ POLICIES: Registry = Registry("policy")
 
 
 @DIVERGENCE.register("stack")
-def _stack(config, launch_mask, perm):
+def _stack(config: SMConfig, launch_mask: int, perm: Sequence[int]) -> StackModel:
     return StackModel(launch_mask, perm)
 
 
 @DIVERGENCE.register("frontier")
-def _frontier(config, launch_mask, perm):
+def _frontier(config: SMConfig, launch_mask: int, perm: Sequence[int]) -> FrontierModel:
     return FrontierModel(launch_mask, perm)
 
 
 @DIVERGENCE.register("sbi_heap")
-def _sbi_heap(config, launch_mask, perm):
+def _sbi_heap(config: SMConfig, launch_mask: int, perm: Sequence[int]) -> SBIModel:
     return SBIModel(
         launch_mask,
         perm,
@@ -52,7 +57,7 @@ def _sbi_heap(config, launch_mask, perm):
 
 
 @DIVERGENCE.register("dwr")
-def _dwr(config, launch_mask, perm):
+def _dwr(config: SMConfig, launch_mask: int, perm: Sequence[int]) -> DWRModel:
     # Fixed 32-wide sub-warps: half of the paper's 64-wide warp, the
     # baseline machine's native width.
     return DWRModel(launch_mask, perm, subwarp_width=32)

@@ -25,6 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.core.policy.events import (
+    KIND_ISSUE,
+    KIND_L1_MISS,
+    KIND_L2_MISS,
+    KIND_RETIRE,
+    KIND_SPLIT,
+)
 from repro.core.policy.registry import Registry
 
 
@@ -112,18 +119,18 @@ class EventCounter(Observer):
         self.sequence.append((kind, cycle))
 
     def on_issue(self, event: IssueEvent) -> None:
-        self._record("issue", event.cycle)
+        self._record(KIND_ISSUE, event.cycle)
 
     def on_retire(self, event: RetireEvent) -> None:
-        self._record("retire", event.cycle)
+        self._record(KIND_RETIRE, event.cycle)
 
     def on_split(self, event: SplitEvent) -> None:
-        self._record("split", event.cycle)
+        self._record(KIND_SPLIT, event.cycle)
 
     def on_l1_miss(self, event: MemEvent) -> None:
-        self.counts["l1_miss"] = self.counts.get("l1_miss", 0) + event.count
-        self.sequence.append(("l1_miss", event.cycle))
+        self.counts[KIND_L1_MISS] = self.counts.get(KIND_L1_MISS, 0) + event.count
+        self.sequence.append((KIND_L1_MISS, event.cycle))
 
     def on_l2_miss(self, event: MemEvent) -> None:
-        self.counts["l2_miss"] = self.counts.get("l2_miss", 0) + event.count
-        self.sequence.append(("l2_miss", event.cycle))
+        self.counts[KIND_L2_MISS] = self.counts.get(KIND_L2_MISS, 0) + event.count
+        self.sequence.append((KIND_L2_MISS, event.cycle))

@@ -38,6 +38,7 @@ from typing import List, Optional, Tuple
 
 from repro.isa.instructions import Instruction
 from repro.core.policy import SCHEDULERS
+from repro.core.policy.events import ORIGIN_PRIMARY, ORIGIN_SBI, ORIGIN_SWI
 from repro.core.sm import IssueRecord, StreamingMultiprocessor
 from repro.core.warp import TimingWarp
 from repro.timing.divergence import Split
@@ -202,7 +203,7 @@ class BaselineScheduler(SchedulerBase):
                 best = (key, warp, 0, split, entry)
             if best is not None:
                 record = self.sm.issue(
-                    best[1], best[2], best[3], best[4], now, "primary", co_issue=False
+                    best[1], best[2], best[3], best[4], now, ORIGIN_PRIMARY, co_issue=False
                 )
                 if record is not None:
                     issued += 1
@@ -238,7 +239,7 @@ class Warp64Scheduler(SchedulerBase):
             best = (key, warp, 0, split, entry)
         if best is None:
             return 0
-        record = self.sm.issue(best[1], best[2], best[3], best[4], now, "primary", co_issue=False)
+        record = self.sm.issue(best[1], best[2], best[3], best[4], now, ORIGIN_PRIMARY, co_issue=False)
         return 1 if record is not None else 0
 
 
@@ -282,7 +283,7 @@ class SBIScheduler(SchedulerBase):
             split = hot[0]
             entry = self._ready_entry(warp, 0, split, now)
             if entry is not None:
-                primary = self.sm.issue(warp, 0, split, entry, now, "primary", co_issue=False)
+                primary = self.sm.issue(warp, 0, split, entry, now, ORIGIN_PRIMARY, co_issue=False)
                 if primary is not None:
                     issued += 1
         # Secondary front-end: re-read the heap (the primary may have
@@ -296,7 +297,7 @@ class SBIScheduler(SchedulerBase):
                     entry.instr.is_branch and primary is not None and primary.diverged
                 )
                 if one_divergence_ok:
-                    origin = "sbi"
+                    origin = ORIGIN_SBI
                     record = self.sm.issue(warp, 1, split, entry, now, origin, co_issue=True)
                     if record is not None:
                         issued += 1
@@ -354,7 +355,9 @@ class CascadedScheduler(SchedulerBase):
                 best = cand
         return best
 
-    def _secondary_key(self, warp: TimingWarp, split: Split, entry: IBufEntry):
+    def _secondary_key(
+        self, warp: TimingWarp, split: Split, entry: IBufEntry
+    ) -> Tuple[int, ...]:
         """Ranking key of one SWI candidate (higher wins): best lane
         fit, pseudo-random among equals (paper section 4)."""
         return (popcount(split.mask), -self._rand())
@@ -391,7 +394,7 @@ class CascadedScheduler(SchedulerBase):
                     and not (entry.instr.is_branch and primary.diverged)
                     and self._group_free(entry.instr, split, now, co_issue=True)
                 ):
-                    return ("sbi", warp, 1, split, entry)
+                    return (ORIGIN_SBI, warp, 1, split, entry)
         # SWI: best-fit search over the candidate window.
         if primary is not None:
             self.sm.stats.swi_lookups += 1
@@ -418,7 +421,7 @@ class CascadedScheduler(SchedulerBase):
             key = self._secondary_key(warp, split, entry)
             if best_key is None or key > best_key:
                 best_key = key
-                best = ("swi" if primary is not None else "primary", warp, 0, split, entry)
+                best = (ORIGIN_SWI if primary is not None else ORIGIN_PRIMARY, warp, 0, split, entry)
         return best
 
     # -- tick --------------------------------------------------------------
@@ -442,7 +445,7 @@ class CascadedScheduler(SchedulerBase):
             ):
                 return 0  # hazard materialised; hold in the issue stage
             else:
-                record = self.sm.issue(warp, 0, split, entry, now, "primary", co_issue=False)
+                record = self.sm.issue(warp, 0, split, entry, now, ORIGIN_PRIMARY, co_issue=False)
                 if record is None:
                     return 0  # structural stall: group still busy
                 self.pending = None
@@ -472,7 +475,7 @@ class CascadedScheduler(SchedulerBase):
             )
             if record is not None:
                 issued += 1
-                if origin == "swi":
+                if origin == ORIGIN_SWI:
                     self.sm.stats.swi_hits += 1
 
         if nxt is not None:
@@ -490,7 +493,9 @@ class GreedyCascadedScheduler(CascadedScheduler):
     lowest warp id — trading arbiter wiring for starvation-freedom.
     """
 
-    def _secondary_key(self, warp: TimingWarp, split: Split, entry: IBufEntry):
+    def _secondary_key(
+        self, warp: TimingWarp, split: Split, entry: IBufEntry
+    ) -> Tuple[int, ...]:
         return (popcount(split.mask), -entry.fetch_cycle, -warp.wid)
 
 

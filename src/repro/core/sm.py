@@ -25,6 +25,12 @@ from repro.functional.memory import MemoryImage, SharedMemory
 from repro.isa.builder import Kernel
 from repro.isa.instructions import Instruction, Op, OpClass
 from repro.core.policy import IssueEvent, MemEvent, RetireEvent, SplitEvent
+from repro.core.policy.events import (
+    LEVEL_L1,
+    ORIGIN_PRIMARY,
+    ORIGIN_SBI,
+    ORIGIN_SWI,
+)
 from repro.core.report import deadlock_report, overrun_report
 from repro.core.warp import TimingWarp
 from repro.timing.cache import L1Cache
@@ -72,6 +78,34 @@ class StreamingMultiprocessor:
     GigaThread dispatcher, and drives many SMs in lock-step through
     :meth:`step` / :meth:`next_event_cycle`.
     """
+
+    __slots__ = (
+        "kernel",
+        "memory",
+        "config",
+        "sm_id",
+        "stats",
+        "executor",
+        "backend",
+        "cache",
+        "dram",
+        "lsu_logic",
+        "fetch",
+        "scheduler",
+        "observers",
+        "dispatcher",
+        "warp_slots",
+        "cta_warps",
+        "pending_launches",
+        "trace",
+        "_wb_heap",
+        "_seq",
+        "_wake_heap",
+        "_wake_dirty",
+        "_wake_seq",
+        "_live_cache",
+        "_parity_cache",
+    )
 
     def __init__(
         self,
@@ -165,7 +199,11 @@ class StreamingMultiprocessor:
             warp = TimingWarp(slot, cta, self.config, self.kernel, tids, shared)
             warp.ibuf = self.fetch.ways_for(slot)
 
-            def _changed(w=warp, dirty=dirty, fetch=fetch):
+            def _changed(
+                w: TimingWarp = warp,
+                dirty: List[TimingWarp] = dirty,
+                fetch: FetchEngine = fetch,
+            ) -> None:
                 # Divergence-model change: the warp may have become
                 # schedulable/fetchable, and its split wake times may
                 # have moved — clear the stall memos and queue a wake-
@@ -305,11 +343,11 @@ class StreamingMultiprocessor:
         per_op = stats.per_op_class
         oc = op_class.value
         per_op[oc] = per_op.get(oc, 0) + active_bits
-        if origin == "primary":
+        if origin == ORIGIN_PRIMARY:
             stats.issued_primary += 1
-        elif origin == "sbi":
+        elif origin == ORIGIN_SBI:
             stats.issued_sbi_secondary += 1
-        elif origin == "swi":
+        elif origin == ORIGIN_SWI:
             stats.issued_swi_secondary += 1
         else:
             raise ValueError("unknown issue origin %r" % origin)
@@ -331,7 +369,7 @@ class StreamingMultiprocessor:
             occupancy, wb = self.lsu_logic.access(instr, outcome, now)
             if self.observers and stats.l1_misses > misses_before:
                 event = MemEvent(
-                    now, self.sm_id, "l1", stats.l1_misses - misses_before
+                    now, self.sm_id, LEVEL_L1, stats.l1_misses - misses_before
                 )
                 for observer in self.observers:
                     observer.on_l1_miss(event)

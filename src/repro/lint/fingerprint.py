@@ -1,0 +1,89 @@
+"""Structural fingerprint of the cache-key config schema.
+
+The disk cache keys on every field of :class:`~repro.timing.config.SMConfig`
+and :class:`~repro.timing.config.GPUConfig`, and policies enter via
+:class:`~repro.core.policy.spec.PolicySpec` presets.  Adding, removing,
+retyping or re-defaulting a field changes what a cache key *means*, so
+the schema's structural hash is committed to
+``src/repro/lint/data/config_fingerprint.json`` together with the
+``CACHE_VERSION`` it was taken under.  The ``config-fingerprint`` lint
+rule recomputes the hash on every run:
+
+* schema unchanged — fine;
+* schema changed, same ``CACHE_VERSION`` — **error**: stale disk
+  entries would be reloaded under the new semantics.  Bump
+  ``CACHE_VERSION`` in :mod:`repro.api.cache` and regenerate;
+* regeneration is ``repro lint --update-fingerprint`` (never edit the
+  JSON by hand).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+#: Committed fingerprint location (shipped via package_data).
+DATA_FILE = os.path.join(os.path.dirname(__file__), "data", "config_fingerprint.json")
+
+
+def _field_entry(f: "dataclasses.Field[Any]") -> Dict[str, Any]:
+    if f.default is not dataclasses.MISSING:
+        default = repr(f.default)
+    elif f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        default = "<factory:%s>" % getattr(
+            f.default_factory, "__name__", "anonymous"  # type: ignore[misc]
+        )
+    else:
+        default = "<required>"
+    type_name = f.type if isinstance(f.type, str) else getattr(
+        f.type, "__name__", repr(f.type)
+    )
+    return {"name": f.name, "type": type_name, "default": default}
+
+
+def _class_entry(cls: type) -> List[Dict[str, Any]]:
+    return [_field_entry(f) for f in dataclasses.fields(cls)]
+
+
+def schema() -> Dict[str, Any]:
+    """The live config schema plus the CACHE_VERSION it keys under."""
+    from repro.api.cache import CACHE_VERSION
+    from repro.core.policy.spec import PolicySpec
+    from repro.timing.config import GPUConfig, SMConfig
+
+    classes = {
+        "SMConfig": _class_entry(SMConfig),
+        "GPUConfig": _class_entry(GPUConfig),
+        "PolicySpec": _class_entry(PolicySpec),
+    }
+    return {"cache_version": CACHE_VERSION, "classes": classes}
+
+
+def digest(payload: Optional[Dict[str, Any]] = None) -> str:
+    data = schema() if payload is None else payload
+    blob = json.dumps(data["classes"], sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def load_committed(path: str = DATA_FILE) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError:
+        return None
+
+
+def write_committed(path: str = DATA_FILE) -> Dict[str, Any]:
+    """Regenerate the committed fingerprint from the live schema."""
+    payload = schema()
+    payload["digest"] = digest(payload)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, path)
+    return payload

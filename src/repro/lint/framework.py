@@ -1,0 +1,358 @@
+"""Core of the lint pass: rules, violations, suppression.
+
+A :class:`Rule` inspects one parsed file (:meth:`Rule.check_file`)
+and/or the whole project once (:meth:`Rule.check_project`) and yields
+:class:`Violation` records.  Rules register themselves in :data:`RULES`
+— the same write-once :class:`~repro.core.policy.registry.Registry`
+machinery the simulator's policies use — so third-party checks plug in
+without touching the runner.
+
+Suppression is two-level and always per rule:
+
+* inline — ``# repro-lint: disable=<id>[,<id>...]`` (or ``disable=all``)
+  on the flagged line or the line directly above it;
+* path — glob patterns in :data:`repro.lint.config.PATH_SUPPRESSIONS`.
+
+Each rule carries a one-line fix-it ``hint`` shown with every finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import asdict, dataclass, field
+from fnmatch import fnmatch
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.policy.registry import Registry
+
+#: ``# repro-lint: disable=slots,wall-clock`` (whitespace-tolerant).
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+class LintError(Exception):
+    """The lint pass itself failed (bad path, unparseable config...)."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, what, and how to fix it."""
+
+    rule: str
+    path: str  #: path as given to the runner (repo-relative in CI)
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        text = "%s:%d:%d: [%s] %s" % (
+            self.path,
+            self.line,
+            self.col,
+            self.rule,
+            self.message,
+        )
+        if self.hint:
+            text += "\n    hint: %s" % self.hint
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass
+class RuleContext:
+    """Project-wide facts shared by every rule invocation."""
+
+    #: Paths the runner is checking (as given, normalised separators).
+    paths: List[str] = field(default_factory=list)
+    #: ``--update-fingerprint`` reruns write the fingerprint instead of
+    #: comparing it (rules other than the fingerprint rule ignore this).
+    update_fingerprint: bool = False
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`id` (kebab-case slug, the suppression key),
+    :attr:`category`, :attr:`description` and :attr:`hint`, and
+    override :meth:`check_file` and/or :meth:`check_project`.  File
+    scope is declared with :attr:`include`/:attr:`exclude` glob
+    patterns matched against ``/``-normalised paths.
+    """
+
+    id: str = ""
+    category: str = ""
+    description: str = ""
+    #: Default fix-it hint attached to findings (rules may override
+    #: per-violation via :meth:`violation`).
+    hint: str = ""
+    #: Glob patterns selecting the files this rule sees (None = all).
+    include: Optional[Tuple[str, ...]] = None
+    #: Glob patterns removing files from the rule's scope.
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        norm = path.replace("\\", "/")
+        if self.include is not None and not any(
+            _match(norm, pat) for pat in self.include
+        ):
+            return False
+        return not any(_match(norm, pat) for pat in self.exclude)
+
+    # -- hooks ----------------------------------------------------------
+
+    def check_file(
+        self, path: str, tree: ast.AST, source: str
+    ) -> Iterator[Violation]:
+        """Yield findings for one parsed file."""
+        return iter(())
+
+    def check_project(self, ctx: RuleContext) -> Iterator[Violation]:
+        """Yield findings computed once per run (schema checks...)."""
+        return iter(())
+
+    # -- helpers --------------------------------------------------------
+
+    def violation(
+        self,
+        path: str,
+        node: ast.AST,
+        message: str,
+        hint: Optional[str] = None,
+    ) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", -1) + 1,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+def _match(path: str, pattern: str) -> bool:
+    """Glob match on the full path *or* any suffix of it.
+
+    ``src/repro/core/sm.py`` matches both ``src/repro/core/*.py`` and
+    ``repro/core/*.py`` so rules behave identically whether the runner
+    was handed ``src`` or an installed package directory.
+    """
+    if fnmatch(path, pattern):
+        return True
+    parts = path.split("/")
+    return any(
+        fnmatch("/".join(parts[i:]), pattern) for i in range(1, len(parts))
+    )
+
+
+#: The rule registry: id -> Rule instance.
+RULES: Registry = Registry("lint rule")
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Register a rule instance under its :attr:`Rule.id`."""
+    if not rule.id:
+        raise LintError("rule %r has no id" % type(rule).__name__)
+    RULES.register(rule.id, rule)
+    return rule
+
+
+def all_rules() -> List[Rule]:
+    return [rule for _, rule in RULES.items()]
+
+
+# ----------------------------------------------------------------------
+# Suppression
+# ----------------------------------------------------------------------
+
+
+def suppressed_lines(source: str) -> Dict[int, frozenset]:
+    """Map line number -> rule ids disabled on that line.
+
+    A ``# repro-lint: disable=...`` comment covers its own line and the
+    line below it, so a suppression can sit above a long statement.
+    ``disable=all`` covers every rule.
+    """
+    out: Dict[int, frozenset] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        ids = frozenset(
+            token.strip() for token in m.group(1).split(",") if token.strip()
+        )
+        for covered in (i, i + 1):
+            out[covered] = out.get(covered, frozenset()) | ids
+    return out
+
+
+def path_suppressed(rule_id: str, path: str) -> bool:
+    from repro.lint.config import PATH_SUPPRESSIONS
+
+    norm = path.replace("\\", "/")
+    for pattern in PATH_SUPPRESSIONS.get(rule_id, ()):
+        if _match(norm, pattern):
+            return True
+    return False
+
+
+def is_suppressed(
+    violation: Violation, line_suppressions: Dict[int, frozenset]
+) -> bool:
+    ids = line_suppressions.get(violation.line)
+    if ids and ("all" in ids or violation.rule in ids):
+        return True
+    return path_suppressed(violation.rule, violation.path)
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for v in self.violations:
+            counts[v.rule] = counts.get(v.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "counts": self.counts_by_rule(),
+            "rules": {
+                rule.id: {
+                    "category": rule.category,
+                    "description": rule.description,
+                }
+                for rule in all_rules()
+            },
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def format(self) -> str:
+        lines = [v.format() for v in self.violations]
+        counts = self.counts_by_rule()
+        if counts:
+            lines.append("")
+            for rule_id in sorted(counts):
+                lines.append("%-24s %d" % (rule_id, counts[rule_id]))
+        lines.append(
+            "%d file%s checked: %d violation%s (%d suppressed)"
+            % (
+                self.files_checked,
+                "" if self.files_checked == 1 else "s",
+                len(self.violations),
+                "" if len(self.violations) == 1 else "s",
+                self.suppressed,
+            )
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Shared AST utilities used by several rule modules
+# ----------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    return dotted_name(node.func)
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def string_value(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def enclosing_functions(
+    tree: ast.AST,
+) -> Dict[ast.AST, Tuple[ast.AST, ...]]:
+    """Map every node to the stack of function defs enclosing it."""
+    out: Dict[ast.AST, Tuple[ast.AST, ...]] = {}
+
+    def walk(node: ast.AST, stack: Tuple[ast.AST, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            out[child] = stack
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                walk(child, stack + (child,))
+            else:
+                walk(child, stack)
+
+    walk(tree, ())
+    return out
+
+
+def class_slots(cls: ast.ClassDef) -> Optional[Sequence[str]]:
+    """Names in a class's ``__slots__`` literal, or None when absent.
+
+    Only direct tuple/list-of-strings assignments are understood —
+    anything fancier returns an empty sequence (present but opaque).
+    """
+    for stmt in cls.body:
+        targets: Iterable[ast.AST] = ()
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    names = []
+                    for elt in value.elts:
+                        text = string_value(elt)
+                        if text is not None:
+                            names.append(text)
+                    return names
+                return []
+    return None
+
+
+def is_dataclass_decorated(cls: ast.ClassDef) -> Tuple[bool, bool]:
+    """(is a dataclass, declared with slots=True)."""
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            slots = False
+            if isinstance(deco, ast.Call):
+                for kw in deco.keywords:
+                    if kw.arg == "slots" and isinstance(kw.value, ast.Constant):
+                        slots = bool(kw.value.value)
+            return True, slots
+    return False, False

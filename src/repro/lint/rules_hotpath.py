@@ -1,0 +1,285 @@
+"""Hot-path hygiene rules for the engine core.
+
+The event-heap engine issues millions of instructions per run; the
+rules here keep its per-cycle objects slotted (no per-instance
+``__dict__``), its compiled-plan closures allocation-light, and
+slotted classes honest about their attribute sets.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.config import HOT_PATH_FILES
+from repro.lint.framework import (
+    Rule,
+    Violation,
+    call_name,
+    class_slots,
+    dotted_name,
+    enclosing_functions,
+    is_dataclass_decorated,
+    register_rule,
+)
+
+#: Base classes whose subclasses are exempt from the slots requirement
+#: (exceptions carry tracebacks, not per-cycle state; the typing/enum
+#: metaclasses manage their own layout).
+_EXEMPT_BASES = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "RuntimeError",
+        "TypeError",
+        "KeyError",
+        "NamedTuple",
+        "Enum",
+        "IntEnum",
+        "IntFlag",
+        "Flag",
+        "Protocol",
+        "TypedDict",
+        "ABC",
+    }
+)
+
+#: numpy constructors that allocate a fresh array every call.
+_NP_ALLOCATORS = frozenset(
+    {"zeros", "ones", "empty", "full", "arange", "eye", "linspace", "tile"}
+)
+
+
+def _base_names(cls: ast.ClassDef) -> List[str]:
+    names = []
+    for base in cls.bases:
+        name = dotted_name(base)
+        if name is not None:
+            names.append(name.split(".")[-1])
+    return names
+
+
+def _is_exempt(cls: ast.ClassDef) -> bool:
+    for name in _base_names(cls):
+        if name in _EXEMPT_BASES or name.endswith("Error") or name.endswith(
+            "Exception"
+        ):
+            return True
+    return False
+
+
+class HotPathSlotsRule(Rule):
+    """Engine-core classes must declare ``__slots__``."""
+
+    id = "hot-path-slots"
+    category = "hot-path"
+    description = (
+        "classes in the engine core (core/sm.py, core/warp.py, "
+        "timing/*) are instantiated per warp/split/event; without "
+        "__slots__ each instance carries a dict and attribute access "
+        "takes the slow path"
+    )
+    hint = (
+        "add __slots__ = (...) naming every instance attribute, or "
+        "@dataclass(slots=True); subclasses of slotted bases need "
+        "__slots__ = ()"
+    )
+    include = HOT_PATH_FILES
+
+    def check_file(
+        self, path: str, tree: ast.AST, source: str
+    ) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _is_exempt(node):
+                continue
+            is_dc, dc_slots = is_dataclass_decorated(node)
+            if is_dc:
+                if not dc_slots:
+                    yield self.violation(
+                        path,
+                        node,
+                        "dataclass %r without slots=True in a hot-path "
+                        "file" % node.name,
+                        hint="declare it @dataclass(slots=True)",
+                    )
+                continue
+            if class_slots(node) is None:
+                yield self.violation(
+                    path,
+                    node,
+                    "class %r has no __slots__ in a hot-path file"
+                    % node.name,
+                )
+
+
+class ErrstateInPlanRule(Rule):
+    """No ``np.errstate`` inside compiled-plan closures."""
+
+    id = "errstate-in-plan"
+    category = "hot-path"
+    description = (
+        "np.errstate entered inside a compiled plan costs more than "
+        "the warp-sized compute it guards; the SM run loops enter it "
+        "once around the whole simulation"
+    )
+    hint = "hoist the errstate context to the run loop in core/sm.py"
+    include = ("repro/functional/compiled.py",)
+
+    def check_file(
+        self, path: str, tree: ast.AST, source: str
+    ) -> Iterator[Violation]:
+        enclosing = enclosing_functions(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in ("np.errstate", "numpy.errstate") and len(
+                enclosing.get(node, ())
+            ) >= 2:
+                yield self.violation(
+                    path, node, "np.errstate entered inside a plan closure"
+                )
+
+
+class AllocInPlanRule(Rule):
+    """No allocation-heavy numpy constructors inside plan closures."""
+
+    id = "alloc-in-plan"
+    category = "hot-path"
+    description = (
+        "np.zeros/ones/empty/... inside a compiled-plan closure "
+        "allocates on every instruction issue; compile-time code (the "
+        "enclosing specialiser) should allocate once and close over it"
+    )
+    hint = (
+        "allocate the array in the compiling function and capture it "
+        "in the closure (mark it read-only if shared)"
+    )
+    include = ("repro/functional/compiled.py",)
+
+    def check_file(
+        self, path: str, tree: ast.AST, source: str
+    ) -> Iterator[Violation]:
+        enclosing = enclosing_functions(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] in ("np", "numpy")
+                and parts[1] in _NP_ALLOCATORS
+                and len(enclosing.get(node, ())) >= 2
+            ):
+                yield self.violation(
+                    path,
+                    node,
+                    "`%s` allocates inside a plan closure (runs per "
+                    "instruction issue)" % name,
+                )
+
+
+class SlottedAttrCreationRule(Rule):
+    """No attribute creation outside ``__slots__`` on slotted classes.
+
+    Same-file analysis: for every class with a literal ``__slots__``,
+    any ``self.<name> = ...`` where ``<name>`` is neither a slot (of
+    the class or a same-file base) nor a class-level attribute would
+    raise ``AttributeError`` at runtime — flag it at diff time.
+    """
+
+    id = "slotted-attr-creation"
+    category = "hot-path"
+    description = (
+        "assigning an attribute that is not in __slots__ (or a base's) "
+        "raises AttributeError at runtime; slots declarations and "
+        "attribute writes must stay in sync"
+    )
+    hint = "add the attribute name to __slots__"
+    include = HOT_PATH_FILES + ("repro/functional/*.py", "repro/core/*.py")
+
+    def check_file(
+        self, path: str, tree: ast.AST, source: str
+    ) -> Iterator[Violation]:
+        classes: Dict[str, ast.ClassDef] = {
+            node.name: node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)
+        }
+
+        def allowed_names(cls: ast.ClassDef, seen: Set[str]) -> Optional[Set[str]]:
+            """Slot + class-attr names, or None when layout is opaque."""
+            if cls.name in seen:
+                return set()
+            seen.add(cls.name)
+            slots = class_slots(cls)
+            if slots is None or (slots == [] and not _slots_literal(cls)):
+                return None
+            names: Set[str] = set(slots)
+            for stmt in cls.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    names.add(stmt.target.id)
+            for base in cls.bases:
+                base_name = dotted_name(base)
+                short = base_name.split(".")[-1] if base_name else ""
+                if short in classes:
+                    inherited = allowed_names(classes[short], seen)
+                    if inherited is None:
+                        return None  # opaque base: give up on the chain
+                    names |= inherited
+                elif short not in ("object",):
+                    return None  # unknown base may carry __dict__/slots
+            return names
+
+        def _slots_literal(cls: ast.ClassDef) -> bool:
+            return class_slots(cls) is not None
+
+        for cls in classes.values():
+            is_dc, dc_slots = is_dataclass_decorated(cls)
+            if is_dc:
+                continue  # field set is the dataclass's business
+            names = allowed_names(cls, set())
+            if names is None:
+                continue
+            for node in ast.walk(cls):
+                if isinstance(node, ast.ClassDef) and node is not cls:
+                    continue
+                targets: Sequence[ast.AST] = ()
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AnnAssign):
+                    targets = (node.target,)
+                elif isinstance(node, ast.AugAssign):
+                    targets = ()  # augmented writes need the attr to exist
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr not in names
+                    ):
+                        yield self.violation(
+                            path,
+                            target,
+                            "self.%s assigned on slotted class %r but "
+                            "missing from its __slots__"
+                            % (target.attr, cls.name),
+                        )
+
+
+register_rule(HotPathSlotsRule())
+register_rule(ErrstateInPlanRule())
+register_rule(AllocInPlanRule())
+register_rule(SlottedAttrCreationRule())

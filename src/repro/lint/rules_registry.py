@@ -1,0 +1,138 @@
+"""Registry and observer discipline rules.
+
+The policy API's extension points are write-once registries and a
+closed observer-event vocabulary (:mod:`repro.core.policy.events`).
+Bypassing either — poking ``._entries`` directly, or comparing against
+a bare event-name string — reintroduces exactly the silent-shadowing
+and typo classes the API was built to kill.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.core.policy.events import VOCABULARY
+from repro.lint.framework import (
+    Rule,
+    Violation,
+    call_name,
+    dotted_name,
+    register_rule,
+)
+
+#: Registry singletons writes must go through the Registry API.
+_REGISTRY_NAMES = frozenset(
+    {"SCHEDULERS", "DIVERGENCE", "POLICIES", "OBSERVERS", "RULES"}
+)
+
+#: Call sites where an event/origin/level name argument is expected.
+_VOCAB_CALLEES = frozenset(
+    {"record_issue", "MemEvent", "IssueRecord", "_record"}
+)
+
+#: Files that emit or dispatch on vocabulary names.
+_VOCAB_FILES: Tuple[str, ...] = (
+    "repro/core/sm.py",
+    "repro/core/gpu.py",
+    "repro/core/schedulers.py",
+    "repro/core/policy/observers.py",
+    "repro/timing/stats.py",
+)
+
+
+class ObserverVocabularyRule(Rule):
+    """Event/origin/level names come from the vocabulary module."""
+
+    id = "observer-vocabulary"
+    category = "registry"
+    description = (
+        "observer event kinds, issue origins and memory levels must be "
+        "the constants from repro.core.policy.events — a bare string "
+        "literal compares clean, typos and all"
+    )
+    hint = (
+        "import the matching constant (ORIGIN_*, LEVEL_*, KIND_*) from "
+        "repro.core.policy.events"
+    )
+    include = _VOCAB_FILES
+
+    def check_file(
+        self, path: str, tree: ast.AST, source: str
+    ) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Compare):
+                for comparator in node.comparators:
+                    yield from self._literal(path, comparator)
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                short = name.split(".")[-1] if name else ""
+                if short in _VOCAB_CALLEES:
+                    for arg in node.args:
+                        yield from self._literal(path, arg)
+                    for kw in node.keywords:
+                        yield from self._literal(path, kw.value)
+
+    def _literal(self, path: str, node: ast.AST) -> Iterator[Violation]:
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value in VOCABULARY
+        ):
+            yield self.violation(
+                path,
+                node,
+                "bare vocabulary literal %r — use the constant from "
+                "repro.core.policy.events" % node.value,
+            )
+
+
+class RegistryDisciplineRule(Rule):
+    """Registries are only written through the Registry API."""
+
+    id = "registry-discipline"
+    category = "registry"
+    description = (
+        "registry internals (._entries) and subscript writes on "
+        "registry singletons bypass duplicate-name detection; two "
+        "plugins could silently shadow each other"
+    )
+    hint = (
+        "use REGISTRY.register(name, obj) / .unregister(name); tests "
+        "wanting replacement pass replace=True"
+    )
+    exclude = ("repro/core/policy/registry.py",)
+
+    def check_file(
+        self, path: str, tree: ast.AST, source: str
+    ) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and node.attr == "_entries":
+                yield self.violation(
+                    path,
+                    node,
+                    "direct access to Registry._entries outside the "
+                    "registry module",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, ast.Subscript):
+                        continue
+                    base = dotted_name(target.value)
+                    short = base.split(".")[-1] if base else ""
+                    if short in _REGISTRY_NAMES:
+                        yield self.violation(
+                            path,
+                            target,
+                            "subscript write on registry %r bypasses "
+                            "Registry.register()" % short,
+                        )
+
+
+register_rule(ObserverVocabularyRule())
+register_rule(RegistryDisciplineRule())

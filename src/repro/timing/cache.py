@@ -14,6 +14,18 @@ from typing import Dict, List, Optional
 class L1Cache:
     """Set-associative cache with per-line fill timestamps."""
 
+    __slots__ = (
+        "size",
+        "ways",
+        "block",
+        "latency",
+        "n_sets",
+        "_sets",
+        "_use_counter",
+        "hits",
+        "misses",
+    )
+
     def __init__(self, size: int, ways: int, block: int, latency: int) -> None:
         if size % (ways * block):
             raise ValueError("cache size must be sets * ways * block")

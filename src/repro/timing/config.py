@@ -25,7 +25,10 @@ the registry and new policies key cleanly by name.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # import cycle: policy modules configure from here
+    from repro.core.policy.spec import PolicySpec
 
 #: The paper's five modes.  Kept for reference and back-compat; the
 #: authoritative list is ``repro.core.policy.POLICIES.names()``.
@@ -34,8 +37,20 @@ VALID_SCOREBOARDS = ("warp", "mask", "matrix")
 VALID_SHUFFLES = ("identity", "mirror_odd", "mirror_half", "xor", "xor_rev")
 
 
-@dataclass
-class SMConfig:
+class _PolicyCacheBase:
+    """Carries the one non-field slot of :class:`SMConfig`.
+
+    ``@dataclass(slots=True)`` builds ``__slots__`` from the fields
+    alone; the resolved-policy cache is deliberately *not* a field (it
+    must stay out of asdict/config_key/pickle payloads), so its slot
+    comes from this base.
+    """
+
+    __slots__ = ("_policy",)
+
+
+@dataclass(slots=True)
+class SMConfig(_PolicyCacheBase):
     """All timing parameters of one streaming multiprocessor.
 
     ``mode`` accepts a registered policy name or a
@@ -116,7 +131,7 @@ class SMConfig:
     # ------------------------------------------------------------------
 
     @property
-    def policy(self):
+    def policy(self) -> "PolicySpec":
         """The registered :class:`~repro.core.policy.PolicySpec` of
         :attr:`mode` (re-resolved if ``mode`` was mutated in place)."""
         spec = getattr(self, "_policy", None)
@@ -198,7 +213,7 @@ class SMConfig:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class GPUConfig:
     """A whole device: ``sm_count`` SMs behind a shared memory system.
 

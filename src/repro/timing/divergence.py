@@ -20,7 +20,7 @@ through :meth:`DivergenceModel.slot_masks`.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.timing.masks import permute_mask, popcount
 
@@ -43,7 +43,9 @@ class Split:
         "_perm",
     )
 
-    def __init__(self, pc: int, mask: int, perm: Sequence[int], rpc: Optional[int] = None):
+    def __init__(
+        self, pc: int, mask: int, perm: Sequence[int], rpc: Optional[int] = None
+    ) -> None:
         self.pc = pc
         self.mask = mask
         self.rpc = rpc  # reconvergence PC (stack model only)
@@ -79,27 +81,21 @@ class Split:
 class DivergenceModel:
     """Common interface of the three reconvergence models."""
 
-    #: Number of simultaneously runnable splits the model exposes.
+    __slots__ = (
+        "launch_mask",
+        "lane_perm",
+        "merge_count",
+        "exited_mask",
+        "version",
+        "parked_threads",
+        "_hot_cache",
+        "on_change",
+        "_settle_wake",
+    )
+
+    #: Number of simultaneously runnable splits the model exposes
+    #: (class-level: a property of the model kind, never per instance).
     hot_capacity = 1
-
-    #: Memoized :meth:`hot_splits` result, or None when it must be
-    #: recomputed.  Models that can serve reads straight from a cache
-    #: (stack, frontier) keep it fresh; models with read-path state
-    #: (SBI's settle) leave it None so every read goes through the
-    #: method.  Schedulers read this attribute directly on their
-    #: hottest per-warp-per-cycle scans.
-    _hot_cache = None
-
-    #: Change-notification hook, bound by the SM at warp launch.  Fired
-    #: on every version bump so the engine can clear the warp's stall
-    #: memos and re-enqueue its wake event without polling the counter.
-    on_change = None
-
-    #: Earliest future cycle the model can change state *on its own*
-    #: (SBI's sideband-sorter promotions on the read path); ``_NEVER``
-    #: for purely mutation-driven models.  Stall memos written while
-    #: the model is quiescent are capped at this cycle.
-    _settle_wake = _NEVER
 
     def __init__(self, launch_mask: int, lane_perm: Sequence[int]) -> None:
         self.launch_mask = launch_mask
@@ -113,6 +109,23 @@ class DivergenceModel:
         #: Threads currently suspended at a CTA barrier (fast path for
         #: StreamingMultiprocessor._check_barrier).
         self.parked_threads = 0
+        #: Memoized :meth:`hot_splits` result, or None when it must be
+        #: recomputed.  Models that can serve reads straight from a
+        #: cache (stack, frontier) keep it fresh; models with read-path
+        #: state (SBI's settle) leave it None so every read goes
+        #: through the method.  Schedulers read this attribute directly
+        #: on their hottest per-warp-per-cycle scans.
+        self._hot_cache: Optional[List[Split]] = None
+        #: Change-notification hook, bound by the SM at warp launch.
+        #: Fired on every version bump so the engine can clear the
+        #: warp's stall memos and re-enqueue its wake event without
+        #: polling the counter.
+        self.on_change: Optional[Callable[[], None]] = None
+        #: Earliest future cycle the model can change state *on its
+        #: own* (SBI's sideband-sorter promotions on the read path);
+        #: ``_NEVER`` for purely mutation-driven models.  Stall memos
+        #: written while the model is quiescent are capped here.
+        self._settle_wake = _NEVER
 
     def _touch(self) -> None:
         """Invalidate memoized views after a state change."""

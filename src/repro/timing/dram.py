@@ -14,6 +14,14 @@ from __future__ import annotations
 class DRAMChannel:
     """Bandwidth-serialised request channel."""
 
+    __slots__ = (
+        "bandwidth",
+        "latency",
+        "_free_at",
+        "bytes_transferred",
+        "requests",
+    )
+
     def __init__(self, bandwidth: float, latency: int) -> None:
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")

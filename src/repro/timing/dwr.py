@@ -29,6 +29,8 @@ from repro.timing.divergence import Split
 class DWRModel(FrontierModel):
     """Frontier reconvergence with sub-warp slicing under divergence."""
 
+    __slots__ = ("subwarp_width", "resize_downs", "resize_ups")
+
     def __init__(
         self, launch_mask: int, lane_perm: Sequence[int], subwarp_width: int = 32
     ) -> None:

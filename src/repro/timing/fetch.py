@@ -45,6 +45,16 @@ class FetchEngine:
     which keeps the hot ``entry_for`` lookup a couple of list probes.
     """
 
+    __slots__ = (
+        "program",
+        "fetch_width",
+        "hot_capacity",
+        "buffers",
+        "_rr",
+        "_latest_ready",
+        "_sleep_until",
+    )
+
     def __init__(self, program, fetch_width: int, hot_capacity: int) -> None:
         self.program = program
         self.fetch_width = fetch_width

@@ -22,13 +22,14 @@ def _by_pc(split: Split) -> int:
 class FrontierModel(DivergenceModel):
     """PC-sorted warp-splits; one runnable (the minimum PC)."""
 
+    __slots__ = ("splits", "parked")
+
     hot_capacity = 1
 
     def __init__(self, launch_mask: int, lane_perm: Sequence[int]) -> None:
         super().__init__(launch_mask, lane_perm)
         self.splits: List[Split] = [Split(0, launch_mask, lane_perm)]
         self.parked: List[Split] = []
-        self._hot_cache: Optional[List[Split]] = None
 
     # -- views -----------------------------------------------------------
 

@@ -37,6 +37,18 @@ _NEVER = 1 << 62
 class SBIModel(DivergenceModel):
     """Dual hot context (HCT) + sorted cold contexts (CCT)."""
 
+    __slots__ = (
+        "hot",
+        "cold",
+        "parked",
+        "cct_capacity",
+        "insert_delay",
+        "sideband_busy_until",
+        "cct_overflows",
+        "cct_high_water",
+        "_dirty",
+    )
+
     hot_capacity = 2
 
     def __init__(

@@ -33,6 +33,19 @@ class L2Cache:
     ``n_sets / interleave`` sets would ever be used.
     """
 
+    __slots__ = (
+        "size",
+        "ways",
+        "block",
+        "sector",
+        "interleave",
+        "sectors_per_line",
+        "n_sets",
+        "_sets",
+        "_use_counter",
+        "evictions",
+    )
+
     def __init__(
         self, size: int, ways: int, block: int, sector: int, interleave: int = 1
     ) -> None:
@@ -133,6 +146,17 @@ class L2Cache:
 class L2Partition:
     """One L2 slice plus its private DRAM channel and sector MSHRs."""
 
+    __slots__ = (
+        "cache",
+        "dram",
+        "latency",
+        "_pending",
+        "accesses",
+        "hits",
+        "misses",
+        "sector_fills",
+    )
+
     def __init__(
         self,
         size: int,
@@ -200,6 +224,8 @@ class L2System:
     is agnostic to whether it talks to a private channel or the shared
     hierarchy.  All SMs of a device hold the same ``L2System``.
     """
+
+    __slots__ = ("block", "partitions")
 
     def __init__(self, config) -> None:
         if not config.uses_l2:

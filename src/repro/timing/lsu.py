@@ -43,6 +43,8 @@ class LoadStoreUnit:
     :class:`repro.timing.l2.L2System` injected by the device layer.
     """
 
+    __slots__ = ("config", "cache", "dram", "stats", "_pending_fills")
+
     def __init__(self, config, cache: L1Cache, dram: DRAMChannel, stats: Stats) -> None:
         self.config = config
         self.cache = cache

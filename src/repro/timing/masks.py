@@ -77,7 +77,10 @@ def bools_to_indices(active: np.ndarray) -> np.ndarray:
     :func:`mask_to_bools` the ``flatnonzero`` runs once per distinct
     mask instead of once per issue.
     """
-    key = id(active)
+    # Identity-keyed on purpose: only read-only *interned* arrays are
+    # stored, the hit path re-checks `is`, and the memo never leaves
+    # this process — addresses cannot reach any simulated state.
+    key = id(active)  # repro-lint: disable=id-keyed-dict
     hit = _INDICES_MEMO.get(key)
     if hit is not None and hit[0] is active:
         return hit[1]

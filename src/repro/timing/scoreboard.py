@@ -63,6 +63,8 @@ class ScoreboardBase:
     warp is not re-probed every cycle until something here moves.
     """
 
+    __slots__ = ("capacity", "entries", "gen", "_dst_mask", "_dst_counts")
+
     kind = "base"
 
     def __init__(self, capacity: int) -> None:
@@ -138,6 +140,8 @@ class ScoreboardBase:
 class WarpScoreboard(ScoreboardBase):
     """Baseline: any register match is a dependency (warp-granular)."""
 
+    __slots__ = ()
+
     kind = "warp"
 
     def _conflicts(self, entry: Entry, mask: int, slot: int) -> bool:
@@ -147,6 +151,8 @@ class WarpScoreboard(ScoreboardBase):
 class MaskScoreboard(ScoreboardBase):
     """Exact: dependency iff the thread masks intersect."""
 
+    __slots__ = ()
+
     kind = "mask"
 
     def _conflicts(self, entry: Entry, mask: int, slot: int) -> bool:
@@ -155,6 +161,8 @@ class MaskScoreboard(ScoreboardBase):
 
 class MatrixScoreboard(ScoreboardBase):
     """The paper's transitive-closure scoreboard (section 3.4)."""
+
+    __slots__ = ()
 
     kind = "matrix"
 

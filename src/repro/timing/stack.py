@@ -22,12 +22,13 @@ from repro.timing.divergence import DivergenceModel, Split
 class StackModel(DivergenceModel):
     """One runnable split: the top of the reconvergence stack."""
 
+    __slots__ = ("stack",)
+
     hot_capacity = 1
 
     def __init__(self, launch_mask: int, lane_perm: Sequence[int]) -> None:
         super().__init__(launch_mask, lane_perm)
         self.stack: List[Split] = [Split(0, launch_mask, lane_perm, rpc=None)]
-        self._hot_cache: Optional[List[Split]] = None
 
     # -- views -----------------------------------------------------------
 

@@ -10,7 +10,9 @@ checks in the test suite.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields
-from typing import Dict, List
+from typing import Any, Dict, List
+
+from repro.core.policy.events import ORIGIN_PRIMARY, ORIGIN_SBI, ORIGIN_SWI
 
 
 @dataclass(slots=True)
@@ -81,11 +83,11 @@ class Stats:
         self.instructions_issued += 1
         self.thread_instructions += active
         self.per_op_class[op_class] = self.per_op_class.get(op_class, 0) + active
-        if origin == "primary":
+        if origin == ORIGIN_PRIMARY:
             self.issued_primary += 1
-        elif origin == "sbi":
+        elif origin == ORIGIN_SBI:
             self.issued_sbi_secondary += 1
-        elif origin == "swi":
+        elif origin == ORIGIN_SWI:
             self.issued_swi_secondary += 1
         else:
             raise ValueError("unknown issue origin %r" % origin)
@@ -137,7 +139,7 @@ class Stats:
         return "\n".join(lines)
 
 
-@dataclass
+@dataclass(slots=True)
 class DeviceStats:
     """Statistics for one multi-SM device run.
 

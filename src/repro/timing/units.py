@@ -92,6 +92,16 @@ class ExecGroup:
 class Backend:
     """The SM's set of execution groups, with issue routing."""
 
+    __slots__ = (
+        "config",
+        "groups",
+        "lsu",
+        "sfu",
+        "_mad_route",
+        "_sfu_route",
+        "_lsu_route",
+    )
+
     def __init__(self, config) -> None:
         self.config = config
         self.groups: List[ExecGroup] = []

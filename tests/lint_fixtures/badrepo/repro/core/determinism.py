@@ -1,0 +1,32 @@
+"""Seeded violations for the determinism rules (never imported)."""
+
+import random  # unseeded-random
+
+import numpy as np
+
+
+def draw():
+    rng = np.random.default_rng()  # unseeded-random (no seed argument)
+    noise = np.random.rand(4)  # unseeded-random (global RandomState)
+    return random.choice([1, 2]), rng, noise
+
+
+def now():
+    import time
+
+    return time.time()  # wall-clock
+
+
+def visit(items):
+    chosen = {3, 1, 2}
+    for value in chosen:  # set-iteration (name bound to a set literal)
+        yield value
+    for value in set(items):  # set-iteration (direct set() call)
+        yield value
+    total = [v for v in {"a", "b"}]  # set-iteration (comprehension)
+    return total
+
+
+def remember(obj, table):
+    table[id(obj)] = obj  # id-keyed-dict
+    return table

@@ -1,0 +1,13 @@
+"""Seeded violations for the registry rules (never imported)."""
+
+from repro.core.policy import POLICIES
+
+
+def record(origin, stats):
+    if origin == "sbi":  # observer-vocabulary (bare literal compare)
+        stats.record_issue("mad", 32, "swi")  # observer-vocabulary (arg)
+
+
+def install(spec):
+    POLICIES["mine"] = spec  # registry-discipline (subscript write)
+    return POLICIES._entries  # registry-discipline (._entries access)

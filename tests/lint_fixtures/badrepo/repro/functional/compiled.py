@@ -1,0 +1,14 @@
+"""Seeded violations for the compiled-plan rules (never imported)."""
+
+import numpy as np
+
+
+def compile_op(width):
+    scratch = np.zeros(width)  # depth 1: compile-time, fine
+
+    def plan(fw, active):
+        with np.errstate(all="ignore"):  # errstate-in-plan
+            tmp = np.zeros(width)  # alloc-in-plan
+        return tmp + scratch
+
+    return plan

@@ -1,0 +1,27 @@
+"""Clean counterparts of the determinism fixtures (never imported)."""
+
+import numpy as np
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)  # seeded: fine
+    return rng.integers(0, 4)
+
+
+def now(cycle):
+    return cycle  # simulated time only
+
+
+def visit(items):
+    chosen = {3, 1, 2}
+    for value in sorted(chosen):  # sorted(): deterministic order
+        yield value
+    for value in sorted(set(items)):
+        yield value
+    ordered = [v for v in ("a", "b")]  # tuple, not a set
+    return ordered
+
+
+def remember(obj, table):
+    table[obj.name] = obj  # stable identity, not id()
+    return table

@@ -1,0 +1,14 @@
+"""Clean counterparts of the registry fixtures (never imported)."""
+
+from repro.core.policy import POLICIES
+from repro.core.policy.events import ORIGIN_SBI, ORIGIN_SWI
+
+
+def record(origin, stats):
+    if origin == ORIGIN_SBI:  # constant from the vocabulary module
+        stats.record_issue("mad", 32, ORIGIN_SWI)
+
+
+def install(spec):
+    POLICIES.register("mine", spec)  # the Registry API
+    return POLICIES.names()
