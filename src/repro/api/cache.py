@@ -24,6 +24,7 @@ import hashlib
 import json
 import os
 import re
+import tempfile
 from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.timing.config import GPUConfig, SMConfig
@@ -73,16 +74,55 @@ def config_key(config: AnyConfig) -> Tuple:
     return (type(config).__name__,) + _freeze(dataclasses.asdict(config))
 
 
-def config_hash(config: AnyConfig) -> str:
-    """Stable hex digest of the complete configuration."""
-    payload = {
+def config_to_payload(config: AnyConfig) -> Dict:
+    """The canonical JSON shape of a configuration.
+
+    This is the wire/disk form shared by the hash derivation, disk
+    cache entries, the shared result store and the service protocol —
+    one shape, so a config always round-trips to the same content
+    address no matter which layer serialized it.
+    """
+    return {
         "type": type(config).__name__,
         "fields": dataclasses.asdict(config),
     }
+
+
+def config_from_payload(payload: Dict) -> AnyConfig:
+    """Rebuild a config from :func:`config_to_payload` output.
+
+    Raises ``ValueError`` on unknown types or field sets (e.g. a
+    payload produced by a newer schema), and lets the config's own
+    ``validate`` reject bad values — including unregistered policy
+    names, which a service host fixes by importing the plugin module.
+    """
+    kind = payload.get("type")
+    fields = payload.get("fields")
+    if not isinstance(fields, dict):
+        raise ValueError("config payload has no 'fields' mapping")
+    try:
+        if kind == "SMConfig":
+            return SMConfig(**fields)
+        if kind == "GPUConfig":
+            sm_fields = fields.get("sm")
+            if not isinstance(sm_fields, dict):
+                raise ValueError("GPUConfig payload has no nested 'sm' fields")
+            rest = {k: v for k, v in fields.items() if k != "sm"}
+            return GPUConfig(sm=SMConfig(**sm_fields), **rest)
+    except TypeError as exc:  # unknown/missing dataclass fields
+        raise ValueError("bad %s payload: %s" % (kind, exc)) from exc
+    raise ValueError(
+        "unknown config payload type %r (expected SMConfig or GPUConfig)"
+        % (kind,)
+    )
+
+
+def config_hash(config: AnyConfig) -> str:
+    """Stable hex digest of the complete configuration."""
     # No default= fallback: a non-JSON-native field must fail loudly
     # here rather than be repr'd (repr can embed object addresses,
     # which would derive a different key on every run).
-    blob = json.dumps(payload, sort_keys=True)
+    blob = json.dumps(config_to_payload(config), sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
@@ -123,6 +163,33 @@ def stats_from_payload(payload: Dict) -> AnyStats:
 # ----------------------------------------------------------------------
 
 
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``path`` so readers never observe a torn file.
+
+    The text lands in a ``mkstemp`` sibling first and is moved into
+    place with ``os.replace``, so a reader sees either the old entry or
+    the complete new one.  ``mkstemp`` (unlike a fixed ``.tmp`` name,
+    even a pid-suffixed one) keeps *threads* of one process — the serve
+    daemon's worker pool — from interleaving writes into the same
+    temporary file.  A crash mid-write leaves only a ``*.tmp`` orphan
+    that no loader ever matches.
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)  # atomic under concurrent writers
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def resolve_dir(disk_dir: Optional[str]) -> Optional[str]:
     """Explicit directory, else ``$REPRO_CACHE_DIR``, else None."""
     if disk_dir is None:
@@ -159,10 +226,7 @@ def disk_store(
         "version": CACHE_VERSION,
         "workload": workload,
         "size": size,
-        "config": {
-            "type": type(config).__name__,
-            "fields": dataclasses.asdict(config),
-        },
+        "config": config_to_payload(config),
         "stats": stats_to_payload(stats),
     }
     # Serialize strictly *before* touching the filesystem: a default=
@@ -178,11 +242,7 @@ def disk_store(
             % (type(stats).__name__, workload, size, exc)
         ) from exc
     os.makedirs(disk_dir, exist_ok=True)
-    path = entry_path(disk_dir, workload, size, config)
-    tmp = path + ".tmp.%d" % os.getpid()
-    with open(tmp, "w") as f:
-        f.write(blob)
-    os.replace(tmp, path)  # atomic under concurrent writers
+    atomic_write_text(entry_path(disk_dir, workload, size, config), blob)
 
 
 # ----------------------------------------------------------------------

@@ -9,7 +9,12 @@ execution backend:
 ``process``
     fan uncached cells out over a ``ProcessPoolExecutor`` (simulations
     are single-threaded and independent, so grids parallelise
-    embarrassingly; every worker honours the same disk cache).
+    embarrassingly; every worker honours the same disk cache);
+``remote``
+    submit uncached cells to a ``repro serve`` daemon
+    (:mod:`repro.service`) and fold its results into the local caches
+    — identical in-flight cells coalesce to one simulation on the
+    daemon, and results land in its content-addressed shared store.
 
 Progress callbacks see every cell as it resolves (with a ``cached``
 flag), and the error policy picks fail-fast (``errors="raise"``) or
@@ -38,6 +43,12 @@ from repro.workloads import get_workload, normalize_size
 
 #: Error policies of :meth:`Engine.run`.
 ERROR_POLICIES = ("raise", "collect")
+
+#: Execution backends, in dispatch order.  Each name ``x`` pairs with
+#: an ``Engine._run_x`` runner; validation and the backend error
+#: message derive from this tuple, so adding a backend is one entry
+#: plus one method.
+BACKENDS = ("inline", "process", "remote")
 
 
 @dataclass(frozen=True)
@@ -118,18 +129,35 @@ class Engine:
         progress: Optional[ProgressFn] = None,
         errors: str = "raise",
         plugins: Optional[List[str]] = None,
+        server: Optional[str] = None,
+        timeout: float = 30.0,
+        retries: int = 3,
         workload_factory=None,
         simulate_fn=None,
         simulate_device_fn=None,
     ):
         if backend is None:
-            backend = "process" if jobs is not None and jobs > 1 else "inline"
-        if backend not in ("inline", "process"):
-            raise ValueError("backend must be 'inline' or 'process', got %r" % backend)
+            if server is not None:
+                backend = "remote"
+            else:
+                backend = "process" if jobs is not None and jobs > 1 else "inline"
+        if backend not in BACKENDS:
+            raise ValueError(
+                "backend must be one of %s, got %r"
+                % (", ".join(repr(b) for b in BACKENDS), backend)
+            )
+        if backend == "remote" and server is None:
+            raise ValueError("backend 'remote' requires server=<daemon URL>")
+        if server is not None and not server.startswith(("http://", "https://")):
+            raise ValueError("server must be an http(s) URL, got %r" % (server,))
         if errors not in ERROR_POLICIES:
             raise ValueError("errors must be one of %s" % (ERROR_POLICIES,))
         self.backend = backend
         self.jobs = jobs
+        self.server = server
+        self.timeout = timeout
+        self.retries = retries
+        self._remote_client = None
         #: Module names imported in every process-pool worker (policy
         #: plugins must be registered there too, not just here).
         self.plugins = tuple(plugins or ())
@@ -263,10 +291,9 @@ class Engine:
             else:
                 pending.append((key, cell))
 
-        if pending and self.backend == "process":
-            self._run_process(pending, disk_dir, verify, errors, outcome, emit)
-        else:
-            self._run_inline(pending, disk_dir, verify, errors, outcome, emit)
+        if pending:
+            runner = getattr(self, "_run_%s" % self.backend)
+            runner(pending, disk_dir, verify, errors, outcome, emit)
 
         results: List[Result] = []
         cell_errors: List[CellError] = []
@@ -344,6 +371,29 @@ class Engine:
                 # running finish (and still land in the disk cache).
                 pool.shutdown(wait=True, cancel_futures=True)
                 raise
+
+    @property
+    def remote_client(self):
+        """The lazily-built client for ``backend="remote"``.
+
+        Lazy so constructing an inline/process Engine never imports the
+        service package, and shared across runs so concurrent sweeps on
+        one Engine coalesce client-side.
+        """
+        if self._remote_client is None:
+            from repro.service.remote import RemoteClient
+
+            if self.server is None:
+                raise ValueError("no server configured for remote backend")
+            self._remote_client = RemoteClient(
+                self.server, timeout=self.timeout, retries=self.retries
+            )
+        return self._remote_client
+
+    def _run_remote(self, pending, disk_dir, verify, errors, outcome, emit) -> None:
+        from repro.service.remote import run_remote
+
+        run_remote(self, pending, disk_dir, verify, errors, outcome, emit)
 
 
 def run(spec: SweepSpec, **engine_kwargs) -> ResultSet:

@@ -12,6 +12,8 @@ Subcommands::
     repro bench     [--size smoke] [--repeat 3] [--json PATH] [--check BASE.json]
                     [--profile [N]] [--profile-out PROF.pstats]
     repro cache     info|clear [--dir DIR]
+    repro serve     [--host H] [--port P] [--store DIR] [--workers N]
+                    [--queue-limit N]
 
 Tables go to stdout; a one-line cell accounting (``# N cells: M
 simulated, K cached``) goes to stderr so scripted runs can assert a
@@ -20,6 +22,10 @@ warm cache performed no simulation.  ``--cache-dir`` (or the
 cache shared with the Python API.  ``--plugin MOD`` imports a module
 first, so third-party policies registered at import time are available
 to ``policies``, ``--configs`` and ``--policy``.
+
+``repro serve`` starts the sweep daemon (:mod:`repro.service`); sweep
+commands run against it with ``--server URL``, which switches the
+engine to the remote backend.
 """
 
 from __future__ import annotations
@@ -169,6 +175,9 @@ def _run_spec(spec: SweepSpec, args) -> int:
         progress=progress,
         errors="collect" if getattr(args, "keep_going", False) else "raise",
         plugins=getattr(args, "plugin", None),
+        server=getattr(args, "server", None),
+        timeout=getattr(args, "timeout", 30.0),
+        retries=getattr(args, "retries", 3),
     )
     rs = engine.run(spec, verify=getattr(args, "verify", False))
     if args.save:
@@ -412,6 +421,37 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.daemon import make_server
+    from repro.service.store import resolve_store_dir
+
+    _load_plugins(args)
+    server = make_server(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        retry_after=args.retry_after,
+        heartbeat=args.heartbeat,
+    )
+    host, port = server.server_address[:2]
+    print(
+        "repro serve: listening on http://%s:%d (store %s, %d workers)"
+        % (host, port, resolve_store_dir(args.store), args.workers),
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.service.stop()
+        server.server_close()
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint import LintError
     from repro.lint.runner import run_from_args
@@ -466,6 +506,25 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
         "--verify",
         action="store_true",
         help="always simulate and check outputs against the numpy references",
+    )
+    p.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="run cells on a repro serve daemon (remote backend), "
+        "e.g. http://127.0.0.1:8421",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout in seconds for --server (default 30)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="retry attempts for --server requests (default 3)",
     )
 
 
@@ -605,6 +664,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser(
+        "serve",
+        help="run the sweep daemon (remote backend + shared result store)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8421, help="bind port (0 picks a free one)"
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store root "
+        "(default: $REPRO_STORE_DIR or .repro_store)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, help="simulation worker threads"
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="max queued simulations before 429 back-pressure",
+    )
+    p.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        help="Retry-After seconds sent with 429 responses",
+    )
+    p.add_argument(
+        "--heartbeat",
+        type=float,
+        default=5.0,
+        help="progress-stream heartbeat interval in seconds",
+    )
+    _add_plugin_option(p)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
         "lint",
         help="determinism & invariant static analysis over the source tree",
     )
@@ -616,10 +714,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.service.remote import RemoteError
+
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except (ValueError, KeyError) as exc:
+    except (ValueError, KeyError, RemoteError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
     except BrokenPipeError:

@@ -1,16 +1,18 @@
-"""Registry and observer discipline rules.
+"""Registry and closed-vocabulary discipline rules.
 
 The policy API's extension points are write-once registries and a
-closed observer-event vocabulary (:mod:`repro.core.policy.events`).
-Bypassing either — poking ``._entries`` directly, or comparing against
-a bare event-name string — reintroduces exactly the silent-shadowing
-and typo classes the API was built to kill.
+closed observer-event vocabulary (:mod:`repro.core.policy.events`);
+the sweep service speaks a closed message vocabulary the same way
+(:mod:`repro.service.protocol`).  Bypassing either — poking
+``._entries`` directly, or comparing against a bare name string —
+reintroduces exactly the silent-shadowing and typo classes the APIs
+were built to kill.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Tuple
+from typing import FrozenSet, Iterator, Tuple
 
 from repro.core.policy.events import VOCABULARY
 from repro.lint.framework import (
@@ -20,6 +22,7 @@ from repro.lint.framework import (
     dotted_name,
     register_rule,
 )
+from repro.service.protocol import VOCABULARY as PROTOCOL_VOCABULARY
 
 #: Registry singletons writes must go through the Registry API.
 _REGISTRY_NAMES = frozenset(
@@ -40,8 +43,63 @@ _VOCAB_FILES: Tuple[str, ...] = (
     "repro/timing/stats.py",
 )
 
+#: Call sites where a protocol message type / error code is expected.
+_PROTOCOL_CALLEES = frozenset({"envelope", "ProtocolError", "_resolve_locked"})
 
-class ObserverVocabularyRule(Rule):
+#: Files that emit or dispatch on protocol vocabulary names (the
+#: protocol module itself defines the constants and stays out).
+_PROTOCOL_FILES: Tuple[str, ...] = (
+    "repro/service/daemon.py",
+    "repro/service/remote.py",
+)
+
+
+class ClosedVocabularyRule(Rule):
+    """Shared machinery: names from a closed set must be the constants.
+
+    Subclasses set ``vocabulary`` (the closed set), ``callees`` (call
+    sites whose arguments carry vocabulary names), ``module`` (where
+    the constants live) and the usual rule metadata.  Flagged sites
+    are comparisons against a bare vocabulary literal and vocabulary
+    literals passed to the known callees — a bare string compares
+    clean, typos and all.
+    """
+
+    vocabulary: FrozenSet[str] = frozenset()
+    callees: FrozenSet[str] = frozenset()
+    module = ""
+
+    def check_file(
+        self, path: str, tree: ast.AST, source: str
+    ) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Compare):
+                for comparator in node.comparators:
+                    yield from self._literal(path, comparator)
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                short = name.split(".")[-1] if name else ""
+                if short in self.callees:
+                    for arg in node.args:
+                        yield from self._literal(path, arg)
+                    for kw in node.keywords:
+                        yield from self._literal(path, kw.value)
+
+    def _literal(self, path: str, node: ast.AST) -> Iterator[Violation]:
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value in self.vocabulary
+        ):
+            yield self.violation(
+                path,
+                node,
+                "bare vocabulary literal %r — use the constant from %s"
+                % (node.value, self.module),
+            )
+
+
+class ObserverVocabularyRule(ClosedVocabularyRule):
     """Event/origin/level names come from the vocabulary module."""
 
     id = "observer-vocabulary"
@@ -56,35 +114,30 @@ class ObserverVocabularyRule(Rule):
         "repro.core.policy.events"
     )
     include = _VOCAB_FILES
+    vocabulary = VOCABULARY
+    callees = _VOCAB_CALLEES
+    module = "repro.core.policy.events"
 
-    def check_file(
-        self, path: str, tree: ast.AST, source: str
-    ) -> Iterator[Violation]:
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Compare):
-                for comparator in node.comparators:
-                    yield from self._literal(path, comparator)
-            elif isinstance(node, ast.Call):
-                name = call_name(node)
-                short = name.split(".")[-1] if name else ""
-                if short in _VOCAB_CALLEES:
-                    for arg in node.args:
-                        yield from self._literal(path, arg)
-                    for kw in node.keywords:
-                        yield from self._literal(path, kw.value)
 
-    def _literal(self, path: str, node: ast.AST) -> Iterator[Violation]:
-        if (
-            isinstance(node, ast.Constant)
-            and isinstance(node.value, str)
-            and node.value in VOCABULARY
-        ):
-            yield self.violation(
-                path,
-                node,
-                "bare vocabulary literal %r — use the constant from "
-                "repro.core.policy.events" % node.value,
-            )
+class ProtocolVocabularyRule(ClosedVocabularyRule):
+    """Service message types / error codes come from the protocol module."""
+
+    id = "protocol-vocabulary"
+    category = "registry"
+    description = (
+        "sweep-service message types, error codes, cell sources and "
+        "job states must be the MSG_*/ERR_*/SOURCE_*/STATUS_*/JOB_* "
+        "constants from repro.service.protocol — a typo'd bare string "
+        "is a silently dropped or misrouted message"
+    )
+    hint = (
+        "import the matching constant (MSG_*, ERR_*, SOURCE_*, "
+        "STATUS_*, JOB_*) from repro.service.protocol"
+    )
+    include = _PROTOCOL_FILES
+    vocabulary = PROTOCOL_VOCABULARY
+    callees = _PROTOCOL_CALLEES
+    module = "repro.service.protocol"
 
 
 class RegistryDisciplineRule(Rule):
@@ -135,4 +188,5 @@ class RegistryDisciplineRule(Rule):
 
 
 register_rule(ObserverVocabularyRule())
+register_rule(ProtocolVocabularyRule())
 register_rule(RegistryDisciplineRule())

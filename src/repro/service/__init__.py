@@ -1,0 +1,37 @@
+"""The sweep service: a daemon, a wire protocol, and a shared store.
+
+This package turns the :class:`~repro.api.engine.Engine` into a
+fleet-scale serving stack:
+
+:mod:`repro.service.protocol`
+    the line-delimited JSON job protocol — schema-versioned envelopes,
+    a closed vocabulary of message types and error codes, and the
+    submit/status/result/cancel message builders;
+:mod:`repro.service.store`
+    a content-addressed shared result store keyed by the existing
+    ``cell_hash`` (the config-derived content address the two-level
+    cache already uses), written atomically so any number of daemon
+    workers and external processes can share one directory;
+:mod:`repro.service.daemon`
+    the ``repro serve`` HTTP daemon (stdlib ``ThreadingHTTPServer``):
+    sweep submission with request coalescing, per-job progress
+    streaming, cached-cell lookup, and 429 back-pressure;
+:mod:`repro.service.remote`
+    the ``Engine(backend="remote", server=...)`` client backend with
+    bounded retry/backoff, per-request timeouts and honored
+    ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.remote import RemoteClient, RemoteError
+from repro.service.store import ResultStore
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteClient",
+    "RemoteError",
+    "ResultStore",
+]

@@ -1,0 +1,674 @@
+"""The ``repro serve`` daemon: sweep submission over HTTP.
+
+Pure stdlib (``http.server.ThreadingHTTPServer``) — no new
+dependencies.  The daemon owns a :class:`~repro.service.store.ResultStore`
+(the content-addressed shared result store) and a pool of worker
+threads draining a bounded simulation queue:
+
+``POST /v1/jobs``
+    submit cells (a :data:`~repro.service.protocol.MSG_SUBMIT`
+    envelope).  Each cell is triaged under one lock: served from the
+    store, *coalesced* onto an identical in-flight cell (N concurrent
+    submissions of one cell hash cost one simulation), or queued.
+    When the queue is full the daemon answers **429** with a
+    ``Retry-After`` header instead of buffering unboundedly.
+``GET /v1/jobs/<id>``             job status snapshot.
+``GET /v1/jobs/<id>/result``      per-cell results (202 while running).
+``GET /v1/jobs/<id>/events``      line-delimited progress stream fed by
+                                  per-cell completions, with heartbeat
+                                  status lines during long gaps.
+``POST /v1/jobs/<id>/cancel``     abandon not-yet-simulated cells.
+``GET /v1/cells/<hash>``          cached-cell lookup by content address.
+``GET /v1/health``                accounting counters + store info.
+
+Accounting counters (``cells_simulated`` / ``cells_store`` /
+``cells_coalesced`` / ...) are the daemon's ground truth for "N
+identical submissions cost one simulation" — CI and the service tests
+assert on them.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.api.cache import stats_to_payload
+from repro.api.engine import Engine
+from repro.service import protocol
+from repro.service.protocol import ProtocolError, SubmittedCell
+from repro.service.store import ResultStore, is_cell_digest, resolve_store_dir
+
+#: Protocol error code -> HTTP status.
+_HTTP_STATUS: Dict[str, int] = {
+    protocol.ERR_BAD_REQUEST: 400,
+    protocol.ERR_VERSION: 400,
+    protocol.ERR_UNKNOWN_JOB: 404,
+    protocol.ERR_UNKNOWN_CELL: 404,
+    protocol.ERR_QUEUE_FULL: 429,
+    protocol.ERR_INTERNAL: 500,
+}
+
+#: Counter names reported by ``/v1/health`` (a closed set, so a typo'd
+#: bump is a KeyError in tests rather than a silently new counter).
+COUNTERS: Tuple[str, ...] = (
+    "jobs_submitted",
+    "jobs_cancelled",
+    "cells_requested",
+    "cells_simulated",
+    "cells_store",
+    "cells_coalesced",
+    "cells_failed",
+    "cells_skipped",
+)
+
+
+class _Work:
+    """One unique in-flight simulation, shared by every waiting job."""
+
+    __slots__ = ("digest", "workload", "size", "config", "verify", "waiters")
+
+    def __init__(self, cell: SubmittedCell, verify: bool) -> None:
+        self.digest = cell.hash
+        self.workload = cell.workload
+        self.size = cell.size
+        self.config = cell.config
+        self.verify = verify
+        #: (job, cell id, source label) triples resolved on completion.
+        self.waiters: List[Tuple["Job", int, str]] = []
+
+
+class Job:
+    """One submission: per-cell outcomes plus a progress event queue."""
+
+    def __init__(self, job_id: str, total: int) -> None:
+        self.id = job_id
+        self.total = total
+        self.cancelled = False
+        self.cells: Dict[int, Dict[str, object]] = {}
+        self.events: "queue.Queue[Dict[str, object]]" = queue.Queue()
+        self.finished = threading.Event()
+
+    @property
+    def done(self) -> int:
+        return len(self.cells)
+
+    @property
+    def state(self) -> str:
+        if self.cancelled:
+            return protocol.JOB_CANCELLED
+        if self.done >= self.total:
+            return protocol.JOB_DONE
+        if self.done:
+            return protocol.JOB_RUNNING
+        return protocol.JOB_QUEUED
+
+    def status_message(self) -> Dict[str, object]:
+        return protocol.envelope(
+            protocol.MSG_STATUS,
+            job=self.id,
+            state=self.state,
+            done=self.done,
+            total=self.total,
+        )
+
+    def result_message(self) -> Dict[str, object]:
+        return protocol.envelope(
+            protocol.MSG_RESULT,
+            job=self.id,
+            state=self.state,
+            cells=[self.cells[i] for i in sorted(self.cells)],
+        )
+
+
+class SweepService:
+    """Job triage, the worker pool, and the accounting counters.
+
+    ``workers=0`` leaves the queue unserviced so tests (and the
+    coalescing CI check) can stage concurrent submissions and then
+    drain deterministically with :meth:`process_queued`.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 2,
+        queue_limit: int = 256,
+        retry_after: float = 1.0,
+        engine: Optional[Engine] = None,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.store = store
+        self.queue_limit = queue_limit
+        self.retry_after = retry_after
+        self._engine = engine if engine is not None else Engine(
+            backend="inline", cache_dir=None, memo={}
+        )
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[_Work]]" = queue.Queue()
+        self._inflight: Dict[str, _Work] = {}
+        self._jobs: Dict[str, Job] = {}
+        self._pending = 0
+        self._next_job = 0
+        self.counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+        self._threads: List[threading.Thread] = []
+        self._stopping = False
+        for _ in range(workers):
+            thread = threading.Thread(target=self._worker, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    # ------------------------------------------------------------------
+    # Submission triage
+    # ------------------------------------------------------------------
+
+    def submit(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Triage a ``submit`` envelope; returns the ``ack`` envelope.
+
+        Raises :class:`ProtocolError` (:data:`~repro.service.protocol.
+        ERR_QUEUE_FULL`, with ``retry_after``) when accepting the
+        submission's new cells would overflow the simulation queue —
+        nothing is enqueued in that case, so a retried submission
+        starts clean.
+        """
+        cells, verify = protocol.decode_submit(message)
+        with self._lock:
+            # Dry pass first: how many *new* simulations would this
+            # submission enqueue?  (store hits and coalesced cells are
+            # free and never count against the queue; verify cells
+            # always simulate, so each one is new work.)
+            if verify:
+                new_work = len(cells)
+            else:
+                new_work = len({
+                    cell.hash
+                    for cell in cells
+                    if cell.hash not in self._inflight
+                    and self.store.get_entry(cell.hash) is None
+                })
+            if self._pending + new_work > self.queue_limit:
+                raise ProtocolError(
+                    protocol.ERR_QUEUE_FULL,
+                    "simulation queue is full (%d pending, limit %d): "
+                    "retry after %.1fs"
+                    % (self._pending, self.queue_limit, self.retry_after),
+                    retry_after=self.retry_after,
+                )
+            self._next_job += 1
+            job = Job("j%06d" % self._next_job, total=len(cells))
+            self._jobs[job.id] = job
+            self.counters["jobs_submitted"] += 1
+            self.counters["cells_requested"] += len(cells)
+            triage = {"store": 0, "coalesced": 0, "queued": 0}
+            for cell in cells:
+                if not verify:
+                    stats_entry = self.store.get_entry(cell.hash)
+                    if stats_entry is not None:
+                        self.counters["cells_store"] += 1
+                        triage["store"] += 1
+                        self._resolve_locked(
+                            job,
+                            cell.id,
+                            cell.hash,
+                            protocol.STATUS_OK,
+                            protocol.SOURCE_STORE,
+                            stats=stats_entry.get("stats"),
+                        )
+                        continue
+                    work = self._inflight.get(cell.hash)
+                    if work is not None:
+                        # An identical cell is already queued/running —
+                        # for another submission, or a duplicate earlier
+                        # in this one: ride it instead of simulating
+                        # again.
+                        self.counters["cells_coalesced"] += 1
+                        triage["coalesced"] += 1
+                        work.waiters.append(
+                            (job, cell.id, protocol.SOURCE_COALESCED)
+                        )
+                        continue
+                work = _Work(cell, verify)
+                work.waiters.append((job, cell.id, protocol.SOURCE_SIMULATED))
+                if not verify:
+                    self._inflight[cell.hash] = work
+                self._pending += 1
+                triage["queued"] += 1
+                self._queue.put(work)
+            return protocol.envelope(
+                protocol.MSG_ACK,
+                job=job.id,
+                state=job.state,
+                total=job.total,
+                triage=triage,
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def get_job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ProtocolError(
+                protocol.ERR_UNKNOWN_JOB, "no such job %r" % (job_id,)
+            )
+        return job
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """Mark a job cancelled; unresolved cells resolve as cancelled.
+
+        Cells whose simulation is shared with a live job still run (and
+        land in the store); only work waited on exclusively by
+        cancelled jobs is skipped when a worker pops it.
+        """
+        job = self.get_job(job_id)
+        with self._lock:
+            if not job.finished.is_set():
+                self.counters["jobs_cancelled"] += 1
+                job.cancelled = True
+                for cell_id in range(job.total):
+                    if cell_id not in job.cells:
+                        self._resolve_locked(
+                            job,
+                            cell_id,
+                            "",
+                            protocol.STATUS_CANCELLED,
+                            None,
+                        )
+        return job.status_message()
+
+    def lookup_cell(self, digest: str) -> Dict[str, object]:
+        """The store entry for one content address, as an envelope."""
+        entry = self.store.get_entry(digest) if is_cell_digest(digest) else None
+        if entry is None:
+            raise ProtocolError(
+                protocol.ERR_UNKNOWN_CELL,
+                "no stored result for cell %r" % (digest,),
+            )
+        return protocol.envelope(
+            protocol.MSG_RESULT,
+            hash=digest,
+            workload=entry.get("workload"),
+            size=entry.get("size"),
+            config=entry.get("config"),
+            stats=entry.get("stats"),
+        )
+
+    def health(self) -> Dict[str, object]:
+        info = self.store.info()
+        with self._lock:
+            return protocol.envelope(
+                protocol.MSG_STATUS,
+                state=protocol.JOB_RUNNING,
+                counters=dict(self.counters),
+                pending=self._pending,
+                queue_limit=self.queue_limit,
+                jobs=len(self._jobs),
+                store={
+                    "root": info.root,
+                    "entries": info.entries,
+                    "bytes": info.total_bytes,
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            work = self._queue.get()
+            if work is None:
+                return
+            try:
+                self._process(work)
+            finally:
+                self._queue.task_done()
+
+    def process_queued(self) -> int:
+        """Drain the queue in the calling thread (tests, workers=0)."""
+        processed = 0
+        while True:
+            try:
+                work = self._queue.get_nowait()
+            except queue.Empty:
+                return processed
+            if work is None:
+                continue
+            try:
+                self._process(work)
+            finally:
+                self._queue.task_done()
+            processed += 1
+
+    def stop(self) -> None:
+        """Stop worker threads (queued work is abandoned)."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def _process(self, work: _Work) -> None:
+        with self._lock:
+            live = [job for job, _, _ in work.waiters if not job.cancelled]
+            if not live:
+                # Every waiter was cancelled before a worker got here:
+                # their cells already resolved as cancelled, so just
+                # retire the work item.
+                self.counters["cells_skipped"] += 1
+                self._retire_locked(work)
+                return
+        error: Optional[str] = None
+        stats_payload: Optional[Dict[str, object]] = None
+        try:
+            stats = self._engine.run_cell(
+                work.workload,
+                work.size,
+                work.config,
+                verify=work.verify,
+                cache=False,
+            )
+        except Exception as exc:  # noqa: BLE001 — travels to the client
+            error = "%s: %s" % (type(exc).__name__, exc)
+        else:
+            self.store.store(work.workload, work.size, work.config, stats)
+            stats_payload = stats_to_payload(stats)
+        with self._lock:
+            if error is None:
+                self.counters["cells_simulated"] += 1
+            else:
+                self.counters["cells_failed"] += 1
+            for job, cell_id, source in work.waiters:
+                if cell_id in job.cells:
+                    continue  # resolved by cancellation meanwhile
+                if error is None:
+                    self._resolve_locked(
+                        job,
+                        cell_id,
+                        work.digest,
+                        protocol.STATUS_OK,
+                        source,
+                        stats=stats_payload,
+                    )
+                else:
+                    self._resolve_locked(
+                        job,
+                        cell_id,
+                        work.digest,
+                        protocol.STATUS_FAILED,
+                        source,
+                        error=error,
+                    )
+            self._retire_locked(work)
+
+    def _retire_locked(self, work: _Work) -> None:
+        self._pending -= 1
+        if not work.verify and self._inflight.get(work.digest) is work:
+            del self._inflight[work.digest]
+
+    def _resolve_locked(
+        self,
+        job: Job,
+        cell_id: int,
+        digest: str,
+        status: str,
+        source: Optional[str],
+        stats: Optional[object] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        cell: Dict[str, object] = {
+            "id": cell_id,
+            "hash": digest,
+            "status": status,
+        }
+        if source is not None:
+            cell["source"] = source
+        if stats is not None:
+            cell["stats"] = stats
+        if error is not None:
+            cell["error"] = error
+        job.cells[cell_id] = cell
+        progress = dict(cell)
+        progress.pop("stats", None)  # progress lines stay light
+        job.events.put(
+            protocol.envelope(
+                protocol.MSG_PROGRESS,
+                job=job.id,
+                done=job.done,
+                total=job.total,
+                cell=progress,
+            )
+        )
+        if (job.done >= job.total or job.cancelled) and not job.finished.is_set():
+            job.finished.set()
+            job.events.put(job.status_message())
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service instance."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: SweepService,
+        heartbeat: float = 5.0,
+    ) -> None:
+        super().__init__(address, ServiceHandler)
+        self.service = service
+        self.heartbeat = heartbeat
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes /v1/* onto the :class:`SweepService`."""
+
+    server: ServiceServer  # narrowed from BaseServer
+
+    # One connection per request (HTTP/1.0): the progress stream is
+    # delimited by connection close, so no chunked framing is needed
+    # and urllib clients read lines as they are flushed.
+    protocol_version = "HTTP/1.0"
+
+    def log_message(self, format: str, *args: object) -> None:
+        return  # quiet; accounting lives in /v1/health counters
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send_envelope(
+        self,
+        status: int,
+        message: Dict[str, object],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = protocol.encode(message)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, exc: ProtocolError) -> None:
+        headers = {}
+        if exc.retry_after is not None:
+            headers["Retry-After"] = "%g" % exc.retry_after
+        self._send_envelope(
+            _HTTP_STATUS.get(exc.code, 500), exc.to_envelope(), headers
+        )
+
+    def _read_message(self) -> Dict[str, object]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        if length <= 0:
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST, "request has no body"
+            )
+        return protocol.decode(self.rfile.read(length))
+
+    def _route(self) -> Tuple[str, ...]:
+        path = self.path.split("?", 1)[0].strip("/")
+        return tuple(part for part in path.split("/") if part)
+
+    # -- verbs ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch("POST")
+
+    def _dispatch(self, verb: str) -> None:
+        try:
+            handler = self._resolve_route(verb, self._route())
+            if handler is None:
+                raise ProtocolError(
+                    protocol.ERR_BAD_REQUEST,
+                    "unknown endpoint %s %r" % (verb, self.path),
+                )
+            handler()
+        except ProtocolError as exc:
+            self._send_error(exc)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+        except Exception as exc:  # noqa: BLE001 — must answer something
+            try:
+                self._send_error(
+                    ProtocolError(
+                        protocol.ERR_INTERNAL,
+                        "%s: %s" % (type(exc).__name__, exc),
+                    )
+                )
+            except OSError:
+                pass
+
+    # -- routing -------------------------------------------------------
+
+    def _resolve_route(
+        self, verb: str, route: Tuple[str, ...]
+    ) -> Optional[Callable[[], None]]:
+        """Map (verb, /v1/... path) onto a bound handler, or None.
+
+        Job sub-resources dispatch through :data:`_JOB_ACTIONS` — the
+        URL tokens there are route segments, not protocol vocabulary,
+        even where the spellings coincide.
+        """
+        service = self.server.service
+        if len(route) < 2 or route[0] != "v1":
+            return None
+        head, rest = route[1], route[2:]
+        if verb == "GET" and head == "health" and not rest:
+            return lambda: self._send_envelope(200, service.health())
+        if verb == "GET" and head == "cells" and len(rest) == 1:
+            return lambda: self._send_envelope(
+                200, service.lookup_cell(rest[0])
+            )
+        if head == "jobs":
+            if verb == "POST" and not rest:
+                return lambda: self._send_envelope(
+                    200, service.submit(self._read_message())
+                )
+            if verb == "GET" and len(rest) == 1:
+                return lambda: self._send_envelope(
+                    200, service.get_job(rest[0]).status_message()
+                )
+            if len(rest) == 2:
+                action = self._JOB_ACTIONS.get((verb, rest[1]))
+                if action is not None:
+                    return lambda: action(self, service.get_job(rest[0]))
+        return None
+
+    def _job_result(self, job: Job) -> None:
+        if job.finished.is_set():
+            self._send_envelope(200, job.result_message())
+        else:
+            self._send_envelope(202, job.status_message())
+
+    def _job_events(self, job: Job) -> None:
+        self._stream_events(job)
+
+    def _job_cancel(self, job: Job) -> None:
+        self._send_envelope(200, self.server.service.cancel(job.id))
+
+    #: (verb, route segment) -> job sub-resource handler.
+    _JOB_ACTIONS: Dict[Tuple[str, str], Callable[["ServiceHandler", Job], None]] = {
+        ("GET", "result"): _job_result,
+        ("GET", "events"): _job_events,
+        ("POST", "cancel"): _job_cancel,
+    }
+
+    # -- streaming -----------------------------------------------------
+
+    def _stream_events(self, job: Job) -> None:
+        """Line-delimited progress until the job reaches a terminal
+        state; heartbeat status lines cover long simulation gaps so
+        client read timeouts don't sever an idle stream."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        terminal = (protocol.JOB_DONE, protocol.JOB_CANCELLED)
+        while True:
+            try:
+                event = job.events.get(timeout=self.server.heartbeat)
+            except queue.Empty:
+                if job.finished.is_set():
+                    self.wfile.write(protocol.encode(job.status_message()))
+                    self.wfile.flush()
+                    return
+                self.wfile.write(protocol.encode(job.status_message()))
+                self.wfile.flush()
+                continue
+            self.wfile.write(protocol.encode(event))
+            self.wfile.flush()
+            if (
+                event.get("type") == protocol.MSG_STATUS
+                and event.get("state") in terminal
+            ):
+                return
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    store_dir: Optional[str] = None,
+    workers: int = 2,
+    queue_limit: int = 256,
+    retry_after: float = 1.0,
+    heartbeat: float = 5.0,
+    engine: Optional[Engine] = None,
+) -> ServiceServer:
+    """Build a ready-to-serve daemon (``port=0`` picks a free port).
+
+    The caller drives ``serve_forever()`` (or ``handle_request()``) and
+    is responsible for ``shutdown()`` + ``service.stop()``.
+    """
+    store = ResultStore(resolve_store_dir(store_dir))
+    service = SweepService(
+        store,
+        workers=workers,
+        queue_limit=queue_limit,
+        retry_after=retry_after,
+        engine=engine,
+    )
+    return ServiceServer((host, port), service, heartbeat=heartbeat)

@@ -1,0 +1,307 @@
+"""The sweep service's line-delimited JSON job protocol.
+
+Every message on the wire is one JSON object per line (the *envelope*)
+carrying a schema version and a ``type`` drawn from a closed
+vocabulary, exactly like the observer-event vocabulary in
+:mod:`repro.core.policy.events`: emit sites and dispatchers must use
+the ``MSG_*`` / ``ERR_*`` / ``SOURCE_*`` / ``STATUS_*`` constants
+defined here and nowhere else (``repro lint``'s ``protocol-vocabulary``
+rule enforces it), so a typo'd message type is a diff-time error rather
+than a silently dropped request.
+
+The envelope::
+
+    {"v": 1, "type": "<message type>", ...}
+
+Typed failures travel as ``error`` envelopes with a ``code`` from
+:data:`ERROR_CODES`; :class:`ProtocolError` is their in-process form
+and maps 1:1 onto HTTP statuses in the daemon.
+
+Configs cross the wire in the canonical payload shape of
+:func:`repro.api.cache.config_to_payload`, and every submitted cell
+carries its ``cell_hash`` — the daemon recomputes the hash from the
+decoded config and rejects mismatches, so client/server schema skew is
+a loud :data:`ERR_BAD_REQUEST` instead of a silently wrong content
+address.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.api.cache import (
+    AnyConfig,
+    cell_hash,
+    config_from_payload,
+    config_to_payload,
+)
+
+#: Bump when the envelope schema changes; mismatched peers get a typed
+#: version error instead of a confusing parse failure.
+PROTOCOL_VERSION = 1
+
+# -- message types (closed set) ----------------------------------------
+
+#: Client -> daemon: run these cells.
+MSG_SUBMIT: str = "submit"
+#: Daemon -> client: submission accepted (job id + per-cell triage).
+MSG_ACK: str = "ack"
+#: Daemon -> client: job state snapshot (also the stream heartbeat).
+MSG_STATUS: str = "status"
+#: Daemon -> client: one cell resolved (progress stream).
+MSG_PROGRESS: str = "progress"
+#: Daemon -> client: the completed job's per-cell results.
+MSG_RESULT: str = "result"
+#: Client -> daemon: abandon a job's not-yet-simulated cells.
+MSG_CANCEL: str = "cancel"
+#: Either direction: a typed failure (``code`` from ERROR_CODES).
+MSG_ERROR: str = "error"
+
+#: Every valid envelope ``type``.
+MESSAGE_TYPES: Tuple[str, ...] = (
+    MSG_SUBMIT,
+    MSG_ACK,
+    MSG_STATUS,
+    MSG_PROGRESS,
+    MSG_RESULT,
+    MSG_CANCEL,
+    MSG_ERROR,
+)
+
+# -- error codes (closed set) ------------------------------------------
+
+ERR_BAD_REQUEST: str = "bad_request"
+ERR_VERSION: str = "version_mismatch"
+ERR_UNKNOWN_JOB: str = "unknown_job"
+ERR_UNKNOWN_CELL: str = "unknown_cell"
+ERR_QUEUE_FULL: str = "queue_full"
+ERR_INTERNAL: str = "internal"
+
+#: Every valid ``error`` envelope ``code``.
+ERROR_CODES: Tuple[str, ...] = (
+    ERR_BAD_REQUEST,
+    ERR_VERSION,
+    ERR_UNKNOWN_JOB,
+    ERR_UNKNOWN_CELL,
+    ERR_QUEUE_FULL,
+    ERR_INTERNAL,
+)
+
+# -- cell dispositions -------------------------------------------------
+
+#: The daemon ran the simulation for this cell.
+SOURCE_SIMULATED: str = "simulated"
+#: Served from the content-addressed shared store.
+SOURCE_STORE: str = "store"
+#: Coalesced onto an identical in-flight cell of another submission.
+SOURCE_COALESCED: str = "coalesced"
+
+#: Every valid per-cell ``source``.
+CELL_SOURCES: Tuple[str, ...] = (
+    SOURCE_SIMULATED,
+    SOURCE_STORE,
+    SOURCE_COALESCED,
+)
+
+#: Per-cell terminal states inside ack/progress/result messages.
+STATUS_OK: str = "ok"
+STATUS_FAILED: str = "failed"
+STATUS_CANCELLED: str = "cancelled"
+
+CELL_STATUSES: Tuple[str, ...] = (STATUS_OK, STATUS_FAILED, STATUS_CANCELLED)
+
+#: Job lifecycle states carried by ``status`` envelopes.
+JOB_QUEUED: str = "queued"
+JOB_RUNNING: str = "running"
+JOB_DONE: str = "done"
+JOB_CANCELLED: str = "job_cancelled"
+
+JOB_STATES: Tuple[str, ...] = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_CANCELLED)
+
+#: The full closed vocabulary, for validation and for the lint rule.
+VOCABULARY: FrozenSet[str] = frozenset(
+    MESSAGE_TYPES + ERROR_CODES + CELL_SOURCES + CELL_STATUSES + JOB_STATES
+)
+
+
+class ProtocolError(Exception):
+    """A typed protocol failure (in-process form of ``error`` envelopes).
+
+    ``retry_after`` is set on back-pressure errors: the number of
+    seconds the peer should wait before retrying (the daemon surfaces
+    it as HTTP 429 + ``Retry-After``).
+    """
+
+    def __init__(
+        self, code: str, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError("unknown protocol error code %r" % (code,))
+        super().__init__(message)
+        self.code = code
+        self.retry_after = retry_after
+
+    def to_envelope(self) -> Dict[str, object]:
+        body: Dict[str, object] = {"code": self.code, "message": str(self)}
+        if self.retry_after is not None:
+            body["retry_after"] = self.retry_after
+        return envelope(MSG_ERROR, **body)
+
+
+# ----------------------------------------------------------------------
+# Envelopes
+# ----------------------------------------------------------------------
+
+
+def envelope(msg_type: str, **body: object) -> Dict[str, object]:
+    """A versioned message of ``msg_type`` with the given body fields."""
+    if msg_type not in MESSAGE_TYPES:
+        raise ValueError("unknown protocol message type %r" % (msg_type,))
+    out: Dict[str, object] = {"v": PROTOCOL_VERSION, "type": msg_type}
+    out.update(body)
+    return out
+
+
+def encode(message: Dict[str, object]) -> bytes:
+    """One wire line: compact JSON + newline (line-delimited framing)."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: "bytes | str") -> Dict[str, object]:
+    """Parse and validate one wire line into an envelope dict.
+
+    Raises :class:`ProtocolError` with :data:`ERR_BAD_REQUEST` on
+    malformed JSON or a type outside the vocabulary, and
+    :data:`ERR_VERSION` on a schema-version mismatch.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(ERR_BAD_REQUEST, "message is not UTF-8") from exc
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(
+            ERR_BAD_REQUEST, "message is not valid JSON: %s" % exc
+        ) from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(ERR_BAD_REQUEST, "message must be a JSON object")
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            ERR_VERSION,
+            "protocol version %r, this peer speaks %d"
+            % (version, PROTOCOL_VERSION),
+        )
+    msg_type = message.get("type")
+    if msg_type not in MESSAGE_TYPES:
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            "unknown message type %r (valid: %s)"
+            % (msg_type, ", ".join(MESSAGE_TYPES)),
+        )
+    return message
+
+
+# ----------------------------------------------------------------------
+# Submissions
+# ----------------------------------------------------------------------
+
+
+def submit_message(
+    cells: Sequence[Tuple[str, str, str, AnyConfig]], verify: bool = False
+) -> Dict[str, object]:
+    """A ``submit`` envelope for (workload, size, config_name, config)
+    cells.  Cell ids are the sequence indices; every cell carries its
+    content address so the peer can cross-check schema agreement."""
+    encoded: List[Dict[str, object]] = []
+    for idx, (workload, size, config_name, config) in enumerate(cells):
+        encoded.append(
+            {
+                "id": idx,
+                "workload": workload,
+                "size": size,
+                "config_name": config_name,
+                "config": config_to_payload(config),
+                "hash": cell_hash(workload, size, config),
+            }
+        )
+    return envelope(MSG_SUBMIT, cells=encoded, verify=bool(verify))
+
+
+class SubmittedCell:
+    """One decoded cell of a ``submit`` message."""
+
+    __slots__ = ("id", "workload", "size", "config_name", "config", "hash")
+
+    def __init__(
+        self,
+        cell_id: int,
+        workload: str,
+        size: str,
+        config_name: str,
+        config: AnyConfig,
+        digest: str,
+    ) -> None:
+        self.id = cell_id
+        self.workload = workload
+        self.size = size
+        self.config_name = config_name
+        self.config = config
+        self.hash = digest
+
+
+def decode_submit(
+    message: Dict[str, object],
+) -> Tuple[List[SubmittedCell], bool]:
+    """Validate a ``submit`` envelope into typed cells.
+
+    Every decode failure — missing fields, an unknown config payload,
+    an unregistered policy name, or a content-address mismatch between
+    the client's ``hash`` and the one recomputed here — raises
+    :class:`ProtocolError` with :data:`ERR_BAD_REQUEST`.
+    """
+    raw_cells = message.get("cells")
+    if not isinstance(raw_cells, list) or not raw_cells:
+        raise ProtocolError(ERR_BAD_REQUEST, "submit has no cells")
+    cells: List[SubmittedCell] = []
+    for raw in raw_cells:
+        if not isinstance(raw, dict):
+            raise ProtocolError(ERR_BAD_REQUEST, "cell must be an object")
+        try:
+            cell_id = int(raw["id"])
+            workload = str(raw["workload"])
+            size = str(raw["size"])
+            config_name = str(raw["config_name"])
+            config_payload = raw["config"]
+            claimed = str(raw["hash"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                ERR_BAD_REQUEST, "malformed cell: %s" % exc
+            ) from exc
+        if not isinstance(config_payload, dict):
+            raise ProtocolError(ERR_BAD_REQUEST, "cell config must be an object")
+        try:
+            config = config_from_payload(config_payload)
+        except ValueError as exc:
+            raise ProtocolError(
+                ERR_BAD_REQUEST,
+                "cell %d config: %s (a policy registered only client-side "
+                "must be imported on the server, e.g. repro serve --plugin)"
+                % (cell_id, exc),
+            ) from exc
+        digest = cell_hash(workload, size, config)
+        if digest != claimed:
+            raise ProtocolError(
+                ERR_BAD_REQUEST,
+                "cell %d content address mismatch (client %s..., server "
+                "%s...): client and server disagree on the config schema "
+                "or cache version — upgrade the older peer"
+                % (cell_id, claimed[:12], digest[:12]),
+            )
+        cells.append(
+            SubmittedCell(cell_id, workload, size, config_name, config, digest)
+        )
+    return cells, bool(message.get("verify", False))

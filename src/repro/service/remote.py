@@ -1,0 +1,480 @@
+"""The ``Engine(backend="remote")`` client side of the sweep service.
+
+:class:`RemoteClient` wraps the daemon's HTTP endpoints with
+
+* **per-request timeouts** (connect and read share one socket timeout);
+* **bounded retry with deterministic exponential backoff** for network
+  failures — no random jitter, so behaviour is reproducible and the
+  backoff sequence is testable;
+* **back-pressure honoring**: a 429 response's ``Retry-After`` value
+  replaces the backoff delay for the next attempt, so a busy daemon
+  paces its clients instead of being hammered;
+* **request coalescing**: a per-client in-flight registry keyed by
+  ``cell_hash`` lets N concurrent sweeps of the same cells collapse to
+  one submission — later threads *ride* the first thread's job and
+  read its results, and the daemon coalesces across clients the same
+  way, so a million identical figure-7 requests cost one simulation.
+
+:func:`run_remote` is the engine backend runner: it submits the
+pending cells, follows the job's progress stream (falling back to
+status polling if the stream breaks), folds results into the engine's
+memo/disk cache, and honors the engine's error policy.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.api.cache import AnyConfig, AnyStats, cell_hash, stats_from_payload
+from repro.api.results import CellError
+from repro.service import protocol
+from repro.service.protocol import ProtocolError
+
+if TYPE_CHECKING:  # circular at runtime: engine dispatches into here
+    from repro.api.engine import Engine
+    from repro.api.spec import Cell
+
+#: One submittable cell: (workload, size, config_name, config).
+CellTuple = Tuple[str, str, str, AnyConfig]
+
+
+class RemoteError(RuntimeError):
+    """A request to the sweep daemon failed for good.
+
+    ``code`` carries the protocol error code when the daemon answered
+    with a typed error envelope (None for transport-level failures).
+    """
+
+    def __init__(self, message: str, code: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class _Inflight:
+    """One reserved submission slot in the client coalescing registry."""
+
+    __slots__ = ("job_id", "ready")
+
+    def __init__(self) -> None:
+        self.job_id: Optional[str] = None
+        self.ready = threading.Event()
+
+
+class RemoteClient:
+    """HTTP client for one sweep daemon."""
+
+    def __init__(
+        self,
+        server: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.25,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if not server.startswith(("http://", "https://")):
+            raise ValueError(
+                "server must be an http(s) URL, got %r" % (server,)
+            )
+        self.server = server.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._sleep = sleep
+        self._inflight: Dict[str, _Inflight] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _open(
+        self,
+        method: str,
+        path: str,
+        message: Optional[Dict[str, object]] = None,
+        timeout: Optional[float] = None,
+    ) -> http.client.HTTPResponse:
+        data = protocol.encode(message) if message is not None else None
+        request = urllib.request.Request(
+            self.server + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        response = urllib.request.urlopen(
+            request, timeout=self.timeout if timeout is None else timeout
+        )
+        assert isinstance(response, http.client.HTTPResponse)
+        return response
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        message: Optional[Dict[str, object]] = None,
+        ok_statuses: Sequence[int] = (200,),
+    ) -> Dict[str, object]:
+        """One endpoint round-trip with retry/backoff/back-pressure.
+
+        Typed daemon errors other than 429 do not retry — the request
+        would fail identically again; transport failures and 429 retry
+        up to ``retries`` times, sleeping the deterministic backoff
+        (or the server-provided ``Retry-After``) between attempts.
+        """
+        attempts = self.retries + 1
+        delay = 0.0
+        last = "no attempt made"
+        for attempt in range(attempts):
+            if delay > 0.0:
+                self._sleep(delay)
+            delay = min(self.backoff * (2.0 ** attempt), 10.0)
+            try:
+                response = self._open(method, path, message)
+            except urllib.error.HTTPError as exc:
+                envelope = self._error_envelope(exc)
+                code = str(envelope.get("code", protocol.ERR_INTERNAL))
+                text = str(envelope.get("message", exc))
+                if exc.code == 429:
+                    retry_after = envelope.get("retry_after")
+                    if isinstance(retry_after, (int, float)):
+                        delay = float(retry_after)
+                    last = "daemon busy (429): %s" % text
+                    continue
+                raise RemoteError(
+                    "%s %s: %s" % (method, path, text), code=code
+                ) from exc
+            except (OSError, http.client.HTTPException) as exc:
+                # URLError (connection refused, DNS), socket timeouts
+                # and protocol-level failures all retry.
+                last = "%s: %s" % (type(exc).__name__, exc)
+                continue
+            with response:
+                if response.status not in ok_statuses:
+                    raise RemoteError(
+                        "%s %s: unexpected HTTP %d"
+                        % (method, path, response.status)
+                    )
+                body = response.read()
+            try:
+                return protocol.decode(body)
+            except ProtocolError as exc:
+                raise RemoteError(
+                    "%s %s: bad response: %s" % (method, path, exc),
+                    code=exc.code,
+                ) from exc
+        raise RemoteError(
+            "no response from %s%s after %d attempt%s — last error: %s"
+            % (
+                self.server,
+                path,
+                attempts,
+                "" if attempts == 1 else "s",
+                last,
+            )
+        )
+
+    @staticmethod
+    def _error_envelope(exc: urllib.error.HTTPError) -> Dict[str, object]:
+        try:
+            return protocol.decode(exc.read())
+        except (ProtocolError, OSError):
+            return {"code": protocol.ERR_INTERNAL, "message": str(exc)}
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/health")
+
+    def submit(
+        self, cells: Sequence[CellTuple], verify: bool = False
+    ) -> Dict[str, object]:
+        return self._request(
+            "POST", "/v1/jobs", protocol.submit_message(cells, verify=verify)
+        )
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", "/v1/jobs/%s" % job_id)
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """The job's result envelope (a status envelope while running)."""
+        return self._request(
+            "GET", "/v1/jobs/%s/result" % job_id, ok_statuses=(200, 202)
+        )
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("POST", "/v1/jobs/%s/cancel" % job_id, message=protocol.envelope(protocol.MSG_CANCEL, job=job_id))
+
+    def cell(self, digest: str) -> Dict[str, object]:
+        """Cached-cell lookup by content address."""
+        return self._request("GET", "/v1/cells/%s" % digest)
+
+    def events(self, job_id: str) -> Iterator[Dict[str, object]]:
+        """The job's live progress stream (one envelope per line).
+
+        Transport errors surface as :class:`RemoteError`; callers that
+        can fall back (``run_remote``) catch it and poll instead.
+        """
+        try:
+            response = self._open("GET", "/v1/jobs/%s/events" % job_id)
+        except urllib.error.HTTPError as exc:
+            envelope = self._error_envelope(exc)
+            raise RemoteError(
+                "events stream for %s: %s"
+                % (job_id, envelope.get("message", exc)),
+                code=str(envelope.get("code", protocol.ERR_INTERNAL)),
+            ) from exc
+        except (OSError, http.client.HTTPException) as exc:
+            raise RemoteError(
+                "events stream for %s: %s: %s"
+                % (job_id, type(exc).__name__, exc)
+            ) from exc
+        try:
+            with response:
+                for line in response:
+                    if not line.strip():
+                        continue
+                    yield protocol.decode(line)
+        except ProtocolError as exc:
+            raise RemoteError(
+                "events stream for %s: bad line: %s" % (job_id, exc),
+                code=exc.code,
+            ) from exc
+        except (OSError, http.client.HTTPException) as exc:
+            raise RemoteError(
+                "events stream for %s broke: %s: %s"
+                % (job_id, type(exc).__name__, exc)
+            ) from exc
+
+    def wait_result(
+        self, job_id: str, poll_interval: float = 0.25
+    ) -> Dict[str, object]:
+        """Block until the job is terminal; returns its result envelope."""
+        terminal = (protocol.JOB_DONE, protocol.JOB_CANCELLED)
+        while True:
+            message = self.result(job_id)
+            if (
+                message.get("type") == protocol.MSG_RESULT
+                and message.get("state") in terminal
+            ):
+                return message
+            self._sleep(poll_interval)
+
+    # ------------------------------------------------------------------
+    # Client-side coalescing
+    # ------------------------------------------------------------------
+
+    def reserve(
+        self, digests: Sequence[str]
+    ) -> Tuple[List[str], Dict[str, _Inflight]]:
+        """Split digests into (mine to submit, rides on other threads).
+
+        Reserved digests must be released with :meth:`publish` (job id
+        on success, None on failure) — always, or riders deadlock.
+        """
+        mine: List[str] = []
+        rides: Dict[str, _Inflight] = {}
+        with self._lock:
+            for digest in digests:
+                record = self._inflight.get(digest)
+                if record is not None:
+                    rides[digest] = record
+                else:
+                    self._inflight[digest] = _Inflight()
+                    mine.append(digest)
+        return mine, rides
+
+    def publish(self, digests: Sequence[str], job_id: Optional[str]) -> None:
+        """Attach a job id to reserved digests and wake riders."""
+        with self._lock:
+            for digest in digests:
+                record = self._inflight.get(digest)
+                if record is not None:
+                    record.job_id = job_id
+                    record.ready.set()
+
+    def release(self, digests: Sequence[str]) -> None:
+        """Drop reserved digests once their results are fetchable."""
+        with self._lock:
+            for digest in digests:
+                self._inflight.pop(digest, None)
+
+
+# ----------------------------------------------------------------------
+# The engine backend runner
+# ----------------------------------------------------------------------
+
+
+def _emit_sources(cell_message: Dict[str, object]) -> Tuple[bool, Optional[str]]:
+    """(cached flag, error text) of one per-cell protocol message."""
+    status = cell_message.get("status")
+    if status == protocol.STATUS_FAILED:
+        return False, str(cell_message.get("error", "remote cell failed"))
+    if status == protocol.STATUS_CANCELLED:
+        return False, "cell was cancelled on the daemon"
+    cached = cell_message.get("source") != protocol.SOURCE_SIMULATED
+    return cached, None
+
+
+def run_remote(
+    engine: "Engine",
+    pending: Sequence[Tuple[Tuple[object, ...], "Cell"]],
+    disk_dir: Optional[str],
+    verify: bool,
+    errors: str,
+    outcome: Dict[Tuple[object, ...], object],
+    emit: Callable[..., None],
+) -> None:
+    """Resolve ``pending`` cells through the daemon.
+
+    Mirrors the inline/process runners' contract: fills ``outcome``
+    with stats or :class:`CellError`, fires ``emit`` once per cell, and
+    under ``errors="raise"`` raises on the first failed cell.  Results
+    are folded into the engine's memo and disk cache, so a later local
+    run is warm without another round-trip.
+    """
+    client = engine.remote_client
+    order = list(pending)
+    digests = [
+        cell_hash(cell.workload, cell.size, cell.config) for _, cell in order
+    ]
+    by_digest = {
+        digest: (key, cell)
+        for digest, (key, cell) in zip(digests, order)
+    }
+
+    # verify runs bypass every cache layer, so they never coalesce.
+    if verify:
+        mine = list(dict.fromkeys(digests))
+        rides: Dict[str, _Inflight] = {}
+    else:
+        mine, rides = client.reserve(list(dict.fromkeys(digests)))
+
+    cell_results: Dict[str, Dict[str, object]] = {}
+    try:
+        if mine:
+            tuples = [
+                (
+                    by_digest[d][1].workload,
+                    by_digest[d][1].size,
+                    by_digest[d][1].config_name,
+                    by_digest[d][1].config,
+                )
+                for d in mine
+            ]
+            ack = client.submit(tuples, verify=verify)
+            job_id = str(ack.get("job"))
+            if not verify:
+                client.publish(mine, job_id)
+            _follow_job(client, job_id, cell_results)
+        for digest, record in rides.items():
+            record.ready.wait()
+            if record.job_id is None:
+                # The reserving thread's submission failed; run the
+                # cell ourselves on a fresh job.
+                entry = by_digest[digest]
+                ack = client.submit(
+                    [
+                        (
+                            entry[1].workload,
+                            entry[1].size,
+                            entry[1].config_name,
+                            entry[1].config,
+                        )
+                    ],
+                    verify=verify,
+                )
+                _follow_job(client, str(ack.get("job")), cell_results)
+            elif digest not in cell_results:
+                _follow_job(client, record.job_id, cell_results)
+    except Exception:
+        if not verify:
+            client.publish(mine, None)
+        raise
+    finally:
+        if not verify:
+            client.release(mine)
+
+    for digest, (key, cell) in zip(digests, order):
+        if key in outcome:
+            continue  # duplicate digest already resolved
+        message = cell_results.get(digest)
+        if message is None:
+            error_text = "daemon returned no result for cell %s" % digest[:12]
+            if errors == "raise":
+                raise RemoteError(error_text)
+            outcome[key] = CellError(
+                cell.workload, cell.size, cell.config_name, error_text
+            )
+            emit(cell, cached=False, error=error_text)
+            continue
+        cached, error_text = _emit_sources(message)
+        if error_text is not None:
+            if errors == "raise":
+                raise RemoteError(
+                    "remote cell %s/%s @%s failed: %s"
+                    % (cell.workload, cell.config_name, cell.size, error_text)
+                )
+            outcome[key] = CellError(
+                cell.workload, cell.size, cell.config_name, error_text
+            )
+            emit(cell, cached=False, error=error_text)
+            continue
+        payload = message.get("stats")
+        if not isinstance(payload, dict):
+            raise RemoteError(
+                "daemon result for cell %s has no stats payload" % digest[:12]
+            )
+        stats: AnyStats = stats_from_payload(payload)
+        engine._store(cell.workload, cell.size, cell.config, stats, True, disk_dir)
+        outcome[key] = stats
+        emit(cell, cached=cached)
+
+
+def _follow_job(
+    client: RemoteClient,
+    job_id: str,
+    cell_results: Dict[str, Dict[str, object]],
+) -> None:
+    """Stream a job to completion, then collect its per-cell results.
+
+    The progress stream is best-effort: if it breaks (read timeout,
+    connection reset), fall back to polling the result endpoint — the
+    final result message is the source of truth either way.
+    """
+    terminal = (protocol.JOB_DONE, protocol.JOB_CANCELLED)
+    try:
+        for event in client.events(job_id):
+            if (
+                event.get("type") == protocol.MSG_STATUS
+                and event.get("state") in terminal
+            ):
+                break
+    except RemoteError:
+        pass  # heartbeat gap or transport hiccup: poll below instead
+    message = client.wait_result(job_id)
+    cells = message.get("cells")
+    if not isinstance(cells, list):
+        raise RemoteError("malformed result for job %s" % job_id)
+    for raw in cells:
+        if isinstance(raw, dict) and isinstance(raw.get("hash"), str):
+            digest = str(raw["hash"])
+            if digest:
+                cell_results[digest] = raw

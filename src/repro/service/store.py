@@ -1,0 +1,189 @@
+"""Content-addressed shared result store backing the sweep daemon.
+
+One entry per simulated cell, named by the full ``cell_hash`` — the
+byte-stable digest of (cache version, workload, size, complete config)
+that the two-level cache already derives — and sharded by the first
+two hex digits so a million-entry store never puts a million files in
+one directory::
+
+    <root>/ab/abcdef...0123.json
+
+Entries carry exactly the disk-cache entry schema
+(:mod:`repro.api.cache`: version, workload, size, config payload,
+stats payload), so the store is a superset of the flat cache: tooling
+that understands one understands the other, and because identical
+hashes imply identical content, two stores merge by copying files —
+no conflict resolution needed (contrast ``repro merge``, which merges
+*ResultSet artifacts* and must compare stats).  Writes go through
+:func:`repro.api.cache.atomic_write_text`, so any number of daemon
+worker threads and external processes can share one root safely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.api.cache import (
+    CACHE_VERSION,
+    AnyConfig,
+    AnyStats,
+    atomic_write_text,
+    cell_hash,
+    config_to_payload,
+    stats_from_payload,
+    stats_to_payload,
+)
+
+#: Environment variable naming the daemon's default store root.
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+
+#: Fallback store root when neither --store nor the env var is set.
+DEFAULT_STORE_DIR = ".repro_store"
+
+_HEX = set("0123456789abcdef")
+
+
+def resolve_store_dir(root: Optional[str]) -> str:
+    """Explicit root, else ``$REPRO_STORE_DIR``, else the default."""
+    if root:
+        return root
+    return os.environ.get(STORE_DIR_ENV) or DEFAULT_STORE_DIR
+
+
+def is_cell_digest(text: str) -> bool:
+    """True for a full-length lowercase sha256 hex digest."""
+    return len(text) == 64 and all(c in _HEX for c in text)
+
+
+@dataclass(frozen=True)
+class StoreInfo:
+    """One snapshot of the store (``/v1/health``, tests, docs)."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+
+class ResultStore:
+    """A directory of cell results addressed by content hash."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def path_for(self, digest: str) -> str:
+        if not is_cell_digest(digest):
+            raise ValueError("not a cell digest: %r" % (digest,))
+        return os.path.join(self.root, digest[:2], digest + ".json")
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get_entry(self, digest: str) -> Optional[Dict[str, object]]:
+        """The full JSON entry for a digest, or None.
+
+        Torn/alien files and entries from another ``CACHE_VERSION``
+        read as misses, exactly like the flat disk cache.
+        """
+        try:
+            with open(self.path_for(digest)) as f:
+                entry = json.load(f)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("version") != CACHE_VERSION:
+            return None
+        return entry
+
+    def load_stats(self, digest: str) -> Optional[AnyStats]:
+        """The decoded stats for a digest, or None."""
+        entry = self.get_entry(digest)
+        if entry is None:
+            return None
+        payload = entry.get("stats")
+        if not isinstance(payload, dict):
+            return None
+        try:
+            return stats_from_payload(payload)
+        except (KeyError, TypeError):
+            return None
+
+    def load(
+        self, workload: str, size: str, config: AnyConfig
+    ) -> Optional[AnyStats]:
+        """Cache-style lookup by cell rather than by digest."""
+        return self.load_stats(cell_hash(workload, size, config))
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def store(
+        self, workload: str, size: str, config: AnyConfig, stats: AnyStats
+    ) -> str:
+        """Persist one cell result; returns its content address.
+
+        Concurrent writers of the same digest are harmless: identical
+        hashes imply identical entries, so whichever ``os.replace``
+        lands last installs the same bytes.
+        """
+        digest = cell_hash(workload, size, config)
+        entry = {
+            "version": CACHE_VERSION,
+            "workload": workload,
+            "size": size,
+            "config": config_to_payload(config),
+            "stats": stats_to_payload(stats),
+        }
+        path = self.path_for(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write_text(path, json.dumps(entry, indent=1, sort_keys=True))
+        return digest
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def _entry_paths(self) -> Iterator[Tuple[str, str]]:
+        try:
+            shards = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except OSError:
+                continue
+            for name in names:
+                digest, ext = os.path.splitext(name)
+                if ext == ".json" and is_cell_digest(digest):
+                    yield digest, os.path.join(shard_dir, name)
+
+    def digests(self) -> Iterator[str]:
+        """Every content address currently in the store (sorted)."""
+        for digest, _ in self._entry_paths():
+            yield digest
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def info(self) -> StoreInfo:
+        entries = 0
+        total = 0
+        for _, path in self._entry_paths():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                continue
+            entries += 1
+        return StoreInfo(self.root, entries, total)

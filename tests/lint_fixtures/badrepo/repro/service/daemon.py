@@ -1,0 +1,9 @@
+"""Seeded violations for the protocol-vocabulary rule (never imported)."""
+
+from repro.service import protocol
+
+
+def handle(message):
+    if message.get("type") == "submit":  # protocol-vocabulary (bare compare)
+        return protocol.envelope("ack", job="j1")  # protocol-vocabulary (arg)
+    raise protocol.ProtocolError("bad_request", "not a submit")  # (arg)

@@ -1,0 +1,9 @@
+"""Clean counterpart of the protocol fixture (never imported)."""
+
+from repro.service import protocol
+
+
+def handle(message):
+    if message.get("type") == protocol.MSG_SUBMIT:
+        return protocol.envelope(protocol.MSG_ACK, job="j1")
+    raise protocol.ProtocolError(protocol.ERR_BAD_REQUEST, "not a submit")

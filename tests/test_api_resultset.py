@@ -204,6 +204,58 @@ class TestMerge:
         with pytest.raises(ValueError, match="conflict"):
             rs.add(Result("bfs", "tiny", "baseline", _stats(11, 10)))
 
+    def test_conflict_error_names_the_cell_and_the_remedy(self):
+        a = ResultSet([Result("bfs", "tiny", "baseline", _stats(10, 10))])
+        b = ResultSet([Result("bfs", "tiny", "baseline", _stats(99, 10))])
+        with pytest.raises(ValueError) as excinfo:
+            a.merge(b)
+        message = str(excinfo.value)
+        for fragment in ("bfs", "tiny", "baseline", "on_conflict"):
+            assert fragment in message
+
+    def test_conflict_in_nested_stats_field_detected(self):
+        # Differing only in a nested dict field is still a conflict —
+        # comparison goes through to_dict(), not top-level scalars.
+        x = _stats(10, 10)
+        y = _stats(10, 10)
+        y.per_op_class["mad"] = 7
+        a = ResultSet([Result("bfs", "tiny", "baseline", x)])
+        b = ResultSet([Result("bfs", "tiny", "baseline", y)])
+        with pytest.raises(ValueError, match="conflict"):
+            a.merge(b)
+
+    def test_conflict_across_stats_kinds_is_a_conflict(self):
+        a = ResultSet([Result("bfs", "tiny", "baseline", _stats(10, 10))])
+        b = ResultSet([Result("bfs", "tiny", "baseline", DeviceStats())])
+        with pytest.raises(ValueError, match="conflict"):
+            a.merge(b)
+
+    def test_replace_preserves_row_position_and_originals(self):
+        a = ResultSet(
+            [
+                Result("bfs", "tiny", "baseline", _stats(10, 10)),
+                Result("lud", "tiny", "baseline", _stats(20, 20)),
+            ]
+        )
+        b = ResultSet([Result("bfs", "tiny", "baseline", _stats(99, 10))])
+        merged = a.merge(b, on_conflict="replace")
+        assert [r.workload for r in merged] == ["bfs", "lud"]
+        assert merged.get("bfs", "baseline").cycles == 99
+        # The inputs are untouched (merge returns a new set).
+        assert a.get("bfs", "baseline").cycles == 10
+
+    def test_merge_rejects_unknown_policy(self):
+        a = ResultSet([Result("bfs", "tiny", "baseline", _stats(10, 10))])
+        with pytest.raises(ValueError, match="on_conflict"):
+            a.merge(ResultSet(), on_conflict="panic")
+
+    def test_merge_concatenates_errors(self):
+        a = ResultSet(errors=[CellError("bfs", "tiny", "baseline", "boom")])
+        b = ResultSet(errors=[CellError("lud", "tiny", "baseline", "bang")])
+        merged = a.merge(b)
+        assert [e.workload for e in merged.errors] == ["bfs", "lud"]
+        assert len(a.errors) == 1 and len(b.errors) == 1
+
 
 class TestNested:
     def test_legacy_shape(self):

@@ -1,0 +1,655 @@
+"""Sweep service: protocol, shared store, daemon, remote backend."""
+
+import json
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.api import Engine, SweepSpec
+from repro.api import cache as result_cache
+from repro.api.cache import (
+    atomic_write_text,
+    cell_hash,
+    config_from_payload,
+    config_to_payload,
+)
+from repro.api.engine import BACKENDS
+from repro.core import presets
+from repro.service import protocol
+from repro.service.daemon import COUNTERS, SweepService, make_server
+from repro.service.protocol import ProtocolError
+from repro.service.remote import RemoteClient, RemoteError, _follow_job
+from repro.service.store import ResultStore, is_cell_digest, resolve_store_dir
+from repro.timing.config import GPUConfig
+from repro.timing.stats import Stats
+
+TINY = SweepSpec.from_presets(
+    ["baseline", "warp64"], workloads=["histogram"], size="tiny"
+)
+
+#: (workload, size, config_name, config) rows for submit_message.
+CELL_A = ("histogram", "tiny", "baseline", presets.baseline())
+CELL_B = ("histogram", "tiny", "warp64", presets.warp64())
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    result_cache.clear()
+    yield
+    result_cache.clear()
+
+
+class _StubEngine:
+    """Counts run_cell calls; optionally fails every cell."""
+
+    def __init__(self, fail=False):
+        self.calls = 0
+        self.fail = fail
+
+    def run_cell(self, workload, size, config, verify=False, cache=True):
+        self.calls += 1
+        if self.fail:
+            raise RuntimeError("boom")
+        return Stats(cycles=7, thread_instructions=3, instructions_issued=2)
+
+
+def _service(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 0)
+    kwargs.setdefault("engine", _StubEngine())
+    return SweepService(ResultStore(str(tmp_path / "store")), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_envelope_encode_decode_round_trip(self):
+        message = protocol.envelope(protocol.MSG_STATUS, job="j1", done=2)
+        line = protocol.encode(message)
+        assert line.endswith(b"\n")
+        assert protocol.decode(line) == message
+
+    def test_envelope_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="message type"):
+            protocol.envelope("definitely-not-a-type")
+
+    @pytest.mark.parametrize(
+        "line,code",
+        [
+            (b"\xff\xfe", protocol.ERR_BAD_REQUEST),
+            (b"not json\n", protocol.ERR_BAD_REQUEST),
+            (b"[1, 2]\n", protocol.ERR_BAD_REQUEST),
+            (b'{"v": 999, "type": "status"}\n', protocol.ERR_VERSION),
+            (b'{"v": 1, "type": "nope"}\n', protocol.ERR_BAD_REQUEST),
+        ],
+    )
+    def test_decode_rejections_are_typed(self, line, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.decode(line)
+        assert excinfo.value.code == code
+
+    def test_protocol_error_rejects_unknown_code(self):
+        with pytest.raises(ValueError, match="error code"):
+            ProtocolError("no_such_code", "x")
+
+    def test_protocol_error_envelope_carries_retry_after(self):
+        err = ProtocolError(protocol.ERR_QUEUE_FULL, "busy", retry_after=2.5)
+        body = err.to_envelope()
+        assert body["type"] == protocol.MSG_ERROR
+        assert body["code"] == protocol.ERR_QUEUE_FULL
+        assert body["retry_after"] == 2.5
+
+    def test_submit_round_trip(self):
+        message = protocol.submit_message([CELL_A, CELL_B], verify=True)
+        # The wire form survives serialization.
+        message = protocol.decode(protocol.encode(message))
+        cells, verify = protocol.decode_submit(message)
+        assert verify is True
+        assert [c.config_name for c in cells] == ["baseline", "warp64"]
+        assert cells[0].hash == cell_hash(*CELL_A[:2], CELL_A[3])
+        assert cells[0].config == CELL_A[3]
+
+    def test_submit_hash_mismatch_is_loud(self):
+        message = protocol.submit_message([CELL_A])
+        message["cells"][0]["hash"] = "0" * 64
+        with pytest.raises(ProtocolError, match="content address mismatch"):
+            protocol.decode_submit(message)
+
+    def test_submit_without_cells_rejected(self):
+        with pytest.raises(ProtocolError, match="no cells"):
+            protocol.decode_submit(protocol.envelope(protocol.MSG_SUBMIT))
+
+    def test_vocabulary_is_closed_and_disjointly_spelled(self):
+        # The lint rule keys on spelling; a new constant colliding with
+        # an existing one would make violations ambiguous.
+        groups = (
+            protocol.MESSAGE_TYPES,
+            protocol.ERROR_CODES,
+            protocol.CELL_SOURCES,
+            protocol.CELL_STATUSES,
+            protocol.JOB_STATES,
+        )
+        total = sum(len(g) for g in groups)
+        assert len(protocol.VOCABULARY) == total
+
+
+class TestConfigPayloads:
+    def test_sm_config_round_trip(self):
+        config = presets.sbi_swi()
+        assert config_from_payload(config_to_payload(config)) == config
+
+    def test_gpu_config_round_trip(self):
+        config = GPUConfig(sm=presets.baseline())
+        assert config_from_payload(config_to_payload(config)) == config
+
+    def test_unknown_type_rejected(self):
+        # The message names the accepted types.
+        with pytest.raises(ValueError, match="SMConfig or GPUConfig"):
+            config_from_payload({"type": "Mystery", "fields": {}})
+
+    def test_bad_fields_rejected(self):
+        with pytest.raises(ValueError):
+            config_from_payload({"type": "SMConfig", "fields": {"bogus": 1}})
+
+
+# ----------------------------------------------------------------------
+# Atomic writes (disk cache + store)
+# ----------------------------------------------------------------------
+
+
+class TestAtomicWrites:
+    def test_writes_content(self, tmp_path):
+        target = str(tmp_path / "entry.json")
+        atomic_write_text(target, "payload")
+        with open(target) as f:
+            assert f.read() == "payload"
+        assert os.listdir(str(tmp_path)) == ["entry.json"]  # no tmp orphan
+
+    def test_crashed_write_leaves_no_torn_file(self, tmp_path, monkeypatch):
+        # Simulate a writer dying between the tmp write and the rename.
+        target = str(tmp_path / "entry.json")
+        atomic_write_text(target, "old")
+
+        def crash(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(target, "new")
+        monkeypatch.undo()
+        with open(target) as f:
+            assert f.read() == "old"  # reader sees the previous entry
+        assert os.listdir(str(tmp_path)) == ["entry.json"]  # tmp cleaned up
+
+    def test_interrupted_disk_store_reads_as_miss(self, tmp_path, monkeypatch):
+        config = presets.baseline()
+        stats = Stats(cycles=5, thread_instructions=5, instructions_issued=5)
+        monkeypatch.setattr(
+            os, "replace", lambda s, d: (_ for _ in ()).throw(OSError("crash"))
+        )
+        with pytest.raises(OSError):
+            result_cache.disk_store(str(tmp_path), "histogram", "tiny", config, stats)
+        monkeypatch.undo()
+        assert result_cache.disk_load(str(tmp_path), "histogram", "tiny", config) is None
+        assert [n for n in os.listdir(str(tmp_path)) if n.endswith(".json")] == []
+
+    def test_concurrent_same_path_writers_never_tear(self, tmp_path):
+        # The daemon's worker threads may store identical cells at once;
+        # whatever lands last, readers must always see one whole JSON
+        # document.
+        target = str(tmp_path / "cell.json")
+        payloads = [json.dumps({"writer": i, "pad": "x" * 4096}) for i in range(8)]
+        errors = []
+
+        def write(blob):
+            try:
+                for _ in range(20):
+                    atomic_write_text(target, blob)
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(p,)) for p in payloads]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        with open(target) as f:
+            final = f.read()
+        assert final in payloads  # complete, untorn document
+        assert os.listdir(str(tmp_path)) == ["cell.json"]
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+
+
+class TestResultStore:
+    def test_round_trip_and_layout(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        stats = Stats(cycles=9, thread_instructions=4, instructions_issued=3)
+        digest = store.store("histogram", "tiny", presets.baseline(), stats)
+        assert digest == cell_hash("histogram", "tiny", presets.baseline())
+        # Sharded by the first two hex digits of the content address.
+        assert store.path_for(digest) == os.path.join(
+            str(tmp_path), digest[:2], digest + ".json"
+        )
+        assert store.load("histogram", "tiny", presets.baseline()).to_dict() == stats.to_dict()
+        assert list(store.digests()) == [digest]
+        assert len(store) == 1
+        info = store.info()
+        assert info.entries == 1 and info.total_bytes > 0
+
+    def test_store_entry_schema_matches_disk_cache(self, tmp_path):
+        # Same schema as the flat disk cache: version/workload/size/
+        # config payload/stats payload, so tooling reads both.
+        store = ResultStore(str(tmp_path))
+        stats = Stats(cycles=9, thread_instructions=4, instructions_issued=3)
+        digest = store.store("histogram", "tiny", presets.baseline(), stats)
+        entry = store.get_entry(digest)
+        assert set(entry) == {"version", "workload", "size", "config", "stats"}
+        assert entry["version"] == result_cache.CACHE_VERSION
+        assert config_from_payload(entry["config"]) == presets.baseline()
+
+    def test_torn_and_alien_entries_read_as_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        digest = cell_hash("histogram", "tiny", presets.baseline())
+        path = store.path_for(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write('{"version":')  # torn mid-write
+        assert store.get_entry(digest) is None
+        with open(path, "w") as f:
+            json.dump({"version": -1, "stats": {}}, f)  # alien cache version
+        assert store.get_entry(digest) is None
+        assert store.load_stats(digest) is None
+
+    def test_path_for_rejects_non_digests(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        for bad in ("", "abc", "../../etc/passwd", "G" * 64):
+            with pytest.raises(ValueError, match="digest"):
+                store.path_for(bad)
+
+    def test_is_cell_digest(self):
+        assert is_cell_digest("0" * 64)
+        assert not is_cell_digest("0" * 63)
+        assert not is_cell_digest("g" * 64)
+
+    def test_resolve_store_dir_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        assert resolve_store_dir("explicit") == "explicit"
+        assert resolve_store_dir(None) == ".repro_store"
+        monkeypatch.setenv("REPRO_STORE_DIR", "/from/env")
+        assert resolve_store_dir(None) == "/from/env"
+        assert resolve_store_dir("explicit") == "explicit"
+
+
+# ----------------------------------------------------------------------
+# Daemon service (workers=0: deterministic triage + drain)
+# ----------------------------------------------------------------------
+
+
+class TestSweepService:
+    def test_identical_submissions_cost_one_simulation(self, tmp_path):
+        service = _service(tmp_path)
+        # Two concurrent identical submissions (plus an in-message
+        # duplicate): exactly one simulation, per the daemon counters.
+        ack1 = service.submit(protocol.submit_message([CELL_A, CELL_A]))
+        ack2 = service.submit(protocol.submit_message([CELL_A]))
+        assert ack1["triage"] == {"store": 0, "coalesced": 1, "queued": 1}
+        assert ack2["triage"] == {"store": 0, "coalesced": 1, "queued": 0}
+        assert service.process_queued() == 1
+        assert service._engine.calls == 1
+        assert service.counters["cells_requested"] == 3
+        assert service.counters["cells_simulated"] == 1
+        assert service.counters["cells_coalesced"] == 2
+        for job_id in (ack1["job"], ack2["job"]):
+            job = service.get_job(job_id)
+            assert job.finished.is_set()
+            cells = job.result_message()["cells"]
+            assert [c["status"] for c in cells] == [protocol.STATUS_OK] * len(cells)
+        sources = [
+            c["source"] for c in service.get_job(ack1["job"]).result_message()["cells"]
+        ]
+        assert sources == [protocol.SOURCE_SIMULATED, protocol.SOURCE_COALESCED]
+
+    def test_store_hits_resolve_without_simulation(self, tmp_path):
+        service = _service(tmp_path)
+        service.store.store(
+            CELL_A[0], CELL_A[1], CELL_A[3],
+            Stats(cycles=7, thread_instructions=3, instructions_issued=2),
+        )
+        ack = service.submit(protocol.submit_message([CELL_A]))
+        assert ack["triage"] == {"store": 1, "coalesced": 0, "queued": 0}
+        job = service.get_job(ack["job"])
+        assert job.finished.is_set()
+        (cell,) = job.result_message()["cells"]
+        assert cell["source"] == protocol.SOURCE_STORE
+        assert cell["stats"]["data"]["cycles"] == 7
+        assert service._engine.calls == 0
+
+    def test_queue_full_back_pressure(self, tmp_path):
+        service = _service(tmp_path, queue_limit=1, retry_after=2.5)
+        with pytest.raises(ProtocolError) as excinfo:
+            service.submit(protocol.submit_message([CELL_A, CELL_B]))
+        assert excinfo.value.code == protocol.ERR_QUEUE_FULL
+        assert excinfo.value.retry_after == 2.5
+        # Nothing was enqueued: a retried submission starts clean.
+        assert service.counters["jobs_submitted"] == 0
+        assert service.process_queued() == 0
+        ack = service.submit(protocol.submit_message([CELL_A]))
+        assert ack["triage"]["queued"] == 1
+
+    def test_cancel_skips_queued_work(self, tmp_path):
+        service = _service(tmp_path)
+        ack = service.submit(protocol.submit_message([CELL_A]))
+        status = service.cancel(ack["job"])
+        assert status["state"] == protocol.JOB_CANCELLED
+        assert service.process_queued() == 1  # popped, but skipped
+        assert service._engine.calls == 0
+        assert service.counters["cells_skipped"] == 1
+        (cell,) = service.get_job(ack["job"]).result_message()["cells"]
+        assert cell["status"] == protocol.STATUS_CANCELLED
+
+    def test_shared_cell_still_runs_for_live_job(self, tmp_path):
+        service = _service(tmp_path)
+        ack1 = service.submit(protocol.submit_message([CELL_A]))
+        ack2 = service.submit(protocol.submit_message([CELL_A]))
+        service.cancel(ack1["job"])
+        service.process_queued()
+        assert service._engine.calls == 1  # job 2 still wanted it
+        (cell,) = service.get_job(ack2["job"]).result_message()["cells"]
+        assert cell["status"] == protocol.STATUS_OK
+
+    def test_failed_cell_reported_with_error(self, tmp_path):
+        service = _service(tmp_path, engine=_StubEngine(fail=True))
+        ack = service.submit(protocol.submit_message([CELL_A]))
+        service.process_queued()
+        assert service.counters["cells_failed"] == 1
+        assert service.counters["cells_simulated"] == 0
+        job = service.get_job(ack["job"])
+        assert job.finished.is_set()
+        (cell,) = job.result_message()["cells"]
+        assert cell["status"] == protocol.STATUS_FAILED
+        assert "boom" in cell["error"]
+        assert len(service.store) == 0  # failures never pollute the store
+
+    def test_verify_cells_never_coalesce_or_store_serve(self, tmp_path):
+        service = _service(tmp_path)
+        ack1 = service.submit(protocol.submit_message([CELL_A], verify=True))
+        ack2 = service.submit(protocol.submit_message([CELL_A], verify=True))
+        assert ack1["triage"]["queued"] == 1
+        assert ack2["triage"]["queued"] == 1
+        service.process_queued()
+        assert service._engine.calls == 2
+
+    def test_lookup_cell(self, tmp_path):
+        service = _service(tmp_path)
+        digest = cell_hash(CELL_A[0], CELL_A[1], CELL_A[3])
+        for missing in (digest, "zzz"):
+            with pytest.raises(ProtocolError) as excinfo:
+                service.lookup_cell(missing)
+            assert excinfo.value.code == protocol.ERR_UNKNOWN_CELL
+        service.submit(protocol.submit_message([CELL_A]))
+        service.process_queued()
+        message = service.lookup_cell(digest)
+        assert message["hash"] == digest
+        assert message["workload"] == "histogram"
+        assert message["stats"]["data"]["cycles"] == 7
+
+    def test_unknown_job(self, tmp_path):
+        with pytest.raises(ProtocolError) as excinfo:
+            _service(tmp_path).get_job("j999999")
+        assert excinfo.value.code == protocol.ERR_UNKNOWN_JOB
+
+    def test_health_reports_the_closed_counter_set(self, tmp_path):
+        message = _service(tmp_path).health()
+        assert set(message["counters"]) == set(COUNTERS)
+        assert message["queue_limit"] == 256
+        assert message["store"]["entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# Remote client (no server needed)
+# ----------------------------------------------------------------------
+
+
+class TestRemoteClient:
+    def test_rejects_bad_server_and_retries(self):
+        with pytest.raises(ValueError, match="http"):
+            RemoteClient("localhost:1")
+        with pytest.raises(ValueError, match="retries"):
+            RemoteClient("http://x", retries=-1)
+
+    def test_deterministic_backoff_on_dead_server(self):
+        # Grab a port that nothing listens on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        delays = []
+        client = RemoteClient(
+            "http://127.0.0.1:%d" % port,
+            timeout=1.0,
+            retries=2,
+            backoff=0.25,
+            sleep=delays.append,
+        )
+        with pytest.raises(RemoteError, match="after 3 attempts"):
+            client.health()
+        assert delays == [0.25, 0.5]  # backoff * 2**attempt, no jitter
+
+    def test_reserve_publish_release_coalescing(self):
+        client = RemoteClient("http://127.0.0.1:9")
+        digest = "ab" * 32
+        mine, rides = client.reserve([digest])
+        assert mine == [digest] and rides == {}
+        # A second sweep of the same cell rides instead of submitting.
+        mine2, rides2 = client.reserve([digest])
+        assert mine2 == [] and list(rides2) == [digest]
+        assert not rides2[digest].ready.is_set()
+        client.publish(mine, "j000001")
+        assert rides2[digest].ready.is_set()
+        assert rides2[digest].job_id == "j000001"
+        client.release(mine)
+        mine3, rides3 = client.reserve([digest])
+        assert mine3 == [digest] and rides3 == {}
+
+    def test_follow_job_falls_back_to_polling(self):
+        result = protocol.envelope(
+            protocol.MSG_RESULT,
+            job="j000001",
+            state=protocol.JOB_DONE,
+            cells=[{"id": 0, "hash": "cd" * 32, "status": protocol.STATUS_OK}],
+        )
+
+        class _BrokenStream:
+            def events(self, job_id):
+                raise RemoteError("stream broke")
+
+            def wait_result(self, job_id):
+                return result
+
+        collected = {}
+        _follow_job(_BrokenStream(), "j000001", collected)
+        assert list(collected) == ["cd" * 32]
+
+
+class TestBackendRegistry:
+    def test_error_message_lists_every_backend(self):
+        with pytest.raises(ValueError) as excinfo:
+            Engine(backend="bogus")
+        for name in BACKENDS:
+            assert name in str(excinfo.value)
+
+    def test_every_backend_has_a_runner(self):
+        for name in BACKENDS:
+            assert callable(getattr(Engine, "_run_%s" % name))
+
+    def test_remote_requires_server(self):
+        with pytest.raises(ValueError, match="server"):
+            Engine(backend="remote")
+
+    def test_non_http_server_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="http"):
+            Engine(server="ftp://fileserver/sweeps")
+
+    def test_server_implies_remote_backend(self):
+        engine = Engine(server="http://127.0.0.1:9")
+        assert engine.backend == "remote"
+        assert engine.remote_client.server == "http://127.0.0.1:9"
+
+
+# ----------------------------------------------------------------------
+# HTTP round trips (a real daemon on a loopback port)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def live_server(tmp_path):
+    server = make_server(
+        store_dir=str(tmp_path / "store"), workers=2, heartbeat=0.1
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield server, "http://%s:%d" % (host, port)
+    finally:
+        server.shutdown()
+        server.service.stop()
+        server.server_close()
+
+
+@pytest.fixture()
+def queued_server(tmp_path):
+    """A daemon whose queue is never drained (workers=0)."""
+    server = make_server(
+        store_dir=str(tmp_path / "store"),
+        workers=0,
+        queue_limit=1,
+        retry_after=1.5,
+        heartbeat=0.05,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield server, "http://%s:%d" % (host, port)
+    finally:
+        server.shutdown()
+        server.service.stop()
+        server.server_close()
+
+
+class TestHTTPRoundTrip:
+    def test_remote_matches_inline_and_warm_pass_is_free(self, live_server):
+        server, url = live_server
+        inline = Engine(backend="inline", cache_dir=None, memo={}).run(TINY)
+        events = []
+        remote = Engine(
+            server=url, cache_dir=None, memo={}, progress=events.append
+        ).run(TINY)
+        assert remote.to_json() == inline.to_json()  # byte-identical
+        assert all(not e.cached for e in events)
+        assert server.service.counters["cells_simulated"] == 2
+
+        warm_events = []
+        warm = Engine(
+            server=url, cache_dir=None, memo={}, progress=warm_events.append
+        ).run(TINY)
+        assert warm.to_json() == inline.to_json()
+        assert all(e.cached for e in warm_events)  # store-served
+        assert server.service.counters["cells_simulated"] == 2  # unchanged
+        assert server.service.counters["cells_store"] == 2
+
+    def test_results_fold_into_local_caches(self, live_server, tmp_path):
+        _, url = live_server
+        cache_dir = str(tmp_path / "localcache")
+        memo = {}
+        Engine(server=url, cache_dir=cache_dir, memo=memo).run(TINY)
+        assert len(memo) == 2
+        # A later offline (inline) engine is warm from the disk level.
+        events = []
+        Engine(
+            backend="inline", cache_dir=cache_dir, memo={}, progress=events.append
+        ).run(TINY)
+        assert all(e.cached for e in events)
+
+    def test_queued_submissions_coalesce_across_http(self, queued_server):
+        server, url = queued_server
+        client = RemoteClient(url, retries=0)
+        ack1 = client.submit([CELL_A])
+        ack2 = client.submit([CELL_A])
+        assert ack1["triage"]["queued"] == 1
+        assert ack2["triage"]["coalesced"] == 1
+        assert server.service.process_queued() == 1
+        for ack in (ack1, ack2):
+            message = client.result(str(ack["job"]))
+            assert message["type"] == protocol.MSG_RESULT
+            (cell,) = message["cells"]
+            assert cell["status"] == protocol.STATUS_OK
+        assert server.service.counters["cells_simulated"] == 1
+
+    def test_429_retry_after_honoured_by_client(self, queued_server):
+        _, url = queued_server
+        delays = []
+        client = RemoteClient(
+            url, retries=1, backoff=0.01, sleep=delays.append
+        )
+        with pytest.raises(RemoteError, match="busy"):
+            client.submit([CELL_A, CELL_B])  # 2 distinct > queue_limit=1
+        assert delays == [1.5]  # the daemon's Retry-After, not backoff
+
+    def test_typed_errors_do_not_retry(self, queued_server):
+        _, url = queued_server
+        delays = []
+        client = RemoteClient(url, retries=3, sleep=delays.append)
+        with pytest.raises(RemoteError) as excinfo:
+            client.status("j999999")
+        assert excinfo.value.code == protocol.ERR_UNKNOWN_JOB
+        with pytest.raises(RemoteError) as excinfo:
+            client.cell("0" * 64)
+        assert excinfo.value.code == protocol.ERR_UNKNOWN_CELL
+        with pytest.raises(RemoteError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+        assert delays == []  # 4xx re-runs would fail identically
+
+    def test_events_stream_heartbeats_then_terminal(self, queued_server):
+        _, url = queued_server
+        client = RemoteClient(url, retries=0)
+        ack = client.submit([CELL_A])
+        job_id = str(ack["job"])
+        stream = client.events(job_id)
+        first = next(stream)  # heartbeat: nothing is processing
+        assert first["type"] == protocol.MSG_STATUS
+        assert first["state"] == protocol.JOB_QUEUED
+        client.cancel(job_id)
+        seen = [first] + list(stream)
+        assert seen[-1]["type"] == protocol.MSG_STATUS
+        assert seen[-1]["state"] == protocol.JOB_CANCELLED
+        assert any(
+            e["type"] == protocol.MSG_PROGRESS
+            and e["cell"]["status"] == protocol.STATUS_CANCELLED
+            for e in seen
+        )
+
+    def test_cell_lookup_over_http(self, live_server):
+        _, url = live_server
+        client = RemoteClient(url, retries=0)
+        Engine(server=url, cache_dir=None, memo={}).run(TINY)
+        digest = cell_hash(CELL_A[0], CELL_A[1], CELL_A[3])
+        message = client.cell(digest)
+        assert message["hash"] == digest
+        assert message["stats"]["kind"] == "sm"
+
+    def test_health_over_http(self, live_server):
+        _, url = live_server
+        message = RemoteClient(url, retries=0).health()
+        assert set(message["counters"]) == set(COUNTERS)
