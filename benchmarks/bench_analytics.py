@@ -1,0 +1,87 @@
+"""Overhead of the streaming analytics aggregators.
+
+The aggregators in :mod:`repro.analytics` ride the engine's observer
+stream, so every issue/retire/split/miss event pays their ``on_*``
+methods.  This bench measures that toll: each workload simulates once
+bare and once with the full trio (timeline + heatmap + origins)
+attached, and the report tabulates the slowdown.  The aggregators are
+O(bins + SMs) state by design; this keeps them honest on *time* too —
+a regression here means a hot-path allocation or per-event rebin crept
+in.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import report as rpt
+from repro.analytics import make_aggregators
+from repro.core import presets
+from repro.core.simulator import simulate
+from repro.workloads import get_workload
+
+WORKLOADS = ("bfs", "mandelbrot", "histogram")
+OBSERVER_NAMES = ("timeline", "heatmap", "origins")
+
+_RESULTS = {}
+
+
+def _run(tag, workload, size, observed):
+    inst = get_workload(workload, size)
+    aggregators = (
+        make_aggregators(list(OBSERVER_NAMES)) if observed else {}
+    )
+    start = time.perf_counter()
+    stats = simulate(
+        inst.kernel,
+        inst.memory,
+        presets.by_name("sbi_swi"),
+        observers=list(aggregators.values()),
+    )
+    elapsed = time.perf_counter() - start
+    for aggregator in aggregators.values():
+        aggregator.finalize(stats)
+    _RESULTS.setdefault(tag, {})[workload] = (elapsed, stats)
+    return stats
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("observed", (False, True), ids=("bare", "observed"))
+def test_aggregator_overhead(benchmark, workload, observed, bench_size):
+    tag = "observed" if observed else "bare"
+    stats = benchmark.pedantic(
+        _run, args=(tag, workload, bench_size, observed),
+        rounds=1, iterations=1,
+    )
+    assert stats.cycles > 0
+
+
+def test_analytics_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for workload in WORKLOADS:
+        bare = _RESULTS.get("bare", {}).get(workload)
+        observed = _RESULTS.get("observed", {}).get(workload)
+        if bare is None or observed is None:
+            continue
+        bare_s, stats = bare
+        observed_s, _ = observed
+        overhead = (observed_s / bare_s - 1.0) * 100.0 if bare_s else None
+        rows.append(
+            [
+                workload,
+                stats.cycles,
+                round(bare_s * 1e3, 1),
+                round(observed_s * 1e3, 1),
+                round(overhead, 1) if overhead is not None else None,
+            ]
+        )
+    report.add(
+        "Analytics overhead (timeline+heatmap+origins, SBI+SWI)",
+        rpt.format_table(
+            ["workload", "cycles", "bare ms", "observed ms", "overhead %"],
+            rows,
+        ),
+    )

@@ -7,20 +7,28 @@ from typing import Dict, Iterable, List, Sequence
 
 
 def gmean(values: Iterable[float]) -> float:
-    """Geometric mean (the paper's suite-aggregation statistic)."""
+    """Geometric mean (the paper's suite-aggregation statistic).
+
+    An empty input is an error: a workload set filtered down to
+    nothing must fail loudly instead of poisoning speedup tables
+    with a silent ``0.0``.
+    """
     vals = [v for v in values]
     if not vals:
-        return 0.0
+        raise ValueError("gmean of an empty sequence is undefined")
     if any(v <= 0 for v in vals):
         raise ValueError("gmean requires positive values")
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
 def hmean(values: Iterable[float]) -> float:
-    """Harmonic mean (rate-style aggregation, e.g. per-cell IPC)."""
+    """Harmonic mean (rate-style aggregation, e.g. per-cell IPC).
+
+    Raises :class:`ValueError` for empty input, like :func:`gmean`.
+    """
     vals = [v for v in values]
     if not vals:
-        return 0.0
+        raise ValueError("hmean of an empty sequence is undefined")
     if any(v <= 0 for v in vals):
         raise ValueError("hmean requires positive values")
     return len(vals) / sum(1.0 / v for v in vals)

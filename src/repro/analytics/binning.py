@@ -1,0 +1,89 @@
+"""Fixed-capacity cycle binning with power-of-two rebinning.
+
+The streaming aggregators must hold O(bins) state no matter how long a
+simulation runs, yet they cannot know the final cycle count up front.
+:class:`BinnedSeries` squares that circle the classic way: a *fixed*
+number of bins whose width starts at one cycle and doubles whenever an
+event lands past the last bin — each doubling pairwise-sums the
+existing counters in place, so no history is ever replayed and no raw
+event is ever buffered.  Every series sharing one :class:`BinnedSeries`
+rebins in lockstep, which keeps multi-metric timelines (and per-SM
+heatmap rows) aligned on a single time axis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+
+class BinnedSeries:
+    """Named per-cycle-bin counters over one shared, growing time axis.
+
+    ``bin_count`` must be even (doublings merge bins pairwise).  Bins
+    cover ``[i * width, (i + 1) * width)`` cycles; ``width`` is always
+    a power of two.
+    """
+
+    def __init__(self, bin_count: int, names: Iterable[str]) -> None:
+        if bin_count < 2 or bin_count % 2:
+            raise ValueError(
+                "bin_count must be an even number >= 2, got %r" % (bin_count,)
+            )
+        self.bin_count = bin_count
+        self.width = 1
+        self.series: Dict[str, List[int]] = {
+            name: [0] * bin_count for name in names
+        }
+
+    def ensure_series(self, name: str) -> List[int]:
+        """The counters for ``name``, created zeroed on first use
+        (new series join at the current width, so all stay aligned)."""
+        arr = self.series.get(name)
+        if arr is None:
+            arr = [0] * self.bin_count
+            self.series[name] = arr
+        return arr
+
+    def _ensure_capacity(self, cycle: int) -> None:
+        while cycle >= self.bin_count * self.width:
+            half = self.bin_count // 2
+            for arr in self.series.values():
+                for i in range(half):
+                    arr[i] = arr[2 * i] + arr[2 * i + 1]
+                for i in range(half, self.bin_count):
+                    arr[i] = 0
+            self.width *= 2
+
+    def add(self, cycle: int, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the bin containing ``cycle``."""
+        self._ensure_capacity(cycle)
+        self.series[name][cycle // self.width] += amount
+
+    def add_span(self, start: int, end: int, name: str, weight: int) -> None:
+        """Add ``weight`` per cycle over ``[start, end)``.
+
+        Spans integrate event-free stretches (e.g. warps stalled on
+        memory) in one call instead of one add per cycle, so the cost
+        is O(bins touched), not O(cycles).
+        """
+        if end <= start or weight == 0:
+            return
+        self._ensure_capacity(end - 1)
+        arr = self.series[name]
+        cycle = start
+        while cycle < end:
+            index = cycle // self.width
+            bin_end = (index + 1) * self.width
+            step = min(end, bin_end) - cycle
+            arr[index] += weight * step
+            cycle += step
+
+    def used_bins(self, total_cycles: int) -> int:
+        """How many leading bins ``total_cycles`` of run actually fill."""
+        if total_cycles <= 0:
+            return 0
+        return min(self.bin_count, -(-total_cycles // self.width))
+
+    def trimmed(self, name: str, total_cycles: int) -> List[int]:
+        """Copy of ``name``'s counters cut to :meth:`used_bins`."""
+        return self.series[name][: self.used_bins(total_cycles)]

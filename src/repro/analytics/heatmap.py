@@ -1,0 +1,134 @@
+"""Per-SM occupancy / IPC heatmap aggregator for device runs.
+
+One row per SM, one column per time bin; every cell carries
+
+* ``ipc`` — thread instructions retired into that bin divided by the
+  bin's cycle span;
+* ``occupancy`` — fraction of the bin's cycles on which the SM issued
+  at least one instruction (front-end duty cycle);
+* ``issues`` — raw instruction issues.
+
+All SM rows share one :class:`~repro.analytics.binning.BinnedSeries`
+axis, so they rebin together and the grid stays rectangular.  State is
+O(SMs × bins) plus a per-cycle scratch set bounded by the SM count —
+independent of how many cycles the device runs.  Works on single-SM
+runs too (a one-row heatmap), so the same observer name serves
+``simulate`` and ``simulate_device``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.policy.observers import IssueEvent, Observer, OBSERVERS
+
+from repro.analytics.binning import BinnedSeries
+from repro.analytics.timeline import DEFAULT_BINS
+
+#: Render palette, blank -> dense.
+_SHADES = " .:-=+*#%@"
+
+
+@OBSERVERS.register("heatmap")
+class HeatmapAggregator(Observer):
+    """Streaming SM × time grid of IPC and issue occupancy."""
+
+    def __init__(self, bins: int = DEFAULT_BINS) -> None:
+        self.series = BinnedSeries(bins, ())
+        self.sm_ids: Set[int] = set()
+        self._cycle = 0
+        self._issued_now: Set[int] = set()  # SMs that issued this cycle
+        self.total_cycles = 0
+        self._finalized = False
+
+    @staticmethod
+    def _key(sm_id: int, metric: str) -> str:
+        return "sm%d:%s" % (sm_id, metric)
+
+    def _advance(self, cycle: int) -> None:
+        if cycle == self._cycle:
+            return
+        for sm_id in self._issued_now:
+            self.series.add(self._cycle, self._key(sm_id, "issue_cycles"))
+        self._issued_now.clear()
+        self._cycle = cycle
+
+    def on_issue(self, event: IssueEvent) -> None:
+        self._advance(event.cycle)
+        if event.sm_id not in self.sm_ids:
+            self.sm_ids.add(event.sm_id)
+            for metric in ("issues", "threads", "issue_cycles"):
+                self.series.ensure_series(self._key(event.sm_id, metric))
+        self.series.add(event.cycle, self._key(event.sm_id, "issues"))
+        self.series.add(event.cycle, self._key(event.sm_id, "threads"), event.active)
+        self._issued_now.add(event.sm_id)
+
+    def finalize(self, stats: object) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
+        self._advance(self._cycle + 1)  # flush the scratch cycle
+        total = int(getattr(stats, "cycles", 0) or 0)
+        self.total_cycles = max(total, self._cycle)
+
+    # -- outputs -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready summary (see README "Observability" for the
+        schema)."""
+        total = self.total_cycles or self._cycle + 1
+        width = self.series.width
+        used = self.series.used_bins(total)
+        spans = [min(total, (i + 1) * width) - i * width for i in range(used)]
+        sms = sorted(self.sm_ids)
+        grid = {"ipc": [], "occupancy": [], "issues": []}
+        for sm_id in sms:
+            threads = self.series.trimmed(self._key(sm_id, "threads"), total)
+            cycles = self.series.trimmed(self._key(sm_id, "issue_cycles"), total)
+            grid["issues"].append(
+                self.series.trimmed(self._key(sm_id, "issues"), total)
+            )
+            grid["ipc"].append(
+                [round(t / span, 4) for t, span in zip(threads, spans)]
+            )
+            grid["occupancy"].append(
+                [round(c / span, 4) for c, span in zip(cycles, spans)]
+            )
+        return {
+            "kind": "heatmap",
+            "version": 1,
+            "bin_width": width,
+            "bins": used,
+            "total_cycles": total,
+            "sms": sms,
+            "ipc": grid["ipc"],
+            "occupancy": grid["occupancy"],
+            "issues": grid["issues"],
+        }
+
+    def render(self) -> str:
+        """ASCII heatmap: one character cell per (SM, bin), shaded by
+        IPC relative to the grid's maximum."""
+        snap = self.snapshot()
+        ipc: List[List[float]] = snap["ipc"]
+        if not ipc:
+            return "(no issues observed)"
+        top = max((max(row) for row in ipc if row), default=0.0)
+        lines = [
+            "ipc heatmap (bin width %d cycles, %d SMs, peak %.2f ipc/bin)"
+            % (snap["bin_width"], len(snap["sms"]), top)
+        ]
+        for sm_id, row in zip(snap["sms"], ipc):
+            cells = []
+            for value in row:
+                index = 0
+                if top > 0 and value > 0:
+                    index = 1 + int((len(_SHADES) - 2) * value / top)
+                cells.append(_SHADES[index])
+            lines.append("sm%-3d |%s|" % (sm_id, "".join(cells)))
+        mean_occ = [sum(col) / len(col) for col in zip(*snap["occupancy"])]
+        lines.append(
+            "occupancy (mean across SMs): %s"
+            % " ".join("%.2f" % v for v in mean_occ)
+        )
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Issue-origin breakdown aggregator (primary / SBI / SWI).
+
+Counts instruction issues and thread instructions by issue origin —
+the paper's headline split between the primary scheduler slot and the
+two interweaving mechanisms — overall and per SM, and tracks the peak
+number of issues any single SM performed in one cycle.  That peak is
+the observable the :mod:`repro.hwcost` front-end validation checks
+against a policy's modeled issue width: an observed rate above the
+modeled width means the simulator issued through hardware the cost
+model never paid for.
+
+State is O(SMs): fixed-size origin counters per SM plus a one-cycle
+scratch map, nothing proportional to cycles or events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.policy.events import ISSUE_ORIGINS
+from repro.core.policy.observers import IssueEvent, Observer, OBSERVERS
+
+
+@OBSERVERS.register("origins")
+class OriginAggregator(Observer):
+    """Streaming issue counts by origin, with per-SM peak issue rate."""
+
+    def __init__(self) -> None:
+        self.issues: Dict[str, int] = {o: 0 for o in ISSUE_ORIGINS}
+        self.threads: Dict[str, int] = {o: 0 for o in ISSUE_ORIGINS}
+        self.per_sm: Dict[int, Dict[str, int]] = {}
+        self.peak_per_cycle: Dict[int, int] = {}
+        self._cycle = 0
+        self._issued_now: Dict[int, int] = {}  # sm_id -> issues this cycle
+        self.total_cycles = 0
+        self._finalized = False
+
+    def _flush_cycle(self) -> None:
+        for sm_id, count in self._issued_now.items():
+            if count > self.peak_per_cycle.get(sm_id, 0):
+                self.peak_per_cycle[sm_id] = count
+        self._issued_now.clear()
+
+    def on_issue(self, event: IssueEvent) -> None:
+        if event.cycle != self._cycle:
+            self._flush_cycle()
+            self._cycle = event.cycle
+        if event.origin not in self.issues:
+            raise ValueError(
+                "issue origin %r is outside the closed vocabulary %s"
+                % (event.origin, ISSUE_ORIGINS)
+            )
+        self.issues[event.origin] += 1
+        self.threads[event.origin] += event.active
+        per = self.per_sm.setdefault(
+            event.sm_id, {o: 0 for o in ISSUE_ORIGINS}
+        )
+        per[event.origin] += 1
+        self._issued_now[event.sm_id] = self._issued_now.get(event.sm_id, 0) + 1
+
+    def finalize(self, stats: object) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
+        self._flush_cycle()
+        total = int(getattr(stats, "cycles", 0) or 0)
+        self.total_cycles = max(total, self._cycle + 1)
+
+    # -- outputs -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready summary (see README "Observability" for the
+        schema)."""
+        return {
+            "kind": "origins",
+            "version": 1,
+            "total_cycles": self.total_cycles or self._cycle + 1,
+            "issues": dict(self.issues),
+            "threads": dict(self.threads),
+            "per_sm": {
+                str(sm_id): dict(per)
+                for sm_id, per in sorted(self.per_sm.items())
+            },
+            "peak_issues_per_cycle": {
+                str(sm_id): peak
+                for sm_id, peak in sorted(self.peak_per_cycle.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Text table of the origin split plus the per-SM issue peaks."""
+        from repro.analysis.report import format_table
+
+        total = sum(self.issues.values())
+        rows = []
+        for origin in ISSUE_ORIGINS:
+            count = self.issues[origin]
+            share = 100.0 * count / total if total else 0.0
+            rows.append([origin, count, self.threads[origin], share])
+        table = format_table(
+            ["origin", "issues", "threads", "share%"],
+            rows,
+            title="issue origins (%d issues)" % total,
+        )
+        peaks = ", ".join(
+            "sm%d=%d" % (sm_id, peak)
+            for sm_id, peak in sorted(self.peak_per_cycle.items())
+        )
+        return "%s\npeak issues/cycle: %s" % (table, peaks or "(none)")

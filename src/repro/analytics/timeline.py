@@ -1,0 +1,192 @@
+"""Binned cycle-timeline aggregator: warp activity over the run.
+
+Subscribes to the full observer event stream and maintains, per time
+bin, the number of instruction issues, warp-cycles spent *active*
+(issued this cycle) and *live* (launched, not yet retired), plus cache
+misses, retires and splits.  Stalled and idle warp-cycles derive at
+snapshot time::
+
+    stalled = live - active          (live but not issuing)
+    idle    = peak_live * span - live  (slots the run used at its
+                                        high-water mark, now empty)
+
+Memory is O(bins): the bin axis rebins by doubling
+(:class:`~repro.analytics.binning.BinnedSeries`) and the only other
+state is the live-warp set and the current-cycle scratch set, both
+bounded by the machine's warp slots — never by cycle count.
+
+A warp becomes live on its *first issue* (the event stream has no
+launch event) and dies on retire; cycles between events integrate as
+one span, so event-free memory stalls are accounted without per-cycle
+work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.policy.observers import (
+    IssueEvent,
+    MemEvent,
+    Observer,
+    OBSERVERS,
+    RetireEvent,
+    SplitEvent,
+)
+
+from repro.analytics.binning import BinnedSeries
+
+#: Series kept per bin (``stalled``/``idle`` derive at snapshot time).
+_SERIES = (
+    "issues",
+    "active_warp_cycles",
+    "live_warp_cycles",
+    "l1_misses",
+    "l2_misses",
+    "retires",
+    "splits",
+)
+
+#: Default bin capacity of the in-tree aggregators.
+DEFAULT_BINS = 64
+
+
+@OBSERVERS.register("timeline")
+class TimelineAggregator(Observer):
+    """Streaming active/stalled/idle warp timeline (fixed memory)."""
+
+    def __init__(self, bins: int = DEFAULT_BINS) -> None:
+        self.series = BinnedSeries(bins, _SERIES)
+        self._live: Set[Tuple[int, int]] = set()
+        self._issuers: Set[Tuple[int, int]] = set()
+        self._cycle = 0
+        self.peak_live = 0
+        self.total_cycles = 0
+        self._finalized = False
+
+    # -- event plumbing ------------------------------------------------
+
+    def _advance(self, cycle: int) -> None:
+        """Flush the scratch cycle when the stream moves past it."""
+        if cycle == self._cycle:
+            return
+        self._flush_cycle()
+        # Event-free gap: every live warp sat stalled through it.
+        self.series.add_span(
+            self._cycle + 1, cycle, "live_warp_cycles", len(self._live)
+        )
+        self._cycle = cycle
+
+    def _flush_cycle(self) -> None:
+        if self._issuers:
+            self.series.add(self._cycle, "active_warp_cycles", len(self._issuers))
+            self._issuers.clear()
+        if self._live:
+            self.series.add(self._cycle, "live_warp_cycles", len(self._live))
+
+    def on_issue(self, event: IssueEvent) -> None:
+        self._advance(event.cycle)
+        self.series.add(event.cycle, "issues")
+        warp = (event.sm_id, event.wid)
+        self._live.add(warp)
+        self._issuers.add(warp)
+        if len(self._live) > self.peak_live:
+            self.peak_live = len(self._live)
+
+    def on_retire(self, event: RetireEvent) -> None:
+        self._advance(event.cycle)
+        self.series.add(event.cycle, "retires")
+        warp = (event.sm_id, event.wid)
+        if warp in self._live:
+            # The warp occupied its slot through the retire cycle, but
+            # the flush at the next advance only sees the post-retire
+            # set — credit that last cycle here.
+            self.series.add(event.cycle, "live_warp_cycles")
+            self._live.discard(warp)
+
+    def on_split(self, event: SplitEvent) -> None:
+        self._advance(event.cycle)
+        self.series.add(event.cycle, "splits")
+
+    def on_l1_miss(self, event: MemEvent) -> None:
+        self._advance(event.cycle)
+        self.series.add(event.cycle, "l1_misses", event.count)
+
+    def on_l2_miss(self, event: MemEvent) -> None:
+        self._advance(event.cycle)
+        self.series.add(event.cycle, "l2_misses", event.count)
+
+    def finalize(self, stats: object) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
+        self._flush_cycle()
+        total = int(getattr(stats, "cycles", 0) or 0)
+        total = max(total, self._cycle + 1)
+        self.series.add_span(
+            self._cycle + 1, total, "live_warp_cycles", len(self._live)
+        )
+        self.total_cycles = total
+
+    # -- outputs -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready summary (see README "Observability" for the
+        schema)."""
+        total = self.total_cycles or self._cycle + 1
+        width = self.series.width
+        used = self.series.used_bins(total)
+        active = self.series.trimmed("active_warp_cycles", total)
+        live = self.series.trimmed("live_warp_cycles", total)
+        spans = [
+            min(total, (i + 1) * width) - i * width for i in range(used)
+        ]
+        stalled = [max(0, lv - ac) for lv, ac in zip(live, active)]
+        idle = [
+            max(0, self.peak_live * span - lv) for span, lv in zip(spans, live)
+        ]
+        return {
+            "kind": "timeline",
+            "version": 1,
+            "bin_width": width,
+            "bins": used,
+            "total_cycles": total,
+            "peak_live_warps": self.peak_live,
+            "series": {
+                "issues": self.series.trimmed("issues", total),
+                "active_warp_cycles": active,
+                "stalled_warp_cycles": stalled,
+                "idle_warp_cycles": idle,
+                "l1_misses": self.series.trimmed("l1_misses", total),
+                "l2_misses": self.series.trimmed("l2_misses", total),
+                "retires": self.series.trimmed("retires", total),
+                "splits": self.series.trimmed("splits", total),
+            },
+        }
+
+    def render(self) -> str:
+        """Text table of the timeline (one row per used bin)."""
+        from repro.analysis.report import format_table
+
+        snap = self.snapshot()
+        series = snap["series"]
+        width = snap["bin_width"]
+        rows: List[List[object]] = []
+        for i in range(snap["bins"]):
+            rows.append(
+                [
+                    i * width,
+                    series["issues"][i],
+                    series["active_warp_cycles"][i],
+                    series["stalled_warp_cycles"][i],
+                    series["idle_warp_cycles"][i],
+                    series["l1_misses"][i],
+                    series["l2_misses"][i],
+                ]
+            )
+        return format_table(
+            ["cycle", "issues", "active", "stalled", "idle", "l1_miss", "l2_miss"],
+            rows,
+            title="timeline (bin width %d cycles, peak %d live warps)"
+            % (width, self.peak_live),
+        )

@@ -37,6 +37,7 @@ from repro.api.cache import AnyConfig, AnyStats
 from repro.api.results import CellError, Result, ResultSet
 from repro.api.spec import Cell, SweepSpec
 from repro.core.gpu import simulate_device
+from repro.core.policy.observers import Observer
 from repro.core.simulator import simulate
 from repro.timing.config import GPUConfig
 from repro.workloads import get_workload, normalize_size
@@ -53,7 +54,14 @@ BACKENDS = ("inline", "process", "remote")
 
 @dataclass(frozen=True)
 class Progress:
-    """One progress event: the ``done``-th of ``total`` unique cells."""
+    """One progress event: the ``done``-th of ``total`` unique cells.
+
+    ``done`` counts monotonically from 1 to ``total`` over the whole
+    run — including fully-cached runs, where every event carries
+    ``cached=True``.  ``source`` records daemon-side provenance for
+    remote cells (``"simulated"``, ``"store"`` or ``"coalesced"``);
+    local backends leave it ``None``.
+    """
 
     done: int
     total: int
@@ -62,6 +70,7 @@ class Progress:
     config_name: str
     cached: bool
     error: Optional[str] = None
+    source: Optional[str] = None
 
 
 ProgressFn = Callable[[Progress], None]
@@ -129,6 +138,7 @@ class Engine:
         progress: Optional[ProgressFn] = None,
         errors: str = "raise",
         plugins: Optional[List[str]] = None,
+        observers: Optional[List[str]] = None,
         server: Optional[str] = None,
         timeout: float = 30.0,
         retries: int = 3,
@@ -139,6 +149,8 @@ class Engine:
         if backend is None:
             if server is not None:
                 backend = "remote"
+            elif observers:
+                backend = "inline"
             else:
                 backend = "process" if jobs is not None and jobs > 1 else "inline"
         if backend not in BACKENDS:
@@ -152,6 +164,17 @@ class Engine:
             raise ValueError("server must be an http(s) URL, got %r" % (server,))
         if errors not in ERROR_POLICIES:
             raise ValueError("errors must be one of %s" % (ERROR_POLICIES,))
+        if observers:
+            if backend != "inline":
+                raise ValueError(
+                    "observers require the inline backend (observed cells "
+                    "must simulate in this process), got backend=%r" % backend
+                )
+            import repro.analytics  # noqa: F401  (registers built-in aggregators)
+            from repro.core.policy import OBSERVERS
+
+            for name in observers:
+                OBSERVERS.get(name)  # unknown names fail with the known list
         self.backend = backend
         self.jobs = jobs
         self.server = server
@@ -168,6 +191,12 @@ class Engine:
         self._get_workload = workload_factory or get_workload
         self._simulate = simulate_fn or simulate
         self._simulate_device = simulate_device_fn or simulate_device
+        self.observer_names: Tuple[str, ...] = tuple(observers or ())
+        #: ``(workload, size, config_name) -> {observer name: instance}``
+        #: for every cell the last sweep simulated with observers
+        #: attached.  Observed cells always simulate (cache reads are
+        #: bypassed), so each entry saw the complete event stream.
+        self.observations: Dict[Tuple[str, str, str], Dict[str, Observer]] = {}
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -198,15 +227,23 @@ class Engine:
     # Single cells
     # ------------------------------------------------------------------
 
-    def _compute_inline(self, workload, size, config, verify) -> AnyStats:
+    def _compute_inline(self, workload, size, config, verify, observers=None) -> AnyStats:
         inst = self._get_workload(workload, size)
+        # Only pass the keyword when observers are attached so injected
+        # simulate_fn doubles that ignore it keep working unchanged.
+        kwargs = {} if not observers else {"observers": observers}
         if isinstance(config, GPUConfig):
-            stats = self._simulate_device(inst.kernel, inst.memory, config)
+            stats = self._simulate_device(inst.kernel, inst.memory, config, **kwargs)
         else:
-            stats = self._simulate(inst.kernel, inst.memory, config)
+            stats = self._simulate(inst.kernel, inst.memory, config, **kwargs)
         if verify and inst.numpy_check is not None:
             inst.numpy_check(inst.memory)
         return stats
+
+    def _make_observers(self) -> Dict[str, Observer]:
+        from repro.core.policy import OBSERVERS
+
+        return {name: OBSERVERS.get(name)() for name in self.observer_names}
 
     def run_cell(
         self,
@@ -266,14 +303,19 @@ class Engine:
         total = len(unique)
         done = 0
 
-        def emit(cell: Cell, cached: bool, error: Optional[str] = None) -> None:
+        def emit(
+            cell: Cell,
+            cached: bool,
+            error: Optional[str] = None,
+            source: Optional[str] = None,
+        ) -> None:
             nonlocal done
             done += 1
             if progress is not None:
                 progress(
                     Progress(
                         done, total, cell.workload, cell.size, cell.config_name,
-                        cached, error,
+                        cached, error, source,
                     )
                 )
 
@@ -282,7 +324,9 @@ class Engine:
         for key, cell in unique.items():
             stats = (
                 None
-                if verify
+                # Observed cells must simulate: a cached Stats object
+                # carries no event stream for the aggregators to see.
+                if verify or self.observer_names
                 else self._lookup(cell.workload, cell.size, cell.config, disk_dir)
             )
             if stats is not None:
@@ -314,9 +358,11 @@ class Engine:
 
     def _run_inline(self, pending, disk_dir, verify, errors, outcome, emit) -> None:
         for key, cell in pending:
+            observers = self._make_observers()
             try:
                 stats = self._compute_inline(
-                    cell.workload, cell.size, cell.config, verify
+                    cell.workload, cell.size, cell.config, verify,
+                    observers=list(observers.values()),
                 )
             except Exception as exc:
                 if errors == "raise":
@@ -326,6 +372,12 @@ class Engine:
                 )
                 emit(cell, cached=False, error=str(exc))
                 continue
+            if observers:
+                for obs in observers.values():
+                    obs.finalize(stats)
+                self.observations[
+                    (cell.workload, cell.size, cell.config_name)
+                ] = observers
             self._store(cell.workload, cell.size, cell.config, stats, True, disk_dir)
             outcome[key] = stats
             emit(cell, cached=False)

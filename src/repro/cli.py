@@ -8,6 +8,8 @@ Subcommands::
     repro sweep     --workloads bfs,matrixmul --configs baseline,sbi_swi
                     [--policy swi_greedy,dwr] [--axis sm_count=1,2,4,8] ...
                     [--size tiny] [--jobs N]
+    repro analyze   --workload bfs --config sbi_swi [--sm-count 4]
+                    [--observers timeline,heatmap,origins] [--json OUT.json]
     repro merge     A.json B.json ... [--save OUT.json] [--on-conflict keep]
     repro bench     [--size smoke] [--repeat 3] [--json PATH] [--check BASE.json]
                     [--profile [N]] [--profile-out PROF.pstats]
@@ -144,16 +146,23 @@ def _validate_metric(spec: SweepSpec, metric: str) -> None:
 def _run_spec(spec: SweepSpec, args) -> int:
     _validate_metric(spec, args.metric)
     counts = {"simulated": 0, "cached": 0, "failed": 0}
+    # Daemon-side provenance of cached remote cells ("store" hits,
+    # "coalesced" rides); local cache hits carry no source.
+    sources: dict = {}
 
     def progress(event):
         if event.error is not None:
             counts["failed"] += 1
         elif event.cached:
             counts["cached"] += 1
+            if event.source:
+                sources[event.source] = sources.get(event.source, 0) + 1
         else:
             counts["simulated"] += 1
         if args.progress:
             state = "cached" if event.cached else "sim"
+            if event.cached and event.source:
+                state = event.source
             if event.error is not None:
                 state = "FAILED: %s" % event.error
             print(
@@ -175,6 +184,7 @@ def _run_spec(spec: SweepSpec, args) -> int:
         progress=progress,
         errors="collect" if getattr(args, "keep_going", False) else "raise",
         plugins=getattr(args, "plugin", None),
+        observers=getattr(args, "observer", None),
         server=getattr(args, "server", None),
         timeout=getattr(args, "timeout", 30.0),
         retries=getattr(args, "retries", 3),
@@ -183,13 +193,21 @@ def _run_spec(spec: SweepSpec, args) -> int:
     if args.save:
         rs.to_json(args.save)
         print("saved ResultSet to %s" % args.save, file=sys.stderr)
+    # Provenance detail appends after the stable prefix, so scripted
+    # greps of the historical line keep matching.
+    detail = ""
+    if sources:
+        detail = " (%s)" % ", ".join(
+            "%d %s" % (sources[name], name) for name in sorted(sources)
+        )
     print(
-        "# %d cells: %d simulated, %d cached%s"
+        "# %d cells: %d simulated, %d cached%s%s"
         % (
             counts["simulated"] + counts["cached"] + counts["failed"],
             counts["simulated"],
             counts["cached"],
             ", %d FAILED" % counts["failed"] if counts["failed"] else "",
+            detail,
         ),
         file=sys.stderr,
     )
@@ -201,6 +219,15 @@ def _run_spec(spec: SweepSpec, args) -> int:
         # error rather than a traceback.
         raise ValueError("metric %r: %s" % (args.metric, exc)) from exc
     _emit(text, args.output)
+    if getattr(args, "observer", None):
+        for (workload, size, config_name), obs in sorted(engine.observations.items()):
+            for name, ob in obs.items():
+                render = getattr(ob, "render", None)
+                body = render() if callable(render) else repr(ob)
+                print(
+                    "\n== %s/%s @%s : %s ==\n%s"
+                    % (workload, config_name, size, name, body)
+                )
     for err in rs.errors:
         print(
             "failed: %s/%s @%s: %s" % (err.workload, err.config, err.size, err.error),
@@ -314,6 +341,78 @@ def _cmd_sweep(args) -> int:
         spec = spec.with_axes(**axes)
     print("sweep: %s" % spec.describe(), file=sys.stderr)
     return _run_spec(spec, args)
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analytics import make_aggregators
+    from repro.core import presets
+    from repro.core.gpu import simulate_device
+    from repro.core.simulator import simulate as simulate_sm
+    from repro.workloads import get_workload, normalize_size
+
+    _load_plugins(args)
+    names = [n.strip() for n in args.observers.split(",") if n.strip()]
+    if not names:
+        raise ValueError("--observers needs at least one observer name")
+    aggregators = make_aggregators(names, bins=args.bins)
+    size = normalize_size(args.size)
+    inst = get_workload(args.workload, size)
+    observers = list(aggregators.values())
+    if args.sm_count > 1:
+        config = presets.device(args.config, sm_count=args.sm_count)
+        stats = simulate_device(inst.kernel, inst.memory, config, observers=observers)
+    else:
+        config = presets.by_name(args.config)
+        stats = simulate_sm(inst.kernel, inst.memory, config, observers=observers)
+    for aggregator in observers:
+        aggregator.finalize(stats)
+
+    print(
+        "analyze: %s/%s @%s — %d cycles, %.2f ipc"
+        % (args.workload, args.config, size, stats.cycles, stats.ipc),
+        file=sys.stderr,
+    )
+    for name in names:
+        aggregator = aggregators[name]
+        render = getattr(aggregator, "render", None)
+        body = render() if callable(render) else repr(aggregator)
+        print("\n== %s ==\n%s" % (name, body))
+
+    if args.json:
+        artifact = {
+            "version": 1,
+            "workload": args.workload,
+            "size": size,
+            "config": args.config,
+            "sm_count": args.sm_count,
+            "cycles": stats.cycles,
+            "ipc": stats.ipc,
+            "observers": {
+                name: aggregators[name].snapshot()
+                for name in names
+                if hasattr(aggregators[name], "snapshot")
+            },
+        }
+        with open(args.json, "w") as f:
+            json.dump(artifact, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print("wrote %s" % args.json, file=sys.stderr)
+
+    # Observed peak issue rate must stay within the policy's modeled
+    # front-end width (repro.hwcost.validate) — fail loudly otherwise.
+    origins = next(
+        (a for a in observers if hasattr(a, "peak_per_cycle")), None
+    )
+    if origins is not None:
+        from repro.hwcost import front_end_width, validate_peak_issue
+
+        validate_peak_issue(config, origins.snapshot())
+        print(
+            "peak-issue check: ok (observed <= modeled width %d)"
+            % front_end_width(config),
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _cmd_merge(args) -> int:
@@ -508,6 +607,14 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
         help="always simulate and check outputs against the numpy references",
     )
     p.add_argument(
+        "--observer",
+        action="append",
+        metavar="NAME",
+        help="attach a registered observer to every cell (repeatable; "
+        "forces the inline backend and bypasses the result cache — "
+        "see repro policies for names, e.g. timeline, heatmap, origins)",
+    )
+    p.add_argument(
         "--server",
         default=None,
         metavar="URL",
@@ -582,6 +689,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_options(p)
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "analyze",
+        help="stream one cell through the analytics aggregators "
+        "(timeline, heatmap, origins)",
+    )
+    p.add_argument("--workload", required=True, help="workload name")
+    p.add_argument("--config", default="sbi_swi", help="policy preset name")
+    p.add_argument("--size", default="tiny", help="workload size")
+    p.add_argument(
+        "--sm-count",
+        type=int,
+        default=1,
+        help="simulate a device with N SMs (default 1: single-SM run)",
+    )
+    p.add_argument(
+        "--observers",
+        default="timeline,heatmap,origins",
+        metavar="N1,N2,...",
+        help="comma list of registered observers to attach",
+    )
+    p.add_argument(
+        "--bins",
+        type=int,
+        default=None,
+        help="bin capacity for the binned aggregators (default 64)",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write every aggregator snapshot as one JSON artifact",
+    )
+    _add_plugin_option(p)
+    p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser(
         "merge", help="combine ResultSet JSON artifacts (repro sweep --save)"

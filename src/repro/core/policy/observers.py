@@ -98,6 +98,14 @@ class Observer:
     def on_l2_miss(self, event: MemEvent) -> None:
         pass
 
+    def finalize(self, stats: object) -> None:
+        """Called once after the run with the final stats object
+        (``Stats`` for one SM, ``DeviceStats`` for a device run).
+        Streaming aggregators close out their last open interval
+        here; the default is a no-op so plain listeners need not
+        care."""
+        pass
+
 
 #: Observer registry (name -> Observer subclass).  Entries are
 #: *classes*; callers instantiate per run.

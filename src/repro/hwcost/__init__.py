@@ -15,12 +15,20 @@ other configurations.
 
 from repro.hwcost.storage import ComponentStorage, storage_table, STORAGE_PAPER
 from repro.hwcost.area import area_table, AREA_PAPER, SM_AREA_UM2
+from repro.hwcost.validate import (
+    PeakIssueViolation,
+    front_end_width,
+    validate_peak_issue,
+)
 
 __all__ = [
     "AREA_PAPER",
     "ComponentStorage",
+    "PeakIssueViolation",
     "SM_AREA_UM2",
     "STORAGE_PAPER",
     "area_table",
+    "front_end_width",
     "storage_table",
+    "validate_peak_issue",
 ]

@@ -41,6 +41,7 @@ _VOCAB_FILES: Tuple[str, ...] = (
     "repro/core/schedulers.py",
     "repro/core/policy/observers.py",
     "repro/timing/stats.py",
+    "repro/analytics/*.py",
 )
 
 #: Call sites where a protocol message type / error code is expected.

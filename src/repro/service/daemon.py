@@ -81,15 +81,50 @@ class _Work:
 
 
 class Job:
-    """One submission: per-cell outcomes plus a progress event queue."""
+    """One submission: per-cell outcomes plus a progress event log.
+
+    Progress events are *published* to an append-only history and
+    fanned out to per-stream subscriber queues — never consumed
+    destructively from a shared queue.  A client that disconnects
+    mid-stream therefore cannot swallow the final status line for
+    anyone else, and a subscriber attaching after the job finished
+    replays the whole history, terminal status included.  The history
+    is bounded by the job itself (one progress line per cell plus one
+    terminal status), not by run length.
+    """
 
     def __init__(self, job_id: str, total: int) -> None:
         self.id = job_id
         self.total = total
         self.cancelled = False
         self.cells: Dict[int, Dict[str, object]] = {}
-        self.events: "queue.Queue[Dict[str, object]]" = queue.Queue()
         self.finished = threading.Event()
+        self._events_lock = threading.Lock()
+        self._history: List[Dict[str, object]] = []
+        self._subscribers: List["queue.Queue[Dict[str, object]]"] = []
+
+    def publish(self, event: Dict[str, object]) -> None:
+        """Append one event and fan it out to every live subscriber."""
+        with self._events_lock:
+            self._history.append(event)
+            for subscriber in self._subscribers:
+                subscriber.put(event)
+
+    def subscribe(self) -> "queue.Queue[Dict[str, object]]":
+        """A fresh event queue, pre-loaded with the full history."""
+        subscription: "queue.Queue[Dict[str, object]]" = queue.Queue()
+        with self._events_lock:
+            for event in self._history:
+                subscription.put(event)
+            self._subscribers.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: "queue.Queue[Dict[str, object]]") -> None:
+        with self._events_lock:
+            try:
+                self._subscribers.remove(subscription)
+            except ValueError:
+                pass  # already detached
 
     @property
     def done(self) -> int:
@@ -438,7 +473,7 @@ class SweepService:
         job.cells[cell_id] = cell
         progress = dict(cell)
         progress.pop("stats", None)  # progress lines stay light
-        job.events.put(
+        job.publish(
             protocol.envelope(
                 protocol.MSG_PROGRESS,
                 job=job.id,
@@ -449,7 +484,7 @@ class SweepService:
         )
         if (job.done >= job.total or job.cancelled) and not job.finished.is_set():
             job.finished.set()
-            job.events.put(job.status_message())
+            job.publish(job.status_message())
 
 
 # ----------------------------------------------------------------------
@@ -618,29 +653,37 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def _stream_events(self, job: Job) -> None:
         """Line-delimited progress until the job reaches a terminal
         state; heartbeat status lines cover long simulation gaps so
-        client read timeouts don't sever an idle stream."""
+        client read timeouts don't sever an idle stream.
+
+        Each stream consumes its own :meth:`Job.subscribe` queue, so
+        concurrent streams all see every event and a client that
+        disconnects while the job finishes (the old shared-queue race)
+        cannot swallow the terminal status line for anyone else.
+        """
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.end_headers()
         terminal = (protocol.JOB_DONE, protocol.JOB_CANCELLED)
-        while True:
-            try:
-                event = job.events.get(timeout=self.server.heartbeat)
-            except queue.Empty:
-                if job.finished.is_set():
+        subscription = job.subscribe()
+        try:
+            while True:
+                try:
+                    event = subscription.get(timeout=self.server.heartbeat)
+                except queue.Empty:
+                    # Idle heartbeat; the terminal status always
+                    # arrives through the subscription itself.
                     self.wfile.write(protocol.encode(job.status_message()))
                     self.wfile.flush()
-                    return
-                self.wfile.write(protocol.encode(job.status_message()))
+                    continue
+                self.wfile.write(protocol.encode(event))
                 self.wfile.flush()
-                continue
-            self.wfile.write(protocol.encode(event))
-            self.wfile.flush()
-            if (
-                event.get("type") == protocol.MSG_STATUS
-                and event.get("state") in terminal
-            ):
-                return
+                if (
+                    event.get("type") == protocol.MSG_STATUS
+                    and event.get("state") in terminal
+                ):
+                    return
+        finally:
+            job.unsubscribe(subscription)
 
 
 # ----------------------------------------------------------------------

@@ -322,15 +322,19 @@ class RemoteClient:
 # ----------------------------------------------------------------------
 
 
-def _emit_sources(cell_message: Dict[str, object]) -> Tuple[bool, Optional[str]]:
-    """(cached flag, error text) of one per-cell protocol message."""
+def _emit_sources(
+    cell_message: Dict[str, object],
+) -> Tuple[bool, Optional[str], Optional[str]]:
+    """(cached flag, error text, source) of one per-cell message."""
     status = cell_message.get("status")
     if status == protocol.STATUS_FAILED:
-        return False, str(cell_message.get("error", "remote cell failed"))
+        return False, str(cell_message.get("error", "remote cell failed")), None
     if status == protocol.STATUS_CANCELLED:
-        return False, "cell was cancelled on the daemon"
-    cached = cell_message.get("source") != protocol.SOURCE_SIMULATED
-    return cached, None
+        return False, "cell was cancelled on the daemon", None
+    raw = cell_message.get("source")
+    source = raw if isinstance(raw, str) else None
+    cached = source != protocol.SOURCE_SIMULATED
+    return cached, None, source
 
 
 def run_remote(
@@ -367,6 +371,13 @@ def run_remote(
     else:
         mine, rides = client.reserve(list(dict.fromkeys(digests)))
 
+    # Digests this client merely rode: another thread's job (possibly
+    # another client's, via daemon coalescing) did the work.  The
+    # daemon tags such cells with the *reserving* job's provenance, so
+    # a ridden "simulated" cell is re-attributed below — this client
+    # caused no simulation and must not count one.
+    ridden = set(rides)
+
     cell_results: Dict[str, Dict[str, object]] = {}
     try:
         if mine:
@@ -401,6 +412,7 @@ def run_remote(
                     ],
                     verify=verify,
                 )
+                ridden.discard(digest)  # we did submit it after all
                 _follow_job(client, str(ack.get("job")), cell_results)
             elif digest not in cell_results:
                 _follow_job(client, record.job_id, cell_results)
@@ -425,7 +437,7 @@ def run_remote(
             )
             emit(cell, cached=False, error=error_text)
             continue
-        cached, error_text = _emit_sources(message)
+        cached, error_text, source = _emit_sources(message)
         if error_text is not None:
             if errors == "raise":
                 raise RemoteError(
@@ -443,9 +455,11 @@ def run_remote(
                 "daemon result for cell %s has no stats payload" % digest[:12]
             )
         stats: AnyStats = stats_from_payload(payload)
+        if digest in ridden and source == protocol.SOURCE_SIMULATED:
+            cached, source = True, protocol.SOURCE_COALESCED
         engine._store(cell.workload, cell.size, cell.config, stats, True, disk_dir)
         outcome[key] = stats
-        emit(cell, cached=cached)
+        emit(cell, cached=cached, source=source)
 
 
 def _follow_job(

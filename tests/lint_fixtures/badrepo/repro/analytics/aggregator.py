@@ -1,0 +1,10 @@
+"""Seeded observer-vocabulary violations for analytics (never imported)."""
+
+
+class Aggregator:
+    def on_issue(self, event):
+        if event.origin == "sbi":  # observer-vocabulary (bare literal compare)
+            self.sbi += 1
+
+    def on_mem(self, event, stats):
+        stats.record_issue("mad", 32, "swi")  # observer-vocabulary (arg)

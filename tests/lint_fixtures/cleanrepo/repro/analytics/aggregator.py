@@ -1,0 +1,12 @@
+"""Clean counterpart of the analytics vocabulary fixture (never imported)."""
+
+from repro.core.policy.events import ORIGIN_SBI, ORIGIN_SWI
+
+
+class Aggregator:
+    def on_issue(self, event):
+        if event.origin == ORIGIN_SBI:  # constant from the vocabulary module
+            self.sbi += 1
+
+    def on_mem(self, event, stats):
+        stats.record_issue("mad", 32, ORIGIN_SWI)

@@ -1,0 +1,246 @@
+"""Streaming analytics: aggregators, bounded memory, engine wiring."""
+
+import pytest
+
+from repro.analytics import (
+    BinnedSeries,
+    HeatmapAggregator,
+    OriginAggregator,
+    TimelineAggregator,
+    make_aggregators,
+)
+from repro.api import Engine, SweepSpec
+from repro.core import presets
+from repro.core.gpu import simulate_device
+from repro.core.policy import OBSERVERS
+from repro.core.policy.events import LEVEL_L1, ORIGIN_PRIMARY, ORIGIN_SBI
+from repro.core.policy.observers import IssueEvent, MemEvent, RetireEvent
+from repro.core.simulator import simulate
+from repro.timing.stats import Stats
+from repro.workloads import get_workload
+
+
+def _issue(cycle, sm_id=0, wid=0, origin=ORIGIN_PRIMARY, active=32):
+    return IssueEvent(
+        cycle=cycle, sm_id=sm_id, wid=wid, pc=0, origin=origin,
+        mask=(1 << active) - 1, group="mad", active=active,
+    )
+
+
+def _run(workload="bfs", size="tiny", mode="sbi_swi", names=("timeline",), bins=16):
+    aggs = make_aggregators(list(names), bins=bins)
+    inst = get_workload(workload, size)
+    stats = simulate(inst.kernel, inst.memory, presets.by_name(mode),
+                     observers=list(aggs.values()))
+    for agg in aggs.values():
+        agg.finalize(stats)
+    return aggs, stats
+
+
+class TestBinnedSeries:
+    def test_rejects_odd_capacity(self):
+        with pytest.raises(ValueError):
+            BinnedSeries(7, ("a",))
+
+    def test_rebinning_conserves_totals(self):
+        series = BinnedSeries(4, ("hits",))
+        for cycle in range(100):
+            series.add(cycle, "hits")
+        assert sum(series.series["hits"]) == 100
+        assert series.width == 32  # doubled 1->2->4->8->16->32
+        assert len(series.series["hits"]) == 4
+
+    def test_add_span_crosses_bins(self):
+        series = BinnedSeries(4, ("live",))
+        series.add_span(1, 7, "live", 2)  # cycles 1..6 at weight 2
+        # width stays 1 until a cycle >= 4 is touched; span end 7
+        # forces one doubling to width 2: bins cover [0,2) [2,4) ...
+        assert series.width == 2
+        assert sum(series.series["live"]) == 12
+        assert series.series["live"] == [2, 4, 4, 2]
+
+    def test_late_series_joins_aligned(self):
+        series = BinnedSeries(4, ("a",))
+        series.add(40, "a")  # grows width to 16
+        arr = series.ensure_series("b")
+        series.add(40, "b")
+        assert arr[40 // series.width] == 1
+
+
+class TestTimeline:
+    def test_registered(self):
+        assert "timeline" in OBSERVERS
+        assert "heatmap" in OBSERVERS
+        assert "origins" in OBSERVERS
+
+    def test_matches_stats_accounting(self):
+        aggs, stats = _run(names=("timeline",))
+        snap = aggs["timeline"].snapshot()
+        assert snap["kind"] == "timeline"
+        assert snap["total_cycles"] == stats.cycles
+        assert sum(snap["series"]["issues"]) == stats.instructions_issued
+        assert sum(snap["series"]["retires"]) > 0
+        # Active warp-cycles can't exceed live warp-cycles anywhere.
+        for active, stalled in zip(
+            snap["series"]["active_warp_cycles"],
+            snap["series"]["stalled_warp_cycles"],
+        ):
+            assert active >= 0 and stalled >= 0
+
+    def test_render_mentions_bins(self):
+        aggs, _ = _run(names=("timeline",), bins=8)
+        text = aggs["timeline"].render()
+        assert "timeline" in text and "stalled" in text
+
+    def test_state_size_independent_of_cycle_count(self):
+        """The acceptance bound: O(bins + warps), never O(cycles)."""
+
+        def state_size(agg):
+            cells = sum(len(arr) for arr in agg.series.series.values())
+            return cells + len(agg._live) + len(agg._issuers)
+
+        sizes = []
+        for scale in (1_000, 100_000):
+            agg = TimelineAggregator(bins=16)
+            for wid in range(4):
+                agg.on_issue(_issue(0, wid=wid))
+            step = scale // 100
+            for cycle in range(step, scale, step):
+                agg.on_issue(_issue(cycle, wid=cycle % 4))
+                agg.on_l1_miss(MemEvent(cycle, 0, LEVEL_L1, 1))
+            for wid in range(4):
+                agg.on_retire(RetireEvent(scale, 0, wid, 0))
+            agg.finalize(Stats(cycles=scale + 1))
+            sizes.append(state_size(agg))
+        assert sizes[0] == sizes[1]
+
+    def test_gap_integrates_stalled_cycles(self):
+        agg = TimelineAggregator(bins=4)
+        agg.on_issue(_issue(0))          # warp goes live at cycle 0
+        agg.on_issue(_issue(100))        # 99 event-free cycles between
+        agg.on_retire(RetireEvent(101, 0, 0, 0))
+        agg.finalize(Stats(cycles=102))
+        snap = agg.snapshot()
+        live = sum(snap["series"]["active_warp_cycles"]) + sum(
+            snap["series"]["stalled_warp_cycles"]
+        )
+        assert live == 102  # cycles 0..101 inclusive, one live warp
+        assert sum(snap["series"]["active_warp_cycles"]) == 2
+
+    def test_finalize_idempotent(self):
+        agg = TimelineAggregator(bins=4)
+        agg.on_issue(_issue(0))
+        agg.finalize(Stats(cycles=10))
+        first = agg.snapshot()
+        agg.finalize(Stats(cycles=10))
+        assert agg.snapshot() == first
+
+
+class TestHeatmap:
+    def test_multi_sm_grid(self):
+        aggs = make_aggregators(["heatmap"], bins=8)
+        inst = get_workload("transpose", "tiny")
+        config = presets.device("sbi_swi", sm_count=4)
+        stats = simulate_device(
+            inst.kernel, inst.memory, config, observers=list(aggs.values())
+        )
+        agg = aggs["heatmap"]
+        agg.finalize(stats)
+        snap = agg.snapshot()
+        assert snap["sms"] == [0, 1, 2, 3]
+        assert len(snap["ipc"]) == 4 and len(snap["occupancy"]) == 4
+        total = sum(sum(row) for row in snap["issues"])
+        assert total == sum(s.instructions_issued for s in stats.sm_stats)
+        for row in snap["occupancy"]:
+            assert all(0.0 <= v <= 1.0 for v in row)
+        assert "sm3" in agg.render()
+
+    def test_single_sm_run_renders(self):
+        aggs, _ = _run(names=("heatmap",), bins=8)
+        assert "sm0" in aggs["heatmap"].render()
+
+
+class TestOrigins:
+    def test_matches_stats_origin_counters(self):
+        aggs, stats = _run(names=("origins",))
+        agg = aggs["origins"]
+        assert agg.issues[ORIGIN_PRIMARY] == stats.issued_primary
+        issued = dict(agg.issues)
+        assert sum(issued.values()) == stats.instructions_issued
+        snap = agg.snapshot()
+        assert snap["kind"] == "origins"
+        assert snap["per_sm"]["0"] == issued
+
+    def test_peak_bounded_by_issue_width(self):
+        aggs, _ = _run(mode="sbi_swi", names=("origins",))
+        config = presets.by_name("sbi_swi")
+        peaks = aggs["origins"].peak_per_cycle
+        assert peaks and max(peaks.values()) <= config.issue_width
+
+    def test_rejects_unknown_origin(self):
+        agg = OriginAggregator()
+        with pytest.raises(ValueError, match="vocabulary"):
+            agg.on_issue(_issue(0, origin="bogus"))
+
+    def test_per_cycle_peak_tracks_co_issue(self):
+        agg = OriginAggregator()
+        agg.on_issue(_issue(5, wid=0))
+        agg.on_issue(_issue(5, wid=1, origin=ORIGIN_SBI))
+        agg.on_issue(_issue(6, wid=0))
+        agg.finalize(Stats(cycles=7))
+        assert agg.peak_per_cycle == {0: 2}
+
+
+class TestMakeAggregators:
+    def test_bins_override_and_binless_observers(self):
+        aggs = make_aggregators(["timeline", "origins", "counter"], bins=8)
+        assert aggs["timeline"].series.bin_count == 8
+        assert isinstance(aggs["origins"], OriginAggregator)
+        assert type(aggs["counter"]).__name__ == "EventCounter"
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(ValueError, match="registered names"):
+            make_aggregators(["nope"])
+
+
+class TestEngineWiring:
+    SPEC = SweepSpec(workloads=["bfs"], configs=["baseline", "sbi_swi"], sizes=["tiny"])
+
+    def test_observations_recorded_per_cell(self, tmp_path):
+        engine = Engine(
+            cache_dir=str(tmp_path / "cache"), memo={}, observers=["origins"]
+        )
+        engine.run(self.SPEC)
+        assert set(engine.observations) == {
+            ("bfs", "tiny", "baseline"),
+            ("bfs", "tiny", "sbi_swi"),
+        }
+        agg = engine.observations[("bfs", "tiny", "sbi_swi")]["origins"]
+        assert isinstance(agg, OriginAggregator)
+        assert sum(agg.issues.values()) > 0
+        assert agg.total_cycles > 0  # finalize ran
+
+    def test_observed_cells_bypass_the_cache(self, tmp_path):
+        # Warm the cache, then re-run with observers: every cell must
+        # simulate again (a cached Stats has no event stream).
+        cache = str(tmp_path / "cache")
+        Engine(cache_dir=cache, memo={}).run(self.SPEC)
+        events = []
+        engine = Engine(
+            cache_dir=cache, memo={}, observers=["origins"], progress=events.append
+        )
+        engine.run(self.SPEC)
+        assert events and all(not e.cached for e in events)
+        assert len(engine.observations) == 2
+
+    def test_observers_require_inline_backend(self):
+        with pytest.raises(ValueError, match="inline"):
+            Engine(backend="process", observers=["origins"])
+
+    def test_unknown_observer_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="observer"):
+            Engine(observers=["nope"])
+
+    def test_observers_default_to_inline_even_with_jobs(self):
+        engine = Engine(jobs=4, observers=["origins"])
+        assert engine.backend == "inline"

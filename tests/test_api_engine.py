@@ -271,3 +271,31 @@ class TestFigure7Equivalence:
         rs = Engine().run(SweepSpec.figure7(size="smoke"))
         assert len(rs) == 105
         assert ResultSet.from_json(rs.to_json()).ipc_table() == rs.ipc_table()
+
+
+class TestProgressAccounting:
+    """Fully-cached runs still count 1..total, monotonically."""
+
+    @pytest.mark.parametrize("jobs", [None, 2], ids=["inline", "process"])
+    def test_fully_cached_run_reaches_total(self, tmp_path, jobs):
+        cache_dir = str(tmp_path)
+        Engine(jobs=jobs, cache_dir=cache_dir).run(SMALL)
+        events = []
+        Engine(jobs=jobs, cache_dir=cache_dir, progress=events.append).run(SMALL)
+        assert [e.done for e in events] == [1, 2, 3, 4]
+        assert events[-1].done == events[-1].total == 4
+        assert all(e.cached and e.error is None for e in events)
+        # Local cache hits carry no provenance source.
+        assert all(e.source is None for e in events)
+
+    def test_mixed_run_is_monotone_and_complete(self, tmp_path):
+        cache_dir = str(tmp_path)
+        half = SweepSpec.from_presets(
+            ["baseline"], workloads=["histogram", "sortingnetworks"], size="tiny"
+        )
+        Engine(cache_dir=cache_dir).run(half)
+        events = []
+        Engine(cache_dir=cache_dir, progress=events.append).run(SMALL)
+        assert [e.done for e in events] == [1, 2, 3, 4]
+        assert sum(1 for e in events if e.cached) == 2
+        assert sum(1 for e in events if not e.cached) == 2

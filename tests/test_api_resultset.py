@@ -113,6 +113,26 @@ class TestMeans:
         means = _rs().geo_mean(exclude=("bfs", "lud"))
         assert means["baseline"] == pytest.approx(1.0)  # only tmd1 left
 
+    def test_all_workloads_excluded_raises(self):
+        # Excluding every workload present must fail loudly rather
+        # than return an empty mapping that reads like "no configs".
+        with pytest.raises(ValueError, match="excluded"):
+            _rs().geo_mean(exclude=("bfs", "lud", "tmd1"))
+        with pytest.raises(ValueError, match="excluded"):
+            _rs().harmonic_mean(exclude=("bfs", "lud", "tmd1"))
+        # The MEAN_EXCLUDED default path hits the same guard when a
+        # filtered view holds only excluded workloads.
+        with pytest.raises(ValueError, match="excluded"):
+            _rs().filter(workload="tmd1").geo_mean()
+
+    def test_excluded_only_view_still_renders(self):
+        # Rendering stays usable: the mean row degrades to "-".
+        view = _rs().filter(workload="tmd1")
+        text = view.to_text()
+        assert "geo_mean" in text
+        markdown = view.to_markdown()
+        assert "geo_mean | - |" in markdown
+
 
 class TestSerialization:
     def test_json_round_trip(self):
@@ -269,3 +289,32 @@ class TestNested:
         )
         with pytest.raises(ValueError, match="size"):
             rs.nested()
+
+
+class TestPlot:
+    """matplotlib is optional: gate cleanly, draw when available."""
+
+    def _have_matplotlib(self):
+        try:
+            import matplotlib  # noqa: F401
+        except ImportError:
+            return False
+        return True
+
+    def test_plot_or_clean_gate(self, tmp_path):
+        rs = _rs()
+        if not self._have_matplotlib():
+            with pytest.raises(RuntimeError, match="matplotlib"):
+                rs.plot()
+            return
+        out = tmp_path / "bars.png"
+        ax = rs.plot(save=str(out))
+        assert out.exists() and ax is not None
+        curve = rs.plot(kind="scaling", base="baseline")
+        assert curve is not None
+
+    def test_gate_message_points_at_text_renderers(self):
+        if self._have_matplotlib():
+            pytest.skip("matplotlib installed: gate unreachable")
+        with pytest.raises(RuntimeError, match="to_markdown"):
+            _rs().plot(kind="scaling")

@@ -486,3 +486,74 @@ class TestBench:
 
         with pytest.raises(ValueError, match="repeat"):
             bench.run_bench(repeat=0, workloads=["histogram"], modes=["baseline"])
+
+
+class TestAnalyze:
+    def test_smoke_renders_all_aggregators(self):
+        proc = run_cli(
+            "analyze",
+            "--workload", "histogram",
+            "--size", "smoke",
+            "--config", "sbi_swi",
+            "--bins", "8",
+        )
+        for header in ("== timeline ==", "== heatmap ==", "== origins =="):
+            assert header in proc.stdout
+        assert "peak-issue check: ok" in proc.stderr
+
+    def test_json_artifact_round_trips_schema(self, tmp_path):
+        path = str(tmp_path / "analyze.json")
+        run_cli(
+            "analyze",
+            "--workload", "transpose",
+            "--size", "tiny",
+            "--config", "sbi_swi",
+            "--sm-count", "4",
+            "--bins", "8",
+            "--json", path,
+        )
+        with open(path) as f:
+            artifact = json.load(f)
+        assert artifact["version"] == 1
+        assert artifact["workload"] == "transpose"
+        assert artifact["sm_count"] == 4
+        assert set(artifact["observers"]) == {"timeline", "heatmap", "origins"}
+        timeline = artifact["observers"]["timeline"]
+        assert timeline["kind"] == "timeline"
+        assert len(timeline["series"]["issues"]) == timeline["bins"]
+        heatmap = artifact["observers"]["heatmap"]
+        assert heatmap["sms"] == [0, 1, 2, 3]
+        assert len(heatmap["ipc"]) == len(heatmap["sms"])
+        # The artifact feeds back into the hwcost validation unchanged.
+        sys.path.insert(0, SRC)
+        try:
+            from repro.core import presets
+            from repro.hwcost import validate_peak_issue
+
+            origins = artifact["observers"]["origins"]
+            device = presets.device("sbi_swi", sm_count=4)
+            assert validate_peak_issue(device, origins)
+        finally:
+            sys.path.remove(SRC)
+
+    def test_unknown_observer_fails_helpfully(self):
+        proc = run_cli(
+            "analyze", "--workload", "bfs", "--observers", "nope", check=False
+        )
+        assert proc.returncode == 2
+        assert "registered names" in proc.stderr
+
+    def test_sweep_observer_renders_and_simulates(self, tmp_path):
+        cache = {"REPRO_CACHE_DIR": str(tmp_path)}
+        args = (
+            "sweep",
+            "--workloads", "histogram",
+            "--configs", "sbi_swi",
+            "--size", "smoke",
+        )
+        run_cli(*args, env_extra=cache)
+        observed = run_cli(*args, "--observer", "origins", env_extra=cache)
+        # Observed cells bypass the warm cache and simulate again.
+        assert "# 1 cells: 1 simulated, 0 cached" in observed.stderr
+        assert "== histogram/sbi_swi @tiny : origins ==" in observed.stdout  # smoke->tiny alias
+        assert "issue origins" in observed.stdout

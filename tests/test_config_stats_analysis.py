@@ -105,9 +105,23 @@ class TestStats:
 class TestReportHelpers:
     def test_gmean(self):
         assert rpt.gmean([2.0, 8.0]) == pytest.approx(4.0)
-        assert rpt.gmean([]) == 0.0
         with pytest.raises(ValueError):
             rpt.gmean([1.0, -1.0])
+
+    def test_hmean(self):
+        assert rpt.hmean([2.0, 6.0]) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            rpt.hmean([1.0, -1.0])
+
+    def test_empty_means_raise(self):
+        # A workload set filtered to nothing must not come back as a
+        # silent 0.0 that poisons speedup tables.
+        with pytest.raises(ValueError, match="empty"):
+            rpt.gmean([])
+        with pytest.raises(ValueError, match="empty"):
+            rpt.hmean([])
+        with pytest.raises(ValueError, match="empty"):
+            rpt.gmean(iter(()))
 
     def test_format_table(self):
         text = rpt.format_table(["a", "b"], [[1, 2.5], ["x", None]], title="T")

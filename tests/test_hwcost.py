@@ -92,3 +92,56 @@ class TestAreaModel:
 
     def test_sm_area_reference(self):
         assert SM_AREA_UM2 == pytest.approx(15.6e6)
+
+
+class TestPeakIssueValidation:
+    """Observed peak issue rate vs the modeled front-end width."""
+
+    def _snapshot(self, peaks):
+        return {"kind": "origins", "peak_issues_per_cycle": peaks}
+
+    def test_within_width_passes(self):
+        from repro.core import presets
+        from repro.hwcost import validate_peak_issue
+
+        config = presets.by_name("sbi_swi")  # dual-issue front end
+        peaks = validate_peak_issue(config, self._snapshot({"0": 2, "1": 1}))
+        assert peaks == {"0": 2, "1": 1}
+
+    def test_seeded_over_issue_fails_loudly(self):
+        from repro.core import presets
+        from repro.hwcost import PeakIssueViolation, validate_peak_issue
+
+        config = presets.by_name("warp64")  # single-issue front end
+        with pytest.raises(PeakIssueViolation, match="front-end width of 1"):
+            validate_peak_issue(config, self._snapshot({"0": 1, "1": 2}))
+
+    def test_device_config_checks_its_sm_policy(self):
+        from repro.core import presets
+        from repro.hwcost import PeakIssueViolation, front_end_width, validate_peak_issue
+
+        device = presets.device("warp64", sm_count=2)
+        assert front_end_width(device) == 1
+        with pytest.raises(PeakIssueViolation):
+            validate_peak_issue(device, self._snapshot({"1": 3}))
+
+    def test_real_run_is_clean(self):
+        from repro.analytics import OriginAggregator
+        from repro.core import presets
+        from repro.core.simulator import simulate
+        from repro.hwcost import validate_peak_issue
+        from repro.workloads import get_workload
+
+        agg = OriginAggregator()
+        inst = get_workload("bfs", "tiny")
+        config = presets.by_name("sbi_swi")
+        stats = simulate(inst.kernel, inst.memory, config, observers=[agg])
+        agg.finalize(stats)
+        assert validate_peak_issue(config, agg.snapshot())
+
+    def test_malformed_snapshot_rejected(self):
+        from repro.core import presets
+        from repro.hwcost import validate_peak_issue
+
+        with pytest.raises(ValueError, match="peak_issues_per_cycle"):
+            validate_peak_issue(presets.baseline(), {"kind": "origins"})

@@ -44,6 +44,7 @@ FILE_RULE_CASES = [
     ("errstate-in-plan", "repro/functional/compiled.py"),
     ("alloc-in-plan", "repro/functional/compiled.py"),
     ("observer-vocabulary", "repro/core/schedulers.py"),
+    ("observer-vocabulary", "repro/analytics/aggregator.py"),
     ("protocol-vocabulary", "repro/service/daemon.py"),
     ("registry-discipline", "repro/core/schedulers.py"),
 ]

@@ -2,8 +2,10 @@
 
 import json
 import os
+import queue
 import socket
 import threading
+import time
 
 import pytest
 
@@ -407,6 +409,47 @@ class TestSweepService:
             _service(tmp_path).get_job("j999999")
         assert excinfo.value.code == protocol.ERR_UNKNOWN_JOB
 
+    def test_event_subscriptions_are_independent_and_replayed(self, tmp_path):
+        # The lost-final-status race: one consumer popping the shared
+        # event queue used to swallow events (terminal status included)
+        # for every other stream.  Subscriptions are now independent,
+        # and a late subscriber gets the full history back.
+        service = _service(tmp_path)
+        ack = service.submit(protocol.submit_message([CELL_A]))
+        job = service.get_job(ack["job"])
+        sub_a = job.subscribe()
+        service.process_queued()
+        # sub_a received everything but its client "disconnected"
+        # without consuming; dropping it must not lose anything.
+        job.unsubscribe(sub_a)
+        sub_b = job.subscribe()  # attaches after the job finished
+        events = []
+        while True:
+            events.append(sub_b.get_nowait())
+            if events[-1]["type"] == protocol.MSG_STATUS:
+                break
+        assert events[0]["type"] == protocol.MSG_PROGRESS
+        assert events[0]["cell"]["status"] == protocol.STATUS_OK
+        assert events[-1]["state"] == protocol.JOB_DONE
+        # The history is bounded by the job, not by consumers.
+        with pytest.raises(queue.Empty):
+            sub_b.get_nowait()
+
+    def test_finish_within_heartbeat_of_disconnect_keeps_status(self, tmp_path):
+        # A subscriber vanishing right before the job finishes (the
+        # disconnect-within-a-heartbeat window) leaves the terminal
+        # status intact for a stream that attaches afterwards.
+        service = _service(tmp_path)
+        ack = service.submit(protocol.submit_message([CELL_A]))
+        job = service.get_job(ack["job"])
+        doomed = job.subscribe()
+        job.unsubscribe(doomed)
+        service.process_queued()
+        survivor = job.subscribe()
+        seen = [survivor.get_nowait() for _ in range(2)]
+        assert seen[-1]["type"] == protocol.MSG_STATUS
+        assert seen[-1]["state"] == protocol.JOB_DONE
+
     def test_health_reports_the_closed_counter_set(self, tmp_path):
         message = _service(tmp_path).health()
         assert set(message["counters"]) == set(COUNTERS)
@@ -557,6 +600,8 @@ class TestHTTPRoundTrip:
         ).run(TINY)
         assert remote.to_json() == inline.to_json()  # byte-identical
         assert all(not e.cached for e in events)
+        assert [e.done for e in events] == [1, 2]  # monotone, complete
+        assert all(e.source == protocol.SOURCE_SIMULATED for e in events)
         assert server.service.counters["cells_simulated"] == 2
 
         warm_events = []
@@ -565,6 +610,10 @@ class TestHTTPRoundTrip:
         ).run(TINY)
         assert warm.to_json() == inline.to_json()
         assert all(e.cached for e in warm_events)  # store-served
+        assert [e.done for e in warm_events] == [1, 2]
+        # Cached remote cells carry daemon provenance, matching the
+        # daemon's own cells_store counter below.
+        assert all(e.source == protocol.SOURCE_STORE for e in warm_events)
         assert server.service.counters["cells_simulated"] == 2  # unchanged
         assert server.service.counters["cells_store"] == 2
 
@@ -594,6 +643,44 @@ class TestHTTPRoundTrip:
             assert message["type"] == protocol.MSG_RESULT
             (cell,) = message["cells"]
             assert cell["status"] == protocol.STATUS_OK
+        assert server.service.counters["cells_simulated"] == 1
+
+    def test_rider_attributes_ridden_cells_as_coalesced(self, queued_server):
+        # Two threads sweep the same cell through one Engine.  The
+        # second thread rides the first thread's in-flight job, so its
+        # cell must be accounted as cached/coalesced even though the
+        # daemon tags the cell with the reserving job's "simulated"
+        # provenance — a rider caused no simulation.
+        server, url = queued_server
+        spec = SweepSpec.from_presets(
+            ["baseline"], workloads=["histogram"], size="tiny"
+        )
+        engine = Engine(server=url, cache_dir=None, memo={})
+        first, second = [], []
+
+        def sweep(events):
+            engine.run(spec, progress=events.append)
+
+        leader = threading.Thread(target=sweep, args=(first,))
+        leader.start()
+        deadline = time.monotonic() + 5.0
+        while server.service.counters["jobs_submitted"] < 1:
+            assert time.monotonic() < deadline, "leader never submitted"
+            time.sleep(0.01)
+        rider = threading.Thread(target=sweep, args=(second,))
+        rider.start()
+        time.sleep(0.15)  # rider is riding the leader's queued job
+        assert server.service.process_queued() == 1
+        leader.join(timeout=5.0)
+        rider.join(timeout=5.0)
+        assert not leader.is_alive() and not rider.is_alive()
+
+        (lead_event,) = first
+        assert not lead_event.cached
+        assert lead_event.source == protocol.SOURCE_SIMULATED
+        (ride_event,) = second
+        assert ride_event.cached
+        assert ride_event.source == protocol.SOURCE_COALESCED
         assert server.service.counters["cells_simulated"] == 1
 
     def test_429_retry_after_honoured_by_client(self, queued_server):
@@ -639,6 +726,38 @@ class TestHTTPRoundTrip:
             and e["cell"]["status"] == protocol.STATUS_CANCELLED
             for e in seen
         )
+
+    def test_concurrent_streams_both_see_every_event(self, queued_server):
+        # Two live streams of one job: with the old shared queue each
+        # event went to exactly one of them, so at least one stream
+        # lost the per-cell progress line or the terminal status.
+        server, url = queued_server
+        client = RemoteClient(url, retries=0)
+        ack = client.submit([CELL_A])
+        job_id = str(ack["job"])
+        streams = {}
+
+        def consume(tag):
+            streams[tag] = list(client.events(job_id))
+
+        threads = [
+            threading.Thread(target=consume, args=(tag,)) for tag in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.15)  # both streams attached and heartbeating
+        server.service.process_queued()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not any(thread.is_alive() for thread in threads)
+        for tag in ("a", "b"):
+            assert streams[tag][-1]["type"] == protocol.MSG_STATUS
+            assert streams[tag][-1]["state"] == protocol.JOB_DONE
+            assert any(
+                e["type"] == protocol.MSG_PROGRESS
+                and e["cell"]["status"] == protocol.STATUS_OK
+                for e in streams[tag]
+            )
 
     def test_cell_lookup_over_http(self, live_server):
         _, url = live_server
