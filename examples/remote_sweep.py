@@ -98,7 +98,14 @@ def main() -> None:
     #    Identical hash == identical content, so merging two stores is
     #    `cp -rn` / rsync; `repro merge` is for ResultSet artifacts,
     #    which carry per-cell stats that must be compared.
-    shards = sorted(os.listdir(store_dir))
+    #    The root also holds the daemon's write-ahead journal
+    #    (journal.ndjson) — only the two-hex-digit directories are
+    #    shards.
+    shards = sorted(
+        name
+        for name in os.listdir(store_dir)
+        if os.path.isdir(os.path.join(store_dir, name))
+    )
     entries = sum(len(os.listdir(os.path.join(store_dir, s))) for s in shards)
     print("store    : %d entries across %d shards" % (entries, len(shards)))
     print(rs.to_text())

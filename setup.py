@@ -11,7 +11,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-sbi-swi",
-    version="1.5.0",
+    version="1.6.0",
     description=(
         "Cycle-level reproduction of 'Simultaneous Branch and Warp "
         "Interweaving for Sustained GPU Performance' (ISCA 2012)"

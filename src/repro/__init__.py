@@ -30,7 +30,7 @@ from repro.core.simulator import SimulationError, simulate
 from repro.timing.config import SMConfig
 from repro.timing.stats import Stats
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Engine",

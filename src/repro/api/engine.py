@@ -58,8 +58,9 @@ class Progress:
 
     ``done`` counts monotonically from 1 to ``total`` over the whole
     run — including fully-cached runs, where every event carries
-    ``cached=True``.  ``source`` records daemon-side provenance for
-    remote cells (``"simulated"``, ``"store"`` or ``"coalesced"``);
+    ``cached=True``.  ``source`` records provenance for remote cells
+    (``"simulated"``, ``"store"`` or ``"coalesced"`` from the daemon,
+    ``"fallback"`` for cells a degraded client simulated inline);
     local backends leave it ``None``.
     """
 
@@ -142,6 +143,7 @@ class Engine:
         server: Optional[str] = None,
         timeout: float = 30.0,
         retries: int = 3,
+        fallback: Optional[str] = None,
         workload_factory=None,
         simulate_fn=None,
         simulate_device_fn=None,
@@ -164,6 +166,15 @@ class Engine:
             raise ValueError("server must be an http(s) URL, got %r" % (server,))
         if errors not in ERROR_POLICIES:
             raise ValueError("errors must be one of %s" % (ERROR_POLICIES,))
+        if fallback not in (None, "inline"):
+            raise ValueError(
+                "fallback must be None or 'inline', got %r" % (fallback,)
+            )
+        if fallback is not None and backend != "remote":
+            raise ValueError(
+                "fallback requires the remote backend (it is the remote "
+                "path's degraded mode), got backend=%r" % backend
+            )
         if observers:
             if backend != "inline":
                 raise ValueError(
@@ -180,6 +191,10 @@ class Engine:
         self.server = server
         self.timeout = timeout
         self.retries = retries
+        #: ``"inline"`` lets the remote backend degrade to local
+        #: simulation once the daemon is unreachable (circuit breaker
+        #: open / retries exhausted); None (default) fails loudly.
+        self.fallback = fallback
         self._remote_client = None
         #: Module names imported in every process-pool worker (policy
         #: plugins must be registered there too, not just here).

@@ -14,8 +14,11 @@ Subcommands::
     repro bench     [--size smoke] [--repeat 3] [--json PATH] [--check BASE.json]
                     [--profile [N]] [--profile-out PROF.pstats]
     repro cache     info|clear [--dir DIR]
+    repro store     info|gc|verify [--dir DIR] [--max-age S]
+                    [--max-entries N] [--max-bytes N] [--dry-run]
     repro serve     [--host H] [--port P] [--store DIR] [--workers N]
-                    [--queue-limit N]
+                    [--queue-limit N] [--journal PATH] [--resume]
+                    [--fault-plan SPEC | --fault-seed N]
 
 Tables go to stdout; a one-line cell accounting (``# N cells: M
 simulated, K cached``) goes to stderr so scripted runs can assert a
@@ -146,22 +149,21 @@ def _validate_metric(spec: SweepSpec, metric: str) -> None:
 def _run_spec(spec: SweepSpec, args) -> int:
     _validate_metric(spec, args.metric)
     counts = {"simulated": 0, "cached": 0, "failed": 0}
-    # Daemon-side provenance of cached remote cells ("store" hits,
-    # "coalesced" rides); local cache hits carry no source.
+    # Remote-cell provenance: "store" hits and "coalesced" rides are
+    # cached, "fallback" cells were simulated inline by a degraded
+    # client; local cache hits carry no source.
     sources: dict = {}
 
     def progress(event):
         if event.error is not None:
             counts["failed"] += 1
-        elif event.cached:
-            counts["cached"] += 1
+        else:
+            counts["cached" if event.cached else "simulated"] += 1
             if event.source:
                 sources[event.source] = sources.get(event.source, 0) + 1
-        else:
-            counts["simulated"] += 1
         if args.progress:
             state = "cached" if event.cached else "sim"
-            if event.cached and event.source:
+            if event.source:
                 state = event.source
             if event.error is not None:
                 state = "FAILED: %s" % event.error
@@ -188,6 +190,7 @@ def _run_spec(spec: SweepSpec, args) -> int:
         server=getattr(args, "server", None),
         timeout=getattr(args, "timeout", 30.0),
         retries=getattr(args, "retries", 3),
+        fallback=getattr(args, "fallback", None),
     )
     rs = engine.run(spec, verify=getattr(args, "verify", False))
     if args.save:
@@ -520,11 +523,77 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    import time
+
+    from repro.service.store import ResultStore, resolve_store_dir
+
+    store = ResultStore(resolve_store_dir(args.dir))
+    if args.action == "info":
+        info = store.info()
+        print(
+            "store %s: %d entries, %d bytes"
+            % (info.root, info.entries, info.total_bytes)
+        )
+        return 0
+    if args.action == "verify":
+        outcome = store.verify()
+        for problem in outcome.problems:
+            print(
+                "bad entry %s: %s" % (problem.digest[:16], problem.reason),
+                file=sys.stderr,
+            )
+        print(
+            "verified %d entries: %d bad" % (outcome.examined, len(outcome.problems))
+        )
+        return 0 if outcome.ok else 1
+    result = store.gc(
+        max_age=args.max_age,
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        now=time.time(),
+        dry_run=args.dry_run,
+    )
+    print(
+        "%s %d of %d entries (%d bytes), kept %d, swept %d tombstone(s)"
+        % (
+            "would evict" if result.dry_run else "evicted",
+            result.evicted,
+            result.examined,
+            result.evicted_bytes,
+            result.kept,
+            result.tombstones_swept,
+        )
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
     from repro.service.daemon import make_server
+    from repro.service.faults import FaultPlan
     from repro.service.store import resolve_store_dir
 
     _load_plugins(args)
+    if args.fault_plan and args.fault_seed is not None:
+        raise ValueError("--fault-plan and --fault-seed are mutually exclusive")
+
+    def _injected_crash(kind: str) -> None:
+        # A crash-* fault means the daemon process dies right here, the
+        # way a real kill -9 would: no journal close, no atexit, no
+        # graceful anything.  Exit code 70 (EX_SOFTWARE) marks it as
+        # deliberate for the chaos harness.
+        print("repro serve: injected crash (%s)" % kind, file=sys.stderr)
+        sys.stderr.flush()
+        os._exit(70)
+
+    fault_plan = None
+    if args.fault_plan:
+        fault_plan = FaultPlan.parse(args.fault_plan, on_crash=_injected_crash)
+    elif args.fault_seed is not None:
+        fault_plan = FaultPlan.from_seed(args.fault_seed, on_crash=_injected_crash)
     server = make_server(
         host=args.host,
         port=args.port,
@@ -533,6 +602,9 @@ def _cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         retry_after=args.retry_after,
         heartbeat=args.heartbeat,
+        journal_path=args.journal,
+        resume=args.resume,
+        fault_plan=fault_plan,
     )
     host, port = server.server_address[:2]
     print(
@@ -540,14 +612,27 @@ def _cmd_serve(args) -> int:
         % (host, port, resolve_store_dir(args.store), args.workers),
         file=sys.stderr,
     )
+    if fault_plan is not None:
+        print("repro serve: fault plan %s" % fault_plan.describe(), file=sys.stderr)
+
+    def _graceful(signum, frame) -> None:
+        # serve_forever() must be unwound from another thread: shutdown()
+        # blocks until the serve loop exits, and a signal handler runs
+        # *on* the main thread that is sitting in that loop.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("repro serve: shutting down", file=sys.stderr)
+        pass
     finally:
+        print("repro serve: draining workers and flushing journal", file=sys.stderr)
         server.shutdown()
-        server.service.stop()
+        server.service.shutdown_gracefully()
         server.server_close()
+    print("repro serve: stopped", file=sys.stderr)
     return 0
 
 
@@ -632,6 +717,14 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
         type=int,
         default=3,
         help="retry attempts for --server requests (default 3)",
+    )
+    p.add_argument(
+        "--fallback",
+        choices=("inline",),
+        default=None,
+        help="with --server: degrade to inline simulation when the "
+        "daemon is unreachable or shutting down (results are "
+        "published back once the daemon recovers)",
     )
 
 
@@ -806,6 +899,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser(
+        "store",
+        help="inspect, verify, or garbage-collect the shared result store",
+    )
+    p.add_argument("action", choices=("info", "gc", "verify"))
+    p.add_argument(
+        "--dir",
+        default=None,
+        help="store root (default: $REPRO_STORE_DIR or .repro_store)",
+    )
+    p.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="gc: evict entries older than this",
+    )
+    p.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gc: keep at most N newest entries",
+    )
+    p.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gc: keep the newest entries totalling at most N bytes",
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="gc: report what would be evicted without deleting",
+    )
+    p.set_defaults(fn=_cmd_store)
+
+    p = sub.add_parser(
         "serve",
         help="run the sweep daemon (remote backend + shared result store)",
     )
@@ -840,6 +971,31 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="progress-stream heartbeat interval in seconds",
+    )
+    p.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write-ahead job journal (default: <store>/journal.ndjson)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the journal on startup and requeue unfinished jobs",
+    )
+    p.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="inject faults: comma-separated KIND[@OP][:NTH][xCOUNT] "
+        "specs (e.g. 'drop-connection@jobs:2,crash-after-publish:3')",
+    )
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="inject a deterministic seed-derived fault plan",
     )
     _add_plugin_option(p)
     p.set_defaults(fn=_cmd_serve)

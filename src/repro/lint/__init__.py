@@ -18,8 +18,13 @@ diff-time errors:
   creation outside ``__init__`` on slotted classes, no ``np.errstate``
   or allocation-heavy numpy calls inside compiled-plan closures;
 * **registry** — observer event names come from the closed vocabulary
-  (:mod:`repro.core.policy.events`) and registries are only written
-  through the :class:`~repro.core.policy.Registry` API.
+  (:mod:`repro.core.policy.events`), service message types and fault
+  kinds come from theirs, and registries are only written through the
+  :class:`~repro.core.policy.Registry` API;
+* **robustness** — service retry loops are bounded (no ``while True``
+  with an exception-handler ``continue``) and no handler is a bare
+  ``except:`` that would swallow an injected
+  :class:`~repro.service.faults.DaemonCrash`.
 
 Suppress a finding with an inline ``# repro-lint: disable=<rule-id>``
 comment on (or immediately above) the offending line, or a path glob in
@@ -44,6 +49,7 @@ from repro.lint import rules_determinism  # noqa: F401  (registration)
 from repro.lint import rules_cachekey  # noqa: F401  (registration)
 from repro.lint import rules_hotpath  # noqa: F401  (registration)
 from repro.lint import rules_registry  # noqa: F401  (registration)
+from repro.lint import rules_service  # noqa: F401  (registration)
 
 __all__ = [
     "LintError",

@@ -22,6 +22,7 @@ from repro.lint.framework import (
     dotted_name,
     register_rule,
 )
+from repro.service.faults import FAULT_KINDS, SITES
 from repro.service.protocol import VOCABULARY as PROTOCOL_VOCABULARY
 
 #: Registry singletons writes must go through the Registry API.
@@ -47,10 +48,16 @@ _VOCAB_FILES: Tuple[str, ...] = (
 #: Call sites where a protocol message type / error code is expected.
 _PROTOCOL_CALLEES = frozenset({"envelope", "ProtocolError", "_resolve_locked"})
 
+#: Call sites where a fault kind or injection site is expected, and the
+#: closed set of names they may be given.
+_FAULT_CALLEES = frozenset({"fire", "crash", "FaultSpec"})
+FAULT_VOCABULARY: FrozenSet[str] = frozenset(FAULT_KINDS) | frozenset(SITES)
+
 #: Files that emit or dispatch on protocol vocabulary names (the
 #: protocol module itself defines the constants and stays out).
 _PROTOCOL_FILES: Tuple[str, ...] = (
     "repro/service/daemon.py",
+    "repro/service/journal.py",
     "repro/service/remote.py",
 )
 
@@ -141,6 +148,26 @@ class ProtocolVocabularyRule(ClosedVocabularyRule):
     module = "repro.service.protocol"
 
 
+class FaultVocabularyRule(ClosedVocabularyRule):
+    """Fault kinds and injection sites come from the faults module."""
+
+    id = "fault-vocabulary"
+    category = "registry"
+    description = (
+        "fault-injection kinds and sites must be the FAULT_*/SITE_* "
+        "constants from repro.service.faults — a typo'd bare string is "
+        "a fault that silently never fires"
+    )
+    hint = (
+        "import the matching constant (FAULT_*, SITE_*) from "
+        "repro.service.faults"
+    )
+    include = ("repro/service/daemon.py", "repro/service/store.py")
+    vocabulary = FAULT_VOCABULARY
+    callees = _FAULT_CALLEES
+    module = "repro.service.faults"
+
+
 class RegistryDisciplineRule(Rule):
     """Registries are only written through the Registry API."""
 
@@ -190,4 +217,5 @@ class RegistryDisciplineRule(Rule):
 
 register_rule(ObserverVocabularyRule())
 register_rule(ProtocolVocabularyRule())
+register_rule(FaultVocabularyRule())
 register_rule(RegistryDisciplineRule())

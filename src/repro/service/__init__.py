@@ -6,30 +6,48 @@ fleet-scale serving stack:
 :mod:`repro.service.protocol`
     the line-delimited JSON job protocol — schema-versioned envelopes,
     a closed vocabulary of message types and error codes, and the
-    submit/status/result/cancel message builders;
+    submit/status/result/cancel/publish message builders;
 :mod:`repro.service.store`
     a content-addressed shared result store keyed by the existing
     ``cell_hash`` (the config-derived content address the two-level
     cache already uses), written atomically so any number of daemon
-    workers and external processes can share one directory;
+    workers and external processes can share one directory, with
+    crash-safe GC (rename-to-tombstone) and a re-hashing verify pass;
 :mod:`repro.service.daemon`
     the ``repro serve`` HTTP daemon (stdlib ``ThreadingHTTPServer``):
     sweep submission with request coalescing, per-job progress
-    streaming, cached-cell lookup, and 429 back-pressure;
+    streaming, cached-cell lookup, 429 back-pressure, a write-ahead
+    job journal with ``--resume`` crash recovery, and graceful
+    SIGTERM/SIGINT shutdown;
+:mod:`repro.service.journal`
+    the ndjson write-ahead journal the daemon's crash recovery
+    replays;
+:mod:`repro.service.faults`
+    deterministic fault injection (``repro serve --fault-plan``) —
+    a closed vocabulary of failure kinds scheduled by occurrence
+    count, so every distributed failure mode is a reproducible test;
 :mod:`repro.service.remote`
     the ``Engine(backend="remote", server=...)`` client backend with
-    bounded retry/backoff, per-request timeouts and honored
-    ``Retry-After``.
+    bounded retry/backoff, per-request timeouts, honored
+    ``Retry-After``, a health-probe circuit breaker, and optional
+    graceful degradation to inline simulation
+    (``Engine(server=..., fallback="inline")``).
 """
 
 from __future__ import annotations
 
+from repro.service.faults import DaemonCrash, FaultInjected, FaultPlan
+from repro.service.journal import JobJournal
 from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.service.remote import RemoteClient, RemoteError
 from repro.service.store import ResultStore
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "DaemonCrash",
+    "FaultInjected",
+    "FaultPlan",
+    "JobJournal",
     "ProtocolError",
     "RemoteClient",
     "RemoteError",

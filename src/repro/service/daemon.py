@@ -32,12 +32,27 @@ from __future__ import annotations
 import json
 import queue
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.api.cache import stats_to_payload
 from repro.api.engine import Engine
 from repro.service import protocol
+from repro.service.faults import (
+    FAULT_CRASH_AFTER_PUBLISH,
+    FAULT_CRASH_BEFORE_PUBLISH,
+    FAULT_DELAYED_RESPONSE,
+    FAULT_DROP_CONNECTION,
+    FAULT_TRUNCATE_RESPONSE,
+    FAULT_WORKER_EXCEPTION,
+    SITE_HTTP,
+    SITE_WORKER,
+    DaemonCrash,
+    FaultInjected,
+    FaultPlan,
+)
+from repro.service.journal import JobJournal, JournalCell, resolve_journal_path
 from repro.service.protocol import ProtocolError, SubmittedCell
 from repro.service.store import ResultStore, is_cell_digest, resolve_store_dir
 
@@ -48,6 +63,7 @@ _HTTP_STATUS: Dict[str, int] = {
     protocol.ERR_UNKNOWN_JOB: 404,
     protocol.ERR_UNKNOWN_CELL: 404,
     protocol.ERR_QUEUE_FULL: 429,
+    protocol.ERR_SHUTTING_DOWN: 503,
     protocol.ERR_INTERNAL: 500,
 }
 
@@ -56,12 +72,14 @@ _HTTP_STATUS: Dict[str, int] = {
 COUNTERS: Tuple[str, ...] = (
     "jobs_submitted",
     "jobs_cancelled",
+    "jobs_resumed",
     "cells_requested",
     "cells_simulated",
     "cells_store",
     "cells_coalesced",
     "cells_failed",
     "cells_skipped",
+    "cells_published",
 )
 
 
@@ -70,7 +88,9 @@ class _Work:
 
     __slots__ = ("digest", "workload", "size", "config", "verify", "waiters")
 
-    def __init__(self, cell: SubmittedCell, verify: bool) -> None:
+    def __init__(
+        self, cell: Union[SubmittedCell, JournalCell], verify: bool
+    ) -> None:
         self.digest = cell.hash
         self.workload = cell.workload
         self.size = cell.size
@@ -97,6 +117,7 @@ class Job:
         self.id = job_id
         self.total = total
         self.cancelled = False
+        self.stopped = False
         self.cells: Dict[int, Dict[str, object]] = {}
         self.finished = threading.Event()
         self._events_lock = threading.Lock()
@@ -136,6 +157,8 @@ class Job:
             return protocol.JOB_CANCELLED
         if self.done >= self.total:
             return protocol.JOB_DONE
+        if self.stopped:
+            return protocol.JOB_STOPPED
         if self.done:
             return protocol.JOB_RUNNING
         return protocol.JOB_QUEUED
@@ -164,6 +187,13 @@ class SweepService:
     ``workers=0`` leaves the queue unserviced so tests (and the
     coalescing CI check) can stage concurrent submissions and then
     drain deterministically with :meth:`process_queued`.
+
+    ``journal`` (a :class:`~repro.service.journal.JobJournal`) makes
+    jobs durable: submissions are journalled *before* the ack leaves
+    (write-ahead) and every cell resolution is appended, so
+    :meth:`resume` can rebuild unfinished work after a crash.
+    ``fault_plan`` threads the deterministic fault injector into the
+    worker pool (the HTTP handler and store carry their own hooks).
     """
 
     def __init__(
@@ -173,10 +203,14 @@ class SweepService:
         queue_limit: int = 256,
         retry_after: float = 1.0,
         engine: Optional[Engine] = None,
+        journal: Optional[JobJournal] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         self.store = store
+        self.journal = journal
+        self.fault_plan = fault_plan
         self.queue_limit = queue_limit
         self.retry_after = retry_after
         self._engine = engine if engine is not None else Engine(
@@ -211,6 +245,12 @@ class SweepService:
         """
         cells, verify = protocol.decode_submit(message)
         with self._lock:
+            if self._stopping:
+                raise ProtocolError(
+                    protocol.ERR_SHUTTING_DOWN,
+                    "daemon is shutting down; resubmit after it restarts",
+                    retry_after=self.retry_after,
+                )
             # Dry pass first: how many *new* simulations would this
             # submission enqueue?  (store hits and coalesced cells are
             # free and never count against the queue; verify cells
@@ -237,6 +277,25 @@ class SweepService:
             self._jobs[job.id] = job
             self.counters["jobs_submitted"] += 1
             self.counters["cells_requested"] += len(cells)
+            if self.journal is not None:
+                # Write-ahead: the submission is durable before any
+                # cell resolves and before the ack reaches the client,
+                # so a crash at any later point leaves a resumable job.
+                self.journal.record_job(
+                    job.id,
+                    verify,
+                    [
+                        JournalCell(
+                            cell.id,
+                            cell.workload,
+                            cell.size,
+                            cell.config_name,
+                            cell.config,
+                            cell.hash,
+                        )
+                        for cell in cells
+                    ],
+                )
             triage = {"store": 0, "coalesced": 0, "queued": 0}
             for cell in cells:
                 if not verify:
@@ -305,6 +364,8 @@ class SweepService:
             if not job.finished.is_set():
                 self.counters["jobs_cancelled"] += 1
                 job.cancelled = True
+                if self.journal is not None:
+                    self.journal.record_cancel(job.id)
                 for cell_id in range(job.total):
                     if cell_id not in job.cells:
                         self._resolve_locked(
@@ -332,6 +393,25 @@ class SweepService:
             config=entry.get("config"),
             stats=entry.get("stats"),
         )
+
+    def publish(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Accept results a degraded client simulated inline.
+
+        Every cell's content address is recomputed server-side by
+        :func:`~repro.service.protocol.decode_publish` before it
+        lands, so a skewed client cannot poison the shared store.
+        """
+        cells = protocol.decode_publish(message)
+        for cell in cells:
+            self.store.store(cell.workload, cell.size, cell.config, cell.stats)
+        with self._lock:
+            self.counters["cells_published"] += len(cells)
+        return protocol.envelope(protocol.MSG_ACK, published=len(cells))
+
+    def reserved_digests(self) -> "frozenset[str]":
+        """Content addresses of in-flight cells (GC must not evict)."""
+        with self._lock:
+            return frozenset(self._inflight)
 
     def health(self) -> Dict[str, object]:
         info = self.store.info()
@@ -361,6 +441,12 @@ class SweepService:
                 return
             try:
                 self._process(work)
+            except DaemonCrash:
+                # The fault plan simulated the process dying mid-cell:
+                # this worker stops cold, leaving the journal and store
+                # exactly as the crash point left them (that's the
+                # point — resume must recover from it).
+                return
             finally:
                 self._queue.task_done()
 
@@ -391,6 +477,142 @@ class SweepService:
         for thread in self._threads:
             thread.join(timeout=5.0)
 
+    def shutdown_gracefully(self, timeout: float = 30.0) -> None:
+        """Drain, flush, and notify — the SIGTERM/SIGINT path.
+
+        New submissions are refused (:data:`~repro.service.protocol.
+        ERR_SHUTTING_DOWN`, HTTP 503 + Retry-After) the moment this
+        starts; the worker pool drains everything already queued (the
+        stop sentinels sit behind the real work in the FIFO queue);
+        any job still unfinished — a worker died to a crash fault, or
+        the drain timed out — gets a final ``stopped`` status line on
+        its open progress streams; and the journal is flushed and
+        closed so ``repro serve --resume`` picks up exactly here.
+        """
+        with self._lock:
+            already = self._stopping
+            self._stopping = True
+        if not already:
+            for _ in self._threads:
+                self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            if not job.finished.is_set():
+                job.stopped = True
+                job.finished.set()
+                job.publish(job.status_message())
+        if self.journal is not None:
+            self.journal.close()
+
+    def resume(self) -> int:
+        """Rebuild unfinished journalled jobs; returns how many.
+
+        For every journal job that never reached a terminal state:
+        cells the journal records as resolved are restored as recorded
+        (ok cells served from the store by content address — and
+        re-queued if the store entry has since been evicted or torn);
+        unresolved cells are re-triaged exactly like a fresh
+        submission (store hit, coalesce, or queue).  Job ids are
+        preserved, so a client polling a pre-crash job id finds its
+        job again.  Afterwards the journal is compacted to just the
+        live jobs.
+        """
+        if self.journal is None:
+            raise ValueError("cannot resume without a journal")
+        replayed = self.journal.replay()
+        live = [job for job in replayed if not job.finished]
+        # Compact first: finished jobs leave the journal, and the
+        # resolutions re-recorded below land after a clean rotation.
+        self.journal.rotate(live)
+        resumed = 0
+        with self._lock:
+            for recorded in replayed:
+                suffix = recorded.job_id.lstrip("j")
+                if suffix.isdigit():
+                    self._next_job = max(self._next_job, int(suffix))
+            for recorded in live:
+                job = Job(recorded.job_id, total=len(recorded.cells))
+                job.cancelled = recorded.cancelled
+                self._jobs[job.id] = job
+                resumed += 1
+                self.counters["jobs_resumed"] += 1
+                self.counters["cells_requested"] += len(recorded.cells)
+                for cell in recorded.cells:
+                    resolution = recorded.resolved.get(cell.id)
+                    if resolution is not None:
+                        status, error = resolution
+                        if status == protocol.STATUS_OK:
+                            entry = self.store.get_entry(cell.hash)
+                            if entry is not None:
+                                self.counters["cells_store"] += 1
+                                self._resolve_locked(
+                                    job,
+                                    cell.id,
+                                    cell.hash,
+                                    protocol.STATUS_OK,
+                                    protocol.SOURCE_STORE,
+                                    stats=entry.get("stats"),
+                                )
+                                continue
+                            # Journalled ok but the store entry is
+                            # gone (evicted or torn): fall through and
+                            # re-simulate — byte-identical by
+                            # construction.
+                        else:
+                            self._resolve_locked(
+                                job,
+                                cell.id,
+                                cell.hash,
+                                status,
+                                None,
+                                error=error,
+                            )
+                            continue
+                    if job.cancelled:
+                        self._resolve_locked(
+                            job,
+                            cell.id,
+                            "",
+                            protocol.STATUS_CANCELLED,
+                            None,
+                        )
+                        continue
+                    entry = self.store.get_entry(cell.hash)
+                    if not recorded.verify and entry is not None:
+                        self.counters["cells_store"] += 1
+                        self._resolve_locked(
+                            job,
+                            cell.id,
+                            cell.hash,
+                            protocol.STATUS_OK,
+                            protocol.SOURCE_STORE,
+                            stats=entry.get("stats"),
+                        )
+                        continue
+                    inflight = (
+                        None
+                        if recorded.verify
+                        else self._inflight.get(cell.hash)
+                    )
+                    if inflight is not None:
+                        self.counters["cells_coalesced"] += 1
+                        inflight.waiters.append(
+                            (job, cell.id, protocol.SOURCE_COALESCED)
+                        )
+                        continue
+                    work = _Work(cell, recorded.verify)
+                    work.waiters.append(
+                        (job, cell.id, protocol.SOURCE_SIMULATED)
+                    )
+                    if not recorded.verify:
+                        self._inflight[cell.hash] = work
+                    self._pending += 1
+                    self._queue.put(work)
+        return resumed
+
     def _process(self, work: _Work) -> None:
         with self._lock:
             live = [job for job, _, _ in work.waiters if not job.cancelled]
@@ -401,9 +623,13 @@ class SweepService:
                 self.counters["cells_skipped"] += 1
                 self._retire_locked(work)
                 return
+        plan = self.fault_plan
+        kind = plan.fire(SITE_WORKER, work.workload) if plan is not None else None
         error: Optional[str] = None
         stats_payload: Optional[Dict[str, object]] = None
         try:
+            if kind == FAULT_WORKER_EXCEPTION:
+                raise FaultInjected(kind)
             stats = self._engine.run_cell(
                 work.workload,
                 work.size,
@@ -414,7 +640,13 @@ class SweepService:
         except Exception as exc:  # noqa: BLE001 — travels to the client
             error = "%s: %s" % (type(exc).__name__, exc)
         else:
+            if plan is not None and kind == FAULT_CRASH_BEFORE_PUBLISH:
+                plan.crash(kind)  # nothing durable: resume re-simulates
             self.store.store(work.workload, work.size, work.config, stats)
+            if plan is not None and kind == FAULT_CRASH_AFTER_PUBLISH:
+                # The store entry is durable but no waiter hears about
+                # it: resume serves the cell from the store.
+                plan.crash(kind)
             stats_payload = stats_to_payload(stats)
         with self._lock:
             if error is None:
@@ -471,6 +703,8 @@ class SweepService:
         if error is not None:
             cell["error"] = error
         job.cells[cell_id] = cell
+        if self.journal is not None:
+            self.journal.record_cell(job.id, cell_id, digest, status, error)
         progress = dict(cell)
         progress.pop("stats", None)  # progress lines stay light
         job.publish(
@@ -523,6 +757,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------
 
+    #: Set per-request by the fault injector in :meth:`_dispatch`.
+    _truncate_response = False
+
     def _send_envelope(
         self,
         status: int,
@@ -536,6 +773,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
+        if self._truncate_response:
+            # Injected truncate-response fault: half the advertised
+            # body, then connection close — the client sees a short
+            # read and must retry.
+            self._truncate_response = False
+            self.wfile.write(body[: len(body) // 2])
+            return
         self.wfile.write(body)
 
     def _send_error(self, exc: ProtocolError) -> None:
@@ -570,8 +814,31 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
     def _dispatch(self, verb: str) -> None:
+        route = self._route()
+        plan = self.server.service.fault_plan
+        if plan is not None:
+            # The operation label is the most specific static route
+            # segment: "events"/"result"/"cancel" for job sub-resources
+            # (route[3]), else the collection head ("jobs", "cells",
+            # "health").
+            if len(route) >= 4:
+                op = route[3]
+            elif len(route) > 1:
+                op = route[1]
+            else:
+                op = route[0] if route else ""
+            kind = plan.fire(SITE_HTTP, op)
+            if kind == FAULT_DROP_CONNECTION:
+                # Close without writing a single response byte; the
+                # client sees a severed connection and retries.
+                self.close_connection = True
+                return
+            if kind == FAULT_TRUNCATE_RESPONSE:
+                self._truncate_response = True
+            if kind == FAULT_DELAYED_RESPONSE:
+                time.sleep(plan.delay)
         try:
-            handler = self._resolve_route(verb, self._route())
+            handler = self._resolve_route(verb, route)
             if handler is None:
                 raise ProtocolError(
                     protocol.ERR_BAD_REQUEST,
@@ -613,6 +880,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if verb == "GET" and head == "cells" and len(rest) == 1:
             return lambda: self._send_envelope(
                 200, service.lookup_cell(rest[0])
+            )
+        if verb == "POST" and head == "cells" and not rest:
+            return lambda: self._send_envelope(
+                200, service.publish(self._read_message())
             )
         if head == "jobs":
             if verb == "POST" and not rest:
@@ -663,9 +934,16 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.end_headers()
-        terminal = (protocol.JOB_DONE, protocol.JOB_CANCELLED)
+        terminal = (
+            protocol.JOB_DONE,
+            protocol.JOB_CANCELLED,
+            protocol.JOB_STOPPED,
+        )
         subscription = job.subscribe()
         try:
+            # The heartbeat loop is bounded by the job's terminal
+            # status line, not an attempt count.
+            # repro-lint: disable=service-retry-bounded
             while True:
                 try:
                     event = subscription.get(timeout=self.server.heartbeat)
@@ -700,18 +978,32 @@ def make_server(
     retry_after: float = 1.0,
     heartbeat: float = 5.0,
     engine: Optional[Engine] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ServiceServer:
     """Build a ready-to-serve daemon (``port=0`` picks a free port).
 
     The caller drives ``serve_forever()`` (or ``handle_request()``) and
-    is responsible for ``shutdown()`` + ``service.stop()``.
+    is responsible for ``shutdown()`` + ``service.stop()`` (or
+    ``service.shutdown_gracefully()``).
+
+    Journalling is always on for served daemons: the journal defaults
+    to ``journal.ndjson`` inside the store root (the store's entry
+    walk ignores it), and ``resume=True`` replays it before the first
+    request is accepted.
     """
-    store = ResultStore(resolve_store_dir(store_dir))
+    store = ResultStore(resolve_store_dir(store_dir), fault_plan=fault_plan)
+    journal = JobJournal(resolve_journal_path(journal_path, store.root))
     service = SweepService(
         store,
         workers=workers,
         queue_limit=queue_limit,
         retry_after=retry_after,
         engine=engine,
+        journal=journal,
+        fault_plan=fault_plan,
     )
+    if resume:
+        service.resume()
     return ServiceServer((host, port), service, heartbeat=heartbeat)

@@ -1,0 +1,419 @@
+"""Write-ahead job journal for the sweep daemon.
+
+The daemon's job table lives in memory; a crash loses every in-flight
+sweep.  The journal makes submissions durable: each accepted job is
+appended as one ndjson record *before* the client's ack is sent
+(write-ahead), and each resolved cell appends a completion record, so
+``repro serve --resume`` can rebuild the exact set of unfinished work
+after a crash and serve already-published cells straight from the
+content-addressed store.
+
+Records are line-delimited JSON, one of::
+
+    {"j": 1, "type": "job", "job": "j000001", "verify": false,
+     "cells": [{"id": 0, "workload": ..., "size": ...,
+                "config_name": ..., "config": {...}, "hash": ...}, ...]}
+    {"j": 1, "type": "cell", "job": "j000001", "id": 0,
+     "hash": ..., "status": "ok"}            # or failed/cancelled + error
+    {"j": 1, "type": "cancel", "job": "j000001"}
+
+Crash-safety properties:
+
+* appends are flushed per record, so at most the final line can be
+  torn; :meth:`JobJournal.replay` tolerates (and drops) a torn tail —
+  the worst case is re-simulating one already-finished cell, which is
+  byte-identical by construction;
+* :meth:`JobJournal.rotate` compacts the file (dropping records of
+  finished jobs) by writing a temp file and ``os.replace``-ing it over
+  the live one, the same atomic-rename discipline as the result store.
+
+The journal deliberately stores config *payloads* (the canonical wire
+shape from :func:`repro.api.cache.config_to_payload`), not pickled
+objects: a journal written by one daemon version is replayable by the
+next, and an unregistered policy fails replay loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from typing import Dict, IO, Iterator, List, Optional, Tuple
+
+from repro.api.cache import (
+    AnyConfig,
+    cell_hash,
+    config_from_payload,
+    config_to_payload,
+)
+from repro.service.protocol import CELL_STATUSES
+
+#: Bump when the record schema changes.
+JOURNAL_VERSION = 1
+
+#: Record types (closed set).
+REC_JOB: str = "job"
+REC_CELL: str = "cell"
+REC_CANCEL: str = "cancel"
+
+RECORD_TYPES: Tuple[str, ...] = (REC_JOB, REC_CELL, REC_CANCEL)
+
+
+class JournalError(ValueError):
+    """A journal file contains a structurally invalid (non-torn) record."""
+
+
+class JournalCell:
+    """One cell of a replayed job submission."""
+
+    __slots__ = ("id", "workload", "size", "config_name", "config", "hash")
+
+    def __init__(
+        self,
+        cell_id: int,
+        workload: str,
+        size: str,
+        config_name: str,
+        config: AnyConfig,
+        digest: str,
+    ) -> None:
+        self.id = cell_id
+        self.workload = workload
+        self.size = size
+        self.config_name = config_name
+        self.config = config
+        self.hash = digest
+
+
+class JournalJob:
+    """A replayed job: its cells plus every recorded resolution."""
+
+    __slots__ = ("job_id", "verify", "cells", "resolved", "cancelled")
+
+    def __init__(self, job_id: str, verify: bool) -> None:
+        self.job_id = job_id
+        self.verify = verify
+        self.cells: List[JournalCell] = []
+        #: cell id -> (status, error text or None)
+        self.resolved: Dict[int, Tuple[str, Optional[str]]] = {}
+        self.cancelled = False
+
+    @property
+    def finished(self) -> bool:
+        return len(self.resolved) == len(self.cells)
+
+
+def _record_line(record: Dict[str, object]) -> str:
+    return json.dumps(record, sort_keys=True) + "\n"
+
+
+class JobJournal:
+    """An append-only ndjson journal with atomic compaction.
+
+    Thread-safe: the daemon appends from the request handler (job
+    records) and from worker threads (cell records) concurrently.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._handle: Optional[IO[str]] = open(path, "a", encoding="utf-8")
+
+    # -- appends -------------------------------------------------------
+
+    def _append(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            if self._handle is None:
+                raise JournalError("journal %s is closed" % self.path)
+            self._handle.write(_record_line(record))
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def record_job(
+        self,
+        job_id: str,
+        verify: bool,
+        cells: List[JournalCell],
+    ) -> None:
+        """Make a submission durable (call before acking the client)."""
+        self._append(
+            {
+                "j": JOURNAL_VERSION,
+                "type": REC_JOB,
+                "job": job_id,
+                "verify": bool(verify),
+                "cells": [
+                    {
+                        "id": cell.id,
+                        "workload": cell.workload,
+                        "size": cell.size,
+                        "config_name": cell.config_name,
+                        "config": config_to_payload(cell.config),
+                        "hash": cell.hash,
+                    }
+                    for cell in cells
+                ],
+            }
+        )
+
+    def record_cell(
+        self,
+        job_id: str,
+        cell_id: int,
+        digest: str,
+        status: str,
+        error: Optional[str] = None,
+    ) -> None:
+        """Record one cell's terminal resolution."""
+        if status not in CELL_STATUSES:
+            raise JournalError("unknown cell status %r" % (status,))
+        record: Dict[str, object] = {
+            "j": JOURNAL_VERSION,
+            "type": REC_CELL,
+            "job": job_id,
+            "id": cell_id,
+            "hash": digest,
+            "status": status,
+        }
+        if error is not None:
+            record["error"] = error
+        self._append(record)
+
+    def record_cancel(self, job_id: str) -> None:
+        self._append(
+            {"j": JOURNAL_VERSION, "type": REC_CANCEL, "job": job_id}
+        )
+
+    # -- replay --------------------------------------------------------
+
+    @staticmethod
+    def _parse(line: str) -> Optional[Dict[str, object]]:
+        """One record, or None for blank/torn lines."""
+        text = line.strip()
+        if not text:
+            return None
+        try:
+            record = json.loads(text)
+        except ValueError:
+            return None
+        if not isinstance(record, dict):
+            return None
+        return record
+
+    @classmethod
+    def _decode_job(cls, record: Dict[str, object]) -> JournalJob:
+        job_id = str(record.get("job", ""))
+        if not job_id:
+            raise JournalError("job record without id")
+        job = JournalJob(job_id, bool(record.get("verify", False)))
+        raw_cells = record.get("cells")
+        if not isinstance(raw_cells, list) or not raw_cells:
+            raise JournalError("job %s record has no cells" % job_id)
+        for raw in raw_cells:
+            if not isinstance(raw, dict):
+                raise JournalError("job %s has a malformed cell" % job_id)
+            try:
+                cell_id = int(raw["id"])
+                workload = str(raw["workload"])
+                size = str(raw["size"])
+                config_name = str(raw["config_name"])
+                payload = raw["config"]
+                claimed = str(raw["hash"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise JournalError(
+                    "job %s cell is malformed: %s" % (job_id, exc)
+                ) from exc
+            if not isinstance(payload, dict):
+                raise JournalError("job %s cell config must be an object" % job_id)
+            try:
+                config = config_from_payload(payload)
+            except ValueError as exc:
+                raise JournalError(
+                    "job %s cell %d config: %s (a policy used when the "
+                    "journal was written must be importable on resume, "
+                    "e.g. repro serve --plugin)" % (job_id, cell_id, exc)
+                ) from exc
+            digest = cell_hash(workload, size, config)
+            if digest != claimed:
+                raise JournalError(
+                    "job %s cell %d content address mismatch (journal "
+                    "%s..., recomputed %s...): the cache schema changed "
+                    "since the journal was written"
+                    % (job_id, cell_id, claimed[:12], digest[:12])
+                )
+            job.cells.append(
+                JournalCell(cell_id, workload, size, config_name, config, digest)
+            )
+        return job
+
+    @classmethod
+    def replay_path(cls, path: str) -> List[JournalJob]:
+        """Replay a journal file into jobs, in submission order.
+
+        Torn or blank lines are dropped (only the final line can be
+        torn under the flush-per-append discipline); structurally
+        invalid complete records raise :class:`JournalError` — a
+        corrupt journal must fail resume loudly, not resume a subset.
+        """
+        jobs: Dict[str, JournalJob] = {}
+        order: List[str] = []
+        if not os.path.exists(path):
+            return []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                record = cls._parse(line)
+                if record is None:
+                    continue
+                if record.get("j") != JOURNAL_VERSION:
+                    raise JournalError(
+                        "journal %s has version %r, this daemon speaks %d"
+                        % (path, record.get("j"), JOURNAL_VERSION)
+                    )
+                rec_type = record.get("type")
+                if rec_type == REC_JOB:
+                    job = cls._decode_job(record)
+                    if job.job_id not in jobs:
+                        order.append(job.job_id)
+                    jobs[job.job_id] = job
+                elif rec_type == REC_CELL:
+                    job_id = str(record.get("job", ""))
+                    target = jobs.get(job_id)
+                    if target is None:
+                        continue
+                    try:
+                        cell_id = int(record["id"])  # type: ignore[arg-type]
+                        status = str(record["status"])
+                    except (KeyError, TypeError, ValueError) as exc:
+                        raise JournalError(
+                            "malformed cell record for job %s: %s"
+                            % (job_id, exc)
+                        ) from exc
+                    if status not in CELL_STATUSES:
+                        raise JournalError(
+                            "job %s cell %d has unknown status %r"
+                            % (job_id, cell_id, status)
+                        )
+                    error = record.get("error")
+                    target.resolved[cell_id] = (
+                        status,
+                        str(error) if error is not None else None,
+                    )
+                elif rec_type == REC_CANCEL:
+                    job_id = str(record.get("job", ""))
+                    target = jobs.get(job_id)
+                    if target is not None:
+                        target.cancelled = True
+                else:
+                    raise JournalError(
+                        "journal %s has unknown record type %r"
+                        % (path, rec_type)
+                    )
+        return [jobs[job_id] for job_id in order]
+
+    def replay(self) -> List[JournalJob]:
+        return self.replay_path(self.path)
+
+    # -- compaction ----------------------------------------------------
+
+    def rotate(self, live_jobs: List[JournalJob]) -> None:
+        """Atomically rewrite the journal to just the live jobs.
+
+        Writes the compacted records to a temp file in the same
+        directory, fsyncs, then ``os.replace``s it over the live
+        journal — a crash at any point leaves either the old complete
+        journal or the new complete one, never a mix.
+        """
+        with self._lock:
+            directory = os.path.dirname(self.path) or "."
+            fd, tmp_path = tempfile.mkstemp(
+                dir=directory, prefix=".journal-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as tmp:
+                    for job in live_jobs:
+                        tmp.write(
+                            _record_line(
+                                {
+                                    "j": JOURNAL_VERSION,
+                                    "type": REC_JOB,
+                                    "job": job.job_id,
+                                    "verify": job.verify,
+                                    "cells": [
+                                        {
+                                            "id": cell.id,
+                                            "workload": cell.workload,
+                                            "size": cell.size,
+                                            "config_name": cell.config_name,
+                                            "config": config_to_payload(
+                                                cell.config
+                                            ),
+                                            "hash": cell.hash,
+                                        }
+                                        for cell in job.cells
+                                    ],
+                                }
+                            )
+                        )
+                        for cell in job.cells:
+                            resolution = job.resolved.get(cell.id)
+                            if resolution is None:
+                                continue
+                            status, error = resolution
+                            record: Dict[str, object] = {
+                                "j": JOURNAL_VERSION,
+                                "type": REC_CELL,
+                                "job": job.job_id,
+                                "id": cell.id,
+                                "hash": cell.hash,
+                                "status": status,
+                            }
+                            if error is not None:
+                                record["error"] = error
+                            tmp.write(_record_line(record))
+                        if job.cancelled:
+                            tmp.write(
+                                _record_line(
+                                    {
+                                        "j": JOURNAL_VERSION,
+                                        "type": REC_CANCEL,
+                                        "job": job.job_id,
+                                    }
+                                )
+                            )
+                    tmp.flush()
+                    os.fsync(tmp.fileno())
+            except BaseException:
+                os.unlink(tmp_path)
+                raise
+            if self._handle is not None:
+                self._handle.close()
+            os.replace(tmp_path, self.path)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def resolve_journal_path(journal: Optional[str], store_root: str) -> str:
+    """The journal path: explicit flag, or ``journal.ndjson`` beside
+    the store (so one ``--store`` flag carries both durabilities)."""
+    if journal:
+        return journal
+    return os.path.join(store_root, "journal.ndjson")

@@ -32,9 +32,12 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.api.cache import (
     AnyConfig,
+    AnyStats,
     cell_hash,
     config_from_payload,
     config_to_payload,
+    stats_from_payload,
+    stats_to_payload,
 )
 
 #: Bump when the envelope schema changes; mismatched peers get a typed
@@ -55,6 +58,9 @@ MSG_PROGRESS: str = "progress"
 MSG_RESULT: str = "result"
 #: Client -> daemon: abandon a job's not-yet-simulated cells.
 MSG_CANCEL: str = "cancel"
+#: Client -> daemon: upload already-simulated results into the store
+#: (a fallback client publishing back after the daemon returns).
+MSG_PUBLISH: str = "publish"
 #: Either direction: a typed failure (``code`` from ERROR_CODES).
 MSG_ERROR: str = "error"
 
@@ -66,6 +72,7 @@ MESSAGE_TYPES: Tuple[str, ...] = (
     MSG_PROGRESS,
     MSG_RESULT,
     MSG_CANCEL,
+    MSG_PUBLISH,
     MSG_ERROR,
 )
 
@@ -76,6 +83,7 @@ ERR_VERSION: str = "version_mismatch"
 ERR_UNKNOWN_JOB: str = "unknown_job"
 ERR_UNKNOWN_CELL: str = "unknown_cell"
 ERR_QUEUE_FULL: str = "queue_full"
+ERR_SHUTTING_DOWN: str = "shutting_down"
 ERR_INTERNAL: str = "internal"
 
 #: Every valid ``error`` envelope ``code``.
@@ -85,6 +93,7 @@ ERROR_CODES: Tuple[str, ...] = (
     ERR_UNKNOWN_JOB,
     ERR_UNKNOWN_CELL,
     ERR_QUEUE_FULL,
+    ERR_SHUTTING_DOWN,
     ERR_INTERNAL,
 )
 
@@ -96,12 +105,16 @@ SOURCE_SIMULATED: str = "simulated"
 SOURCE_STORE: str = "store"
 #: Coalesced onto an identical in-flight cell of another submission.
 SOURCE_COALESCED: str = "coalesced"
+#: Simulated inline by a degraded client after the remote path failed
+#: (client-side provenance only; the daemon never emits it).
+SOURCE_FALLBACK: str = "fallback"
 
 #: Every valid per-cell ``source``.
 CELL_SOURCES: Tuple[str, ...] = (
     SOURCE_SIMULATED,
     SOURCE_STORE,
     SOURCE_COALESCED,
+    SOURCE_FALLBACK,
 )
 
 #: Per-cell terminal states inside ack/progress/result messages.
@@ -116,8 +129,17 @@ JOB_QUEUED: str = "queued"
 JOB_RUNNING: str = "running"
 JOB_DONE: str = "done"
 JOB_CANCELLED: str = "job_cancelled"
+#: The daemon shut down gracefully with this job unfinished; the job
+#: is journalled and resumes under ``repro serve --resume``.
+JOB_STOPPED: str = "stopped"
 
-JOB_STATES: Tuple[str, ...] = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_CANCELLED)
+JOB_STATES: Tuple[str, ...] = (
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JOB_DONE,
+    JOB_CANCELLED,
+    JOB_STOPPED,
+)
 
 #: The full closed vocabulary, for validation and for the lint rule.
 VOCABULARY: FrozenSet[str] = frozenset(
@@ -305,3 +327,96 @@ def decode_submit(
             SubmittedCell(cell_id, workload, size, config_name, config, digest)
         )
     return cells, bool(message.get("verify", False))
+
+
+# ----------------------------------------------------------------------
+# Publications (fallback clients uploading results back)
+# ----------------------------------------------------------------------
+
+
+def publish_message(
+    cells: Sequence[Tuple[str, str, AnyConfig, AnyStats]],
+) -> Dict[str, object]:
+    """A ``publish`` envelope of (workload, size, config, stats)
+    results.  Like submits, every cell carries its content address so
+    the daemon can reject schema skew before polluting the store."""
+    encoded: List[Dict[str, object]] = []
+    for workload, size, config, stats in cells:
+        encoded.append(
+            {
+                "workload": workload,
+                "size": size,
+                "config": config_to_payload(config),
+                "stats": stats_to_payload(stats),
+                "hash": cell_hash(workload, size, config),
+            }
+        )
+    return envelope(MSG_PUBLISH, cells=encoded)
+
+
+class PublishedCell:
+    """One decoded cell of a ``publish`` message."""
+
+    __slots__ = ("workload", "size", "config", "stats", "hash")
+
+    def __init__(
+        self,
+        workload: str,
+        size: str,
+        config: AnyConfig,
+        stats: AnyStats,
+        digest: str,
+    ) -> None:
+        self.workload = workload
+        self.size = size
+        self.config = config
+        self.stats = stats
+        self.hash = digest
+
+
+def decode_publish(message: Dict[str, object]) -> List[PublishedCell]:
+    """Validate a ``publish`` envelope into typed result cells.
+
+    The same strictness as :func:`decode_submit`: undecodable configs
+    or stats, and content-address mismatches between the client's
+    ``hash`` and the recomputed one, raise :data:`ERR_BAD_REQUEST` —
+    a degraded client must never write a wrong address into the
+    shared store.
+    """
+    raw_cells = message.get("cells")
+    if not isinstance(raw_cells, list) or not raw_cells:
+        raise ProtocolError(ERR_BAD_REQUEST, "publish has no cells")
+    cells: List[PublishedCell] = []
+    for raw in raw_cells:
+        if not isinstance(raw, dict):
+            raise ProtocolError(ERR_BAD_REQUEST, "cell must be an object")
+        try:
+            workload = str(raw["workload"])
+            size = str(raw["size"])
+            config_payload = raw["config"]
+            stats_payload = raw["stats"]
+            claimed = str(raw["hash"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                ERR_BAD_REQUEST, "malformed published cell: %s" % exc
+            ) from exc
+        if not isinstance(config_payload, dict):
+            raise ProtocolError(ERR_BAD_REQUEST, "cell config must be an object")
+        if not isinstance(stats_payload, dict):
+            raise ProtocolError(ERR_BAD_REQUEST, "cell stats must be an object")
+        try:
+            config = config_from_payload(config_payload)
+            stats = stats_from_payload(stats_payload)
+        except ValueError as exc:
+            raise ProtocolError(
+                ERR_BAD_REQUEST, "published cell: %s" % exc
+            ) from exc
+        digest = cell_hash(workload, size, config)
+        if digest != claimed:
+            raise ProtocolError(
+                ERR_BAD_REQUEST,
+                "published cell content address mismatch (client %s..., "
+                "server %s...)" % (claimed[:12], digest[:12]),
+            )
+        cells.append(PublishedCell(workload, size, config, stats, digest))
+    return cells

@@ -19,6 +19,18 @@
 pending cells, follows the job's progress stream (falling back to
 status polling if the stream breaks), folds results into the engine's
 memo/disk cache, and honors the engine's error policy.
+
+**Graceful degradation** (``Engine(server=..., fallback="inline")``,
+off by default): when retries exhaust against a dead or shutting-down
+daemon, the client opens a *circuit breaker* — further requests fail
+fast instead of re-paying the full retry schedule — and
+:func:`run_remote` finishes the sweep by simulating the unresolved
+cells inline, attributed ``source="fallback"`` in progress events and
+the accounting line.  Results are byte-identical either way (same
+simulation, same config, same seeds).  When a later health probe finds
+the daemon back, the breaker closes and the degraded run's results are
+published back (``POST /v1/cells``) so the shared store still
+converges.
 """
 
 from __future__ import annotations
@@ -98,6 +110,37 @@ class RemoteClient:
         self._sleep = sleep
         self._inflight: Dict[str, _Inflight] = {}
         self._lock = threading.Lock()
+        self._breaker_open = False
+
+    @property
+    def breaker_open(self) -> bool:
+        """True after a request exhausted its retries.
+
+        While open, further requests fail fast with
+        :class:`RemoteError` instead of re-paying the whole retry
+        schedule; only a successful :meth:`probe` closes the breaker.
+        """
+        with self._lock:
+            return self._breaker_open
+
+    def probe(self) -> bool:
+        """One single-attempt health check; closes the breaker on success.
+
+        This is the only request allowed through an open breaker — a
+        cheap, bounded way to ask "is the daemon back?" before
+        resuming real traffic.
+        """
+        try:
+            response = self._open("GET", "/v1/health")
+        except (OSError, http.client.HTTPException):
+            return False
+        with response:
+            ok = response.status == 200
+            response.read()
+        if ok:
+            with self._lock:
+                self._breaker_open = False
+        return ok
 
     # ------------------------------------------------------------------
     # Transport
@@ -132,11 +175,19 @@ class RemoteClient:
     ) -> Dict[str, object]:
         """One endpoint round-trip with retry/backoff/back-pressure.
 
-        Typed daemon errors other than 429 do not retry — the request
-        would fail identically again; transport failures and 429 retry
-        up to ``retries`` times, sleeping the deterministic backoff
-        (or the server-provided ``Retry-After``) between attempts.
+        Typed daemon errors other than 429/503 do not retry — the
+        request would fail identically again; transport failures,
+        back-pressure (429) and graceful shutdown (503) retry up to
+        ``retries`` times, sleeping the deterministic backoff (or the
+        server-provided ``Retry-After``) between attempts.  Exhausting
+        the attempts opens the circuit breaker.
         """
+        with self._lock:
+            if self._breaker_open:
+                raise RemoteError(
+                    "circuit breaker open for %s: a health probe must "
+                    "succeed before real requests resume" % self.server
+                )
         attempts = self.retries + 1
         delay = 0.0
         last = "no attempt made"
@@ -150,27 +201,47 @@ class RemoteClient:
                 envelope = self._error_envelope(exc)
                 code = str(envelope.get("code", protocol.ERR_INTERNAL))
                 text = str(envelope.get("message", exc))
-                if exc.code == 429:
+                if exc.code in (429, 503):
                     retry_after = envelope.get("retry_after")
-                    if isinstance(retry_after, (int, float)):
-                        delay = float(retry_after)
-                    last = "daemon busy (429): %s" % text
+                    # bool is an int subclass: True would silently
+                    # become a 1.0s delay.  Reject bools and negative
+                    # values, and never honor a delay beyond the 10.0s
+                    # backoff ceiling a daemon could otherwise impose.
+                    if (
+                        isinstance(retry_after, (int, float))
+                        and not isinstance(retry_after, bool)
+                        and retry_after >= 0
+                    ):
+                        delay = min(float(retry_after), 10.0)
+                    last = "daemon %s (%d): %s" % (
+                        "shutting down" if exc.code == 503 else "busy",
+                        exc.code,
+                        text,
+                    )
                     continue
                 raise RemoteError(
                     "%s %s: %s" % (method, path, text), code=code
                 ) from exc
             except (OSError, http.client.HTTPException) as exc:
                 # URLError (connection refused, DNS), socket timeouts
-                # and protocol-level failures all retry.
+                # and protocol-level failures (dropped connections,
+                # truncated responses) all retry.
                 last = "%s: %s" % (type(exc).__name__, exc)
                 continue
-            with response:
-                if response.status not in ok_statuses:
-                    raise RemoteError(
-                        "%s %s: unexpected HTTP %d"
-                        % (method, path, response.status)
-                    )
-                body = response.read()
+            try:
+                with response:
+                    if response.status not in ok_statuses:
+                        raise RemoteError(
+                            "%s %s: unexpected HTTP %d"
+                            % (method, path, response.status)
+                        )
+                    body = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                # A truncated body (IncompleteRead: the daemon died —
+                # or a fault plan cut the response in half) retries
+                # like any other transport failure.
+                last = "%s: %s" % (type(exc).__name__, exc)
+                continue
             try:
                 return protocol.decode(body)
             except ProtocolError as exc:
@@ -178,6 +249,8 @@ class RemoteClient:
                     "%s %s: bad response: %s" % (method, path, exc),
                     code=exc.code,
                 ) from exc
+        with self._lock:
+            self._breaker_open = True
         raise RemoteError(
             "no response from %s%s after %d attempt%s — last error: %s"
             % (
@@ -226,6 +299,14 @@ class RemoteClient:
         """Cached-cell lookup by content address."""
         return self._request("GET", "/v1/cells/%s" % digest)
 
+    def publish_cells(
+        self, cells: Sequence[Tuple[str, str, AnyConfig, AnyStats]]
+    ) -> Dict[str, object]:
+        """Upload (workload, size, config, stats) results to the store."""
+        return self._request(
+            "POST", "/v1/cells", protocol.publish_message(cells)
+        )
+
     def events(self, job_id: str) -> Iterator[Dict[str, object]]:
         """The job's live progress stream (one envelope per line).
 
@@ -266,8 +347,17 @@ class RemoteClient:
     def wait_result(
         self, job_id: str, poll_interval: float = 0.25
     ) -> Dict[str, object]:
-        """Block until the job is terminal; returns its result envelope."""
-        terminal = (protocol.JOB_DONE, protocol.JOB_CANCELLED)
+        """Block until the job is terminal; returns its result envelope.
+
+        ``stopped`` counts as terminal: the daemon shut down with this
+        job unfinished, and its partial result is all it will ever
+        serve — callers see the missing cells and degrade or fail.
+        """
+        terminal = (
+            protocol.JOB_DONE,
+            protocol.JOB_CANCELLED,
+            protocol.JOB_STOPPED,
+        )
         while True:
             message = self.result(job_id)
             if (
@@ -353,8 +443,15 @@ def run_remote(
     under ``errors="raise"`` raises on the first failed cell.  Results
     are folded into the engine's memo and disk cache, so a later local
     run is warm without another round-trip.
+
+    With ``engine.fallback == "inline"`` the remote path degrades
+    instead of failing: cells the daemon never resolved (retries
+    exhausted, daemon shut down mid-job, worker faults) are simulated
+    inline, attributed ``source="fallback"``, and published back to
+    the daemon's store if a health probe finds it reachable again.
     """
     client = engine.remote_client
+    fallback = engine.fallback == "inline"
     order = list(pending)
     digests = [
         cell_hash(cell.workload, cell.size, cell.config) for _, cell in order
@@ -364,71 +461,123 @@ def run_remote(
         for digest, (key, cell) in zip(digests, order)
     }
 
-    # verify runs bypass every cache layer, so they never coalesce.
-    if verify:
-        mine = list(dict.fromkeys(digests))
-        rides: Dict[str, _Inflight] = {}
-    else:
-        mine, rides = client.reserve(list(dict.fromkeys(digests)))
-
-    # Digests this client merely rode: another thread's job (possibly
-    # another client's, via daemon coalescing) did the work.  The
-    # daemon tags such cells with the *reserving* job's provenance, so
-    # a ridden "simulated" cell is re-attributed below — this client
-    # caused no simulation and must not count one.
-    ridden = set(rides)
-
+    degraded = False
+    ridden: "set[str]" = set()
     cell_results: Dict[str, Dict[str, object]] = {}
-    try:
-        if mine:
-            tuples = [
-                (
-                    by_digest[d][1].workload,
-                    by_digest[d][1].size,
-                    by_digest[d][1].config_name,
-                    by_digest[d][1].config,
-                )
-                for d in mine
-            ]
-            ack = client.submit(tuples, verify=verify)
-            job_id = str(ack.get("job"))
-            if not verify:
-                client.publish(mine, job_id)
-            _follow_job(client, job_id, cell_results)
-        for digest, record in rides.items():
-            record.ready.wait()
-            if record.job_id is None:
-                # The reserving thread's submission failed; run the
-                # cell ourselves on a fresh job.
-                entry = by_digest[digest]
-                ack = client.submit(
-                    [
+
+    # A breaker left open by an earlier run: one cheap probe decides —
+    # daemon back (breaker closes, proceed normally) or straight to
+    # inline fallback without re-paying the retry schedule.
+    if fallback and client.breaker_open and not client.probe():
+        degraded = True
+
+    if not degraded:
+        # verify runs bypass every cache layer, so they never coalesce.
+        if verify:
+            mine = list(dict.fromkeys(digests))
+            rides: Dict[str, _Inflight] = {}
+        else:
+            mine, rides = client.reserve(list(dict.fromkeys(digests)))
+
+        # Digests this client merely rode: another thread's job
+        # (possibly another client's, via daemon coalescing) did the
+        # work.  The daemon tags such cells with the *reserving* job's
+        # provenance, so a ridden "simulated" cell is re-attributed
+        # below — this client caused no simulation and must not count
+        # one.
+        ridden = set(rides)
+
+        try:
+            try:
+                if mine:
+                    tuples = [
                         (
-                            entry[1].workload,
-                            entry[1].size,
-                            entry[1].config_name,
-                            entry[1].config,
+                            by_digest[d][1].workload,
+                            by_digest[d][1].size,
+                            by_digest[d][1].config_name,
+                            by_digest[d][1].config,
                         )
-                    ],
-                    verify=verify,
-                )
-                ridden.discard(digest)  # we did submit it after all
-                _follow_job(client, str(ack.get("job")), cell_results)
-            elif digest not in cell_results:
-                _follow_job(client, record.job_id, cell_results)
-    except Exception:
-        if not verify:
-            client.publish(mine, None)
-        raise
-    finally:
-        if not verify:
-            client.release(mine)
+                        for d in mine
+                    ]
+                    ack = client.submit(tuples, verify=verify)
+                    job_id = str(ack.get("job"))
+                    if not verify:
+                        client.publish(mine, job_id)
+                    _follow_job(client, job_id, cell_results)
+                for digest, record in rides.items():
+                    record.ready.wait()
+                    if record.job_id is None:
+                        # The reserving thread's submission failed; run
+                        # the cell ourselves on a fresh job.
+                        entry = by_digest[digest]
+                        ack = client.submit(
+                            [
+                                (
+                                    entry[1].workload,
+                                    entry[1].size,
+                                    entry[1].config_name,
+                                    entry[1].config,
+                                )
+                            ],
+                            verify=verify,
+                        )
+                        ridden.discard(digest)  # we did submit it after all
+                        _follow_job(client, str(ack.get("job")), cell_results)
+                    elif digest not in cell_results:
+                        _follow_job(client, record.job_id, cell_results)
+            except Exception:
+                if not verify:
+                    client.publish(mine, None)
+                raise
+            finally:
+                if not verify:
+                    client.release(mine)
+        except RemoteError as exc:
+            # Only transport-level exhaustion (code None) and a daemon
+            # announcing shutdown justify degrading — typed errors like
+            # bad_request would fail inline identically, so they
+            # propagate.
+            if not fallback or exc.code not in (
+                None,
+                protocol.ERR_SHUTTING_DOWN,
+            ):
+                raise
+            degraded = True
+
+    fallback_results: List[Tuple[str, str, AnyConfig, AnyStats]] = []
+
+    def simulate_fallback(key: Tuple[object, ...], cell: "Cell") -> None:
+        try:
+            fallback_stats = engine.run_cell(
+                cell.workload,
+                cell.size,
+                cell.config,
+                verify=verify,
+                cache=not verify,
+            )
+        except Exception as exc:  # noqa: BLE001 — error-policy boundary
+            text = "%s: %s" % (type(exc).__name__, exc)
+            if errors == "raise":
+                raise
+            outcome[key] = CellError(
+                cell.workload, cell.size, cell.config_name, text
+            )
+            emit(cell, cached=False, error=text)
+            return
+        outcome[key] = fallback_stats
+        fallback_results.append(
+            (cell.workload, cell.size, cell.config, fallback_stats)
+        )
+        emit(cell, cached=False, source=protocol.SOURCE_FALLBACK)
 
     for digest, (key, cell) in zip(digests, order):
         if key in outcome:
             continue  # duplicate digest already resolved
         message = cell_results.get(digest)
         if message is None:
+            if fallback:
+                simulate_fallback(key, cell)
+                continue
             error_text = "daemon returned no result for cell %s" % digest[:12]
             if errors == "raise":
                 raise RemoteError(error_text)
@@ -439,6 +588,12 @@ def run_remote(
             continue
         cached, error_text, source = _emit_sources(message)
         if error_text is not None:
+            if fallback and message.get("status") == protocol.STATUS_FAILED:
+                # A remotely-failed cell re-runs inline under fallback:
+                # an injected worker fault must not fail the sweep, and
+                # a genuinely broken cell fails identically here.
+                simulate_fallback(key, cell)
+                continue
             if errors == "raise":
                 raise RemoteError(
                     "remote cell %s/%s @%s failed: %s"
@@ -461,6 +616,16 @@ def run_remote(
         outcome[key] = stats
         emit(cell, cached=cached, source=source)
 
+    if fallback_results and client.probe():
+        # Best-effort publish-back: when the daemon is reachable again
+        # (possibly freshly restarted), the shared store converges on
+        # the degraded run's results — which are byte-identical to what
+        # the daemon would have simulated.
+        try:
+            client.publish_cells(fallback_results)
+        except RemoteError:
+            pass  # the store converges on a later run instead
+
 
 def _follow_job(
     client: RemoteClient,
@@ -473,7 +638,11 @@ def _follow_job(
     connection reset), fall back to polling the result endpoint — the
     final result message is the source of truth either way.
     """
-    terminal = (protocol.JOB_DONE, protocol.JOB_CANCELLED)
+    terminal = (
+        protocol.JOB_DONE,
+        protocol.JOB_CANCELLED,
+        protocol.JOB_STOPPED,
+    )
     try:
         for event in client.events(job_id):
             if (

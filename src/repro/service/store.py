@@ -17,14 +17,22 @@ no conflict resolution needed (contrast ``repro merge``, which merges
 *ResultSet artifacts* and must compare stats).  Writes go through
 :func:`repro.api.cache.atomic_write_text`, so any number of daemon
 worker threads and external processes can share one root safely.
+
+Deletion (:meth:`ResultStore.gc`) is crash-safe against those same
+concurrent readers: an entry is first renamed to a ``.tomb`` file
+(atomic — readers hitting the tombstone see a miss, never a torn
+read) and only then unlinked, so a GC killed mid-delete leaves at
+worst a tombstone that the next GC sweeps.  :meth:`ResultStore.verify`
+re-hashes every entry's decoded content against its filename, catching
+bit-rot and schema skew before they serve wrong results.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.api.cache import (
     CACHE_VERSION,
@@ -32,10 +40,12 @@ from repro.api.cache import (
     AnyStats,
     atomic_write_text,
     cell_hash,
+    config_from_payload,
     config_to_payload,
     stats_from_payload,
     stats_to_payload,
 )
+from repro.service.faults import FAULT_TORN_STORE_WRITE, FaultPlan, SITE_STORE
 
 #: Environment variable naming the daemon's default store root.
 STORE_DIR_ENV = "REPRO_STORE_DIR"
@@ -67,11 +77,51 @@ class StoreInfo:
     total_bytes: int
 
 
-class ResultStore:
-    """A directory of cell results addressed by content hash."""
+@dataclass(frozen=True)
+class GCResult:
+    """What one ``repro store gc`` pass did (or would do)."""
 
-    def __init__(self, root: str) -> None:
+    examined: int
+    evicted: int
+    evicted_bytes: int
+    kept: int
+    reserved: int
+    tombstones_swept: int
+    dry_run: bool
+
+
+@dataclass(frozen=True)
+class VerifyProblem:
+    """One entry that failed the re-hashing pass."""
+
+    digest: str
+    path: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    """Outcome of a ``repro store verify`` pass."""
+
+    examined: int
+    problems: List[VerifyProblem] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+class ResultStore:
+    """A directory of cell results addressed by content hash.
+
+    ``fault_plan`` threads the service's deterministic fault injector
+    into writes (the ``torn-store-write`` kind): production code never
+    passes one, tests and ``repro serve --fault-plan`` do.
+    """
+
+    def __init__(self, root: str, fault_plan: Optional[FaultPlan] = None) -> None:
         self.root = root
+        self.fault_plan = fault_plan
         os.makedirs(root, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -144,7 +194,19 @@ class ResultStore:
         }
         path = self.path_for(digest)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        atomic_write_text(path, json.dumps(entry, indent=1, sort_keys=True))
+        text = json.dumps(entry, indent=1, sort_keys=True)
+        if (
+            self.fault_plan is not None
+            and self.fault_plan.fire(SITE_STORE, workload)
+            == FAULT_TORN_STORE_WRITE
+        ):
+            # Simulate a writer that died mid-write without the atomic
+            # rename: half the bytes land at the final path.  Readers
+            # must treat it as a miss and resimulation must converge.
+            with open(path, "w", encoding="utf-8") as torn:
+                torn.write(text[: len(text) // 2])
+            return digest
+        atomic_write_text(path, text)
         return digest
 
     # ------------------------------------------------------------------
@@ -187,3 +249,196 @@ class ResultStore:
                 continue
             entries += 1
         return StoreInfo(self.root, entries, total)
+
+    # ------------------------------------------------------------------
+    # Deletion / GC
+    # ------------------------------------------------------------------
+
+    def _tombstone_paths(self) -> Iterator[str]:
+        try:
+            shards = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except OSError:
+                continue
+            for name in names:
+                if name.endswith(".tomb"):
+                    yield os.path.join(shard_dir, name)
+
+    def delete(self, digest: str) -> bool:
+        """Remove one entry crash-safely; True if it existed.
+
+        Two steps: atomic rename to ``<digest>.json.tomb`` (concurrent
+        readers now miss instead of racing a partial unlink), then
+        unlink the tombstone.  A crash between the steps leaves only a
+        tombstone, which reads as a miss and is swept by the next
+        :meth:`gc`.
+        """
+        path = self.path_for(digest)
+        tomb = path + ".tomb"
+        try:
+            os.replace(path, tomb)
+        except OSError:
+            return False
+        try:
+            os.unlink(tomb)
+        except OSError:
+            pass
+        return True
+
+    def gc(
+        self,
+        max_age: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        reserved: FrozenSet[str] = frozenset(),
+        now: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> GCResult:
+        """Evict entries to fit the given budgets; returns what happened.
+
+        Eviction order is oldest-mtime-first (the entries least likely
+        to be re-read).  ``reserved`` digests — cells an active daemon
+        has in flight — are never evicted regardless of budgets, so GC
+        can run beside a live daemon.  ``dry_run`` reports without
+        deleting.  Leftover tombstones from an interrupted previous
+        pass are always swept (even dry runs report them).
+        """
+        if max_age is not None and max_age < 0:
+            raise ValueError("max_age must be >= 0")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        swept = 0
+        for tomb in self._tombstone_paths():
+            swept += 1
+            if not dry_run:
+                try:
+                    os.unlink(tomb)
+                except OSError:
+                    pass
+        entries: List[Tuple[float, int, str]] = []
+        for digest, path in self._entry_paths():
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, digest))
+        entries.sort()
+        if now is None:
+            newest = max((mtime for mtime, _, _ in entries), default=0.0)
+            now = newest
+        evict: Dict[str, int] = {}
+        reserved_hits = 0
+        if max_age is not None:
+            for mtime, size, digest in entries:
+                if now - mtime > max_age:
+                    evict[digest] = size
+        live = [e for e in entries if e[2] not in evict]
+        if max_entries is not None and len(live) > max_entries:
+            for mtime, size, digest in live[: len(live) - max_entries]:
+                evict[digest] = size
+            live = [e for e in live if e[2] not in evict]
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in live)
+            for mtime, size, digest in live:
+                if total <= max_bytes:
+                    break
+                evict[digest] = size
+                total -= size
+        for digest in list(evict):
+            if digest in reserved:
+                del evict[digest]
+                reserved_hits += 1
+        evicted = 0
+        evicted_bytes = 0
+        for digest, size in evict.items():
+            if dry_run or self.delete(digest):
+                evicted += 1
+                evicted_bytes += size
+        return GCResult(
+            examined=len(entries),
+            evicted=evicted,
+            evicted_bytes=evicted_bytes,
+            kept=len(entries) - evicted,
+            reserved=reserved_hits,
+            tombstones_swept=swept,
+            dry_run=dry_run,
+        )
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def verify(self) -> VerifyResult:
+        """Re-hash every entry against its filename digest.
+
+        Catches torn files, entries from another ``CACHE_VERSION``,
+        undecodable config/stats payloads, and — the headline check —
+        content whose recomputed ``cell_hash`` no longer matches the
+        content address it is filed under.
+        """
+        examined = 0
+        problems: List[VerifyProblem] = []
+
+        def problem(digest: str, path: str, reason: str) -> None:
+            problems.append(VerifyProblem(digest, path, reason))
+
+        for digest, path in self._entry_paths():
+            examined += 1
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except (OSError, ValueError):
+                problem(digest, path, "unreadable or torn JSON")
+                continue
+            if not isinstance(entry, dict):
+                problem(digest, path, "entry is not a JSON object")
+                continue
+            if entry.get("version") != CACHE_VERSION:
+                problem(
+                    digest,
+                    path,
+                    "cache version %r (this build speaks %d)"
+                    % (entry.get("version"), CACHE_VERSION),
+                )
+                continue
+            workload = entry.get("workload")
+            size = entry.get("size")
+            config_payload = entry.get("config")
+            stats_payload = entry.get("stats")
+            if not isinstance(workload, str) or not isinstance(size, str):
+                problem(digest, path, "missing workload/size")
+                continue
+            if not isinstance(config_payload, dict):
+                problem(digest, path, "config payload is not an object")
+                continue
+            try:
+                config = config_from_payload(config_payload)
+            except ValueError as exc:
+                problem(digest, path, "undecodable config: %s" % exc)
+                continue
+            if not isinstance(stats_payload, dict):
+                problem(digest, path, "stats payload is not an object")
+                continue
+            try:
+                stats_from_payload(stats_payload)
+            except (KeyError, TypeError, ValueError) as exc:
+                problem(digest, path, "undecodable stats: %s" % exc)
+                continue
+            recomputed = cell_hash(workload, size, config)
+            if recomputed != digest:
+                problem(
+                    digest,
+                    path,
+                    "content address mismatch (recomputed %s...)"
+                    % recomputed[:12],
+                )
+        return VerifyResult(examined=examined, problems=problems)

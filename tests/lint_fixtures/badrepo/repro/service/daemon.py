@@ -1,4 +1,4 @@
-"""Seeded violations for the protocol-vocabulary rule (never imported)."""
+"""Seeded violations for the protocol/fault vocabulary rules (never imported)."""
 
 from repro.service import protocol
 
@@ -7,3 +7,9 @@ def handle(message):
     if message.get("type") == "submit":  # protocol-vocabulary (bare compare)
         return protocol.envelope("ack", job="j1")  # protocol-vocabulary (arg)
     raise protocol.ProtocolError("bad_request", "not a submit")  # (arg)
+
+
+def inject(plan, workload):
+    kind = plan.fire("worker", workload)  # fault-vocabulary (site arg)
+    if kind == "worker-exception":  # fault-vocabulary (bare compare)
+        raise RuntimeError(kind)

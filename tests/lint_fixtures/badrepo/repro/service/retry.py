@@ -1,0 +1,16 @@
+"""Seeded violations for the service-retry-bounded rule (never imported)."""
+
+
+def fetch(client):
+    while True:  # service-retry-bounded (unbounded retry loop)
+        try:
+            return client.request()
+        except OSError:
+            continue
+
+
+def swallow(client):
+    try:
+        return client.request()
+    except:  # service-retry-bounded (bare except)
+        return None

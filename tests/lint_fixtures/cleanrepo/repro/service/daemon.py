@@ -1,9 +1,15 @@
-"""Clean counterpart of the protocol fixture (never imported)."""
+"""Clean counterpart of the protocol/fault fixture (never imported)."""
 
-from repro.service import protocol
+from repro.service import faults, protocol
 
 
 def handle(message):
     if message.get("type") == protocol.MSG_SUBMIT:
         return protocol.envelope(protocol.MSG_ACK, job="j1")
     raise protocol.ProtocolError(protocol.ERR_BAD_REQUEST, "not a submit")
+
+
+def inject(plan, workload):
+    kind = plan.fire(faults.SITE_WORKER, workload)
+    if kind == faults.FAULT_WORKER_EXCEPTION:
+        raise RuntimeError(kind)

@@ -46,6 +46,8 @@ FILE_RULE_CASES = [
     ("observer-vocabulary", "repro/core/schedulers.py"),
     ("observer-vocabulary", "repro/analytics/aggregator.py"),
     ("protocol-vocabulary", "repro/service/daemon.py"),
+    ("fault-vocabulary", "repro/service/daemon.py"),
+    ("service-retry-bounded", "repro/service/retry.py"),
     ("registry-discipline", "repro/core/schedulers.py"),
 ]
 
